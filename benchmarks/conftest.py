@@ -1,0 +1,7 @@
+"""Benchmark suite configuration."""
+
+import sys
+from pathlib import Path
+
+# make bench_util importable when pytest runs from the repo root
+sys.path.insert(0, str(Path(__file__).parent))

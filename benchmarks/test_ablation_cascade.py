@@ -1,0 +1,94 @@
+"""A1 — Ablation: naive early lock release vs glued actions (§3.2).
+
+"One possible method of increasing concurrency is … early release of
+locks, but this method can cause a cascade of actions to be aborted if the
+releasing action aborts.  Glued actions provide a control structure for
+releasing locks on objects without the possibility of the cascade aborts."
+
+Naive mode (simulated by force-releasing a transaction's locks before it
+finishes): a reader picks up the uncommitted value; when the writer
+aborts, every such reader is dirty and must cascade-abort.  Glued mode:
+the hand-over happens only at commit — dirty reads are impossible by
+construction.
+"""
+
+from bench_util import print_figure
+
+from repro.runtime.runtime import LocalRuntime
+from repro.stdobjects import Counter
+from repro.structures import GluedGroup
+
+N_READERS = 5
+
+
+def naive_early_release():
+    runtime = LocalRuntime()
+    shared = Counter(runtime, value=0)
+    dirty_readers = 0
+    scope = runtime.top_level(name="T1")
+    with scope as t1:
+        shared.increment(99, action=t1)      # uncommitted write
+        # naive early release: T1 gives up its locks before finishing
+        runtime.locks.release_action(t1.uid)
+        for index in range(N_READERS):
+            with runtime.top_level(name=f"R{index}") as reader:
+                value = shared.get(action=reader)
+                if value != 0:
+                    dirty_readers += 1       # read uncommitted data
+        runtime.abort_action(t1)             # ... and then T1 aborts
+    return {
+        "dirty_readers": dirty_readers,
+        "cascade_aborts_required": dirty_readers,
+        "final_value": shared.value,
+    }
+
+
+def glued_release():
+    runtime = LocalRuntime()
+    shared = Counter(runtime, value=0)
+    side = Counter(runtime, value=0)
+    dirty_readers = 0
+    glue = GluedGroup(runtime, name="glue")
+    try:
+        with glue.member(name="T1") as member:
+            shared.increment(99, action=member.action)
+            member.hand_over(shared)
+            # other objects (side) would be released here at commit; but T1
+            # fails before committing:
+            raise RuntimeError("T1 aborts")
+    except RuntimeError:
+        pass
+    for index in range(N_READERS):
+        with runtime.top_level(name=f"R{index}") as reader:
+            if shared.get(action=reader) != 0:
+                dirty_readers += 1
+    glue.close()
+    return {
+        "dirty_readers": dirty_readers,
+        "cascade_aborts_required": dirty_readers,
+        "final_value": shared.value,
+    }
+
+
+def run_both():
+    return {
+        "naive early release": naive_early_release(),
+        "glued actions": glued_release(),
+    }
+
+
+def test_ablation_cascade_aborts(benchmark):
+    results = benchmark(run_both)
+    naive = results["naive early release"]
+    glued = results["glued actions"]
+    assert naive["dirty_readers"] == N_READERS       # everyone saw dirt
+    assert naive["cascade_aborts_required"] == N_READERS
+    assert glued["dirty_readers"] == 0               # impossible by design
+    assert glued["final_value"] == 0                 # abort fully recovered
+    print_figure(
+        "A1 — cascade aborts: naive early release vs gluing",
+        [(label, m["dirty_readers"], m["cascade_aborts_required"])
+         for label, m in results.items()],
+        headers=("scheme", f"dirty readers (of {N_READERS})",
+                 "cascade aborts required"),
+    )

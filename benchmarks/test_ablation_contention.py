@@ -1,0 +1,159 @@
+"""A9 — Ablation: bystander throughput under the §3 structures, measured.
+
+The quantitative version of figs. 4/5.  A pipeline touches all of O
+(|O| = 8), selects P (|P| = 2), then runs a long computation (300 sim
+units) before using P.  Meanwhile bystander clients continuously update
+objects in O−P.  Measured: bystander transactions completed before the
+pipeline finishes, under three structures:
+
+- one enclosing atomic action (everything locked, fully failure-atomic);
+- a serializing action (everything retained by the control action);
+- glued actions (only P pinned after phase 1).
+
+Expected shape: glued ≈ unobstructed bystander throughput; serializing and
+nested ≈ zero.  This is the paper's central concurrency argument with
+numbers attached.
+"""
+
+from bench_util import print_figure
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.structures import ClusterGluedGroup, ClusterSerializingAction
+from repro.sim.kernel import Timeout
+
+O_SIZE, P_SIZE = 8, 2
+THINK_TIME = 300.0
+BYSTANDERS = 2
+
+
+def build(seed=0):
+    cluster = Cluster(seed=seed, lock_wait_timeout=10_000.0)
+    cluster.add_node("pipeline-node")
+    cluster.add_node("store")
+    for i in range(BYSTANDERS):
+        cluster.add_node(f"by{i}")
+    client = cluster.client("pipeline-node")
+    refs = {}
+
+    def setup():
+        for i in range(O_SIZE):
+            refs[i] = yield from client.create("store", "counter", value=0)
+
+    cluster.run_process("pipeline-node", setup())
+    return cluster, client, refs
+
+
+def bystander_loop(cluster, client, refs, stop_flag, completed):
+    index = 0
+    while not stop_flag["stop"]:
+        target = refs[P_SIZE + (index % (O_SIZE - P_SIZE))]  # O−P objects
+        action = client.top_level(f"by-{client.name}-{index}")
+        try:
+            yield from client.invoke(action, target, "increment", 1)
+            yield from client.commit(action)
+            completed.append(cluster.kernel.now)
+        except Exception:
+            if not action.status.terminated:
+                yield from client.abort(action)
+        index += 1
+        yield Timeout(1.0)
+
+
+def run_structure(kind: str):
+    cluster, client, refs = build()
+    stop_flag = {"stop": False}
+    completed = []
+    window = {}
+
+    def think():
+        window["start"] = cluster.kernel.now
+        yield Timeout(THINK_TIME)
+        window["end"] = cluster.kernel.now
+
+    def pipeline():
+        if kind == "nested":
+            top = client.top_level("pipeline")
+            phase1 = client.atomic(top, "phase1")
+            for i in range(O_SIZE):
+                yield from client.invoke(phase1, refs[i], "increment", 1)
+            yield from client.commit(phase1)
+            yield from think()
+            phase2 = client.atomic(top, "phase2")
+            for i in range(P_SIZE):
+                yield from client.invoke(phase2, refs[i], "increment", 1)
+            yield from client.commit(phase2)
+            yield from client.commit(top)
+        elif kind == "serializing":
+            ser = ClusterSerializingAction(client, name="pipeline")
+            phase1 = ser.constituent("phase1")
+
+            def body1():
+                for i in range(O_SIZE):
+                    yield from client.invoke(phase1, refs[i], "increment", 1)
+
+            yield from ser.run_constituent(phase1, body1())
+            yield from think()
+            phase2 = ser.constituent("phase2")
+
+            def body2():
+                for i in range(P_SIZE):
+                    yield from client.invoke(phase2, refs[i], "increment", 1)
+
+            yield from ser.run_constituent(phase2, body2())
+            yield from ser.close()
+        else:  # glued
+            glue = ClusterGluedGroup(client, name="pipeline")
+            phase1 = glue.member("phase1")
+
+            def body1():
+                for i in range(O_SIZE):
+                    yield from client.invoke(phase1, refs[i], "increment", 1)
+                yield from glue.hand_over(
+                    phase1, *(refs[i] for i in range(P_SIZE))
+                )
+
+            yield from client.run_scope(phase1, body1())
+            yield from think()
+            phase2 = glue.member("phase2")
+
+            def body2():
+                for i in range(P_SIZE):
+                    yield from client.invoke(phase2, refs[i], "increment", 1)
+
+            yield from client.run_scope(phase2, body2())
+            yield from glue.close()
+        stop_flag["stop"] = True
+
+    handle = cluster.spawn("pipeline-node", pipeline())
+    for i in range(BYSTANDERS):
+        by_client = cluster.client(f"by{i}", f"by{i}")
+        cluster.spawn(f"by{i}", bystander_loop(
+            cluster, by_client, refs, stop_flag, completed
+        ))
+    cluster.run(until=20_000.0)
+    assert not handle.alive and handle.error is None, handle.error
+    during = [t for t in completed
+              if window["start"] <= t <= window["end"]]
+    return {"kind": kind, "commits_during_think": len(during),
+            "commits_total": len(completed)}
+
+
+def run_all():
+    return [run_structure(kind) for kind in ("nested", "serializing", "glued")]
+
+
+def test_ablation_contention(benchmark):
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    by_kind = {row["kind"]: row for row in rows}
+    # nested/serializing: O−P locked for the whole think window -> zero
+    assert by_kind["nested"]["commits_during_think"] == 0
+    assert by_kind["serializing"]["commits_during_think"] == 0
+    # glued: O−P free during the long computation
+    assert by_kind["glued"]["commits_during_think"] >= 20
+    print_figure(
+        "A9 — bystander commits during the pipeline's long computation "
+        f"(think time {THINK_TIME:.0f}, {BYSTANDERS} bystanders)",
+        [(k, row["commits_during_think"], row["commits_total"])
+         for k, row in by_kind.items()],
+        headers=("structure", "during think window", "whole episode"),
+    )

@@ -1,0 +1,63 @@
+"""A3 — Ablation: the cost of the coloured rules.
+
+§6: "The locking rules of coloured actions require minor modifications to
+the 'conventional' rules" — i.e. the mechanism should be essentially free.
+The benchmark measures raw acquire/release throughput under both rule sets
+and asserts the coloured overhead is small.
+"""
+
+import time
+
+from bench_util import print_figure
+
+from repro.colours.colour import Colour
+from repro.locking.modes import LockMode
+from repro.locking.owner import StubOwner
+from repro.locking.registry import LockRegistry
+from repro.locking.rules import ColouredRules, ConventionalRules
+from repro.util.uid import UidGenerator
+
+N_OBJECTS = 50
+ROUNDS = 40
+
+
+def lock_unlock_round(rules_factory):
+    auids = UidGenerator("a")
+    colour = Colour(UidGenerator("c").fresh(), "only")
+    object_uids = [UidGenerator("o").fresh() for _ in range(N_OBJECTS)]
+    registry = LockRegistry(rules_factory())
+    for _ in range(ROUNDS):
+        uid = auids.fresh()
+        owner = StubOwner(uid=uid, path=(uid,), colours=frozenset((colour,)))
+        for object_uid in object_uids:
+            registry.request(owner, object_uid, LockMode.WRITE, colour)
+        registry.transfer_on_commit(owner.uid, lambda c: None)
+    return ROUNDS * N_OBJECTS
+
+
+def measure(rules_factory):
+    start = time.perf_counter()
+    operations = lock_unlock_round(rules_factory)
+    elapsed = time.perf_counter() - start
+    return operations / elapsed
+
+
+def test_ablation_locking_overhead(benchmark):
+    # warm-up + comparison measurements outside the timed benchmark
+    conventional_ops = max(measure(ConventionalRules) for _ in range(3))
+    coloured_ops = max(measure(ColouredRules) for _ in range(3))
+    # the timed benchmark target is the coloured path
+    benchmark(lock_unlock_round, ColouredRules)
+    ratio = conventional_ops / coloured_ops
+    assert ratio < 2.0, (
+        f"coloured rules cost {ratio:.2f}x conventional; expected 'minor'"
+    )
+    print_figure(
+        "A3 — lock acquire+release throughput",
+        [
+            ("conventional rules (ops/s)", f"{conventional_ops:,.0f}"),
+            ("coloured rules (ops/s)", f"{coloured_ops:,.0f}"),
+            ("overhead factor", f"{ratio:.2f}x"),
+        ],
+        headers=("rule set", "value"),
+    )

@@ -1,0 +1,76 @@
+"""A5 — Ablation: replicated name server availability (§2, §4(ii)).
+
+Read-one/write-all over three replicas: lookups survive any minority (and
+even 2-of-3) of crashed replicas; writes need all replicas up.  The
+benchmark measures lookup availability as replicas fail one by one.
+"""
+
+from bench_util import print_figure
+
+from repro.cluster.cluster import Cluster
+from repro.errors import RpcTimeout
+from repro.replication.nameserver import ReplicatedNameServer
+
+REPLICAS = ("r1", "r2", "r3")
+
+
+def availability_sweep():
+    cluster = Cluster(seed=5)
+    cluster.add_node("client-node")
+    for name in REPLICAS:
+        cluster.add_node(name)
+    client = cluster.client("client-node")
+    ns_holder = {}
+
+    def setup():
+        ns = yield from ReplicatedNameServer.create(client, list(REPLICAS))
+        yield from ns.bind("service", "address-1")
+        ns_holder["ns"] = ns
+
+    cluster.run_process("client-node", setup())
+    ns = ns_holder["ns"]
+    rows = []
+    for down_count in range(len(REPLICAS) + 1):
+        for name in REPLICAS[:down_count]:
+            cluster.crash(name)
+
+        def probe():
+            try:
+                value = yield from ns.lookup("service")
+                # earlier rounds may have re-bound it; any address counts
+                lookup_ok = isinstance(value, str) and value.startswith("address-")
+            except Exception:
+                lookup_ok = False
+            try:
+                yield from ns.bind("service", f"address-{down_count + 2}")
+                write_ok = True
+            except Exception:
+                write_ok = False
+            return lookup_ok, write_ok
+
+        lookup_ok, write_ok = cluster.run_process("client-node", probe())
+        rows.append({
+            "down": down_count,
+            "lookup_available": lookup_ok,
+            "write_available": write_ok,
+        })
+        for name in REPLICAS[:down_count]:
+            cluster.restart(name)
+        cluster.run(until=cluster.kernel.now + 100)  # let recovery settle
+    return rows
+
+
+def test_ablation_replication_availability(benchmark):
+    rows = benchmark.pedantic(availability_sweep, rounds=1, iterations=1)
+    by_down = {row["down"]: row for row in rows}
+    assert by_down[0]["lookup_available"] and by_down[0]["write_available"]
+    assert by_down[1]["lookup_available"]          # read-one survives
+    assert not by_down[1]["write_available"]       # write-all does not
+    assert by_down[2]["lookup_available"]
+    assert not by_down[3]["lookup_available"]      # nothing left to read
+    print_figure(
+        "A5 — name-server availability vs crashed replicas (of 3)",
+        [(row["down"], row["lookup_available"], row["write_available"])
+         for row in rows],
+        headers=("replicas down", "lookup available", "bind available"),
+    )

@@ -1,0 +1,98 @@
+"""A2 — Ablation: the §5.1 reduction.
+
+"If all the actions in a coloured system possess the same single colour
+then the system reverts to being just a normal atomic action system."
+
+The benchmark replays a fixed battery of randomized lock schedules against
+the conventional rules and the coloured rules (single shared colour) and
+counts decision mismatches — the paper's claim is mismatches == 0.
+"""
+
+from bench_util import print_figure
+
+from repro.colours.colour import Colour
+from repro.locking.modes import LockMode
+from repro.locking.owner import StubOwner
+from repro.locking.registry import LockRegistry
+from repro.locking.rules import ColouredRules, ConventionalRules
+from repro.util.rng import SplitRandom
+from repro.util.uid import UidGenerator
+
+N_SCHEDULES = 40
+OPS_PER_SCHEDULE = 120
+
+
+def build_world():
+    auids = UidGenerator("a")
+    colour = Colour(UidGenerator("c").fresh(), "only")
+
+    def make(parent=None):
+        uid = auids.fresh()
+        path = (parent.path if parent else ()) + (uid,)
+        return StubOwner(uid=uid, path=path, colours=frozenset((colour,)))
+
+    owners = []
+    for _ in range(2):
+        root = make()
+        mid = make(parent=root)
+        owners.extend([root, mid, make(parent=mid)])
+    return owners, colour
+
+
+def random_schedule(rng, owners):
+    ops = []
+    for _ in range(OPS_PER_SCHEDULE):
+        kind = rng.choice(["request", "request", "request", "abort", "commit"])
+        ops.append((
+            kind,
+            rng.randrange(len(owners)),
+            rng.choice(list(LockMode)),
+            rng.randrange(3),
+        ))
+    return ops
+
+
+def run_schedule(rules, owners, colour, operations):
+    registry = LockRegistry(rules)
+    object_uids = [UidGenerator(f"o{i}").fresh() for i in range(3)]
+    trace = []
+    for op, owner_index, mode, obj_index in operations:
+        owner = owners[owner_index]
+        if op == "request":
+            registry.request(
+                owner, object_uids[obj_index], mode, colour,
+                on_complete=lambda r, o=owner_index: trace.append(
+                    (o, r.status.value)
+                ),
+            )
+        elif op == "abort":
+            registry.release_action(owner.uid)
+        else:
+            parent_uid = owner.path[-2] if len(owner.path) > 1 else None
+            parent = next((o for o in owners if o.uid == parent_uid), None)
+            registry.transfer_on_commit(owner.uid, lambda c: parent)
+    return trace
+
+
+def compare_battery():
+    owners, colour = build_world()
+    rng = SplitRandom(2026)
+    mismatches = 0
+    for index in range(N_SCHEDULES):
+        schedule = random_schedule(rng.split(f"s{index}"), owners)
+        conventional = run_schedule(ConventionalRules(), owners, colour, schedule)
+        coloured = run_schedule(ColouredRules(), owners, colour, schedule)
+        if conventional != coloured:
+            mismatches += 1
+    return {"schedules": N_SCHEDULES, "mismatches": mismatches}
+
+
+def test_ablation_single_colour_reduction(benchmark):
+    metrics = benchmark(compare_battery)
+    assert metrics["mismatches"] == 0
+    print_figure(
+        "A2 — single-colour coloured system vs conventional atomic actions",
+        [("randomized schedules compared", metrics["schedules"]),
+         ("behavioural mismatches", metrics["mismatches"])],
+        headers=("measure", "value"),
+    )

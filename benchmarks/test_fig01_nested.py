@@ -1,0 +1,55 @@
+"""F1 — Fig. 1: concurrent nested atomic actions.
+
+Claim reproduced: B and C nest within A; their effects become stable only
+at A's commit, locks are inherited upward, and the whole structure is
+undone if A aborts.  The benchmark times a full fig. 1 episode.
+"""
+
+from bench_util import print_figure
+
+from repro.locking.modes import LockMode
+from repro.runtime.runtime import LocalRuntime
+from repro.stdobjects import Counter
+
+
+def fig1_episode():
+    runtime = LocalRuntime()
+    counter_b = Counter(runtime, value=0)
+    counter_c = Counter(runtime, value=0)
+    checkpoints = {}
+    with runtime.top_level(name="A") as a:
+        with runtime.atomic(name="B") as b:
+            counter_b.increment(1, action=b)
+        with runtime.atomic(name="C") as c:
+            counter_c.increment(1, action=c)
+        checkpoints["locks_inherited_by_A"] = (
+            runtime.locks.holds(a.uid, counter_b.uid, LockMode.WRITE)
+            and runtime.locks.holds(a.uid, counter_c.uid, LockMode.WRITE)
+        )
+        checkpoints["stable_before_A_commit"] = (
+            runtime.store.read_committed(counter_b.uid).payload
+            == counter_b.snapshot()
+        )
+    checkpoints["stable_after_A_commit"] = (
+        runtime.store.read_committed(counter_b.uid).payload
+        == counter_b.snapshot()
+    )
+    checkpoints["values"] = (counter_b.value, counter_c.value)
+    return checkpoints
+
+
+def test_fig01_nested_actions(benchmark):
+    checkpoints = benchmark(fig1_episode)
+    assert checkpoints["locks_inherited_by_A"] is True
+    assert checkpoints["stable_before_A_commit"] is False  # top-level only
+    assert checkpoints["stable_after_A_commit"] is True
+    assert checkpoints["values"] == (1, 1)
+    print_figure(
+        "Fig. 1 — concurrent nested atomic actions",
+        [
+            ("locks inherited by A at child commit", checkpoints["locks_inherited_by_A"]),
+            ("B's update stable before A commits", checkpoints["stable_before_A_commit"]),
+            ("B's update stable after A commits", checkpoints["stable_after_A_commit"]),
+        ],
+        headers=("property", "observed"),
+    )

@@ -1,0 +1,43 @@
+"""F2 — Fig. 2: the motivating problem with nesting.
+
+Claim reproduced: "If B terminates successfully but a failure prevents
+completion of A, then A will be aborted, thereby undoing the effects of B
+and C" — B's long computation is wasted.  The benchmark quantifies the
+wasted work (operations undone per failed episode).
+"""
+
+from bench_util import print_figure
+
+from repro.runtime.runtime import LocalRuntime
+from repro.stdobjects import Counter
+
+B_WORK = 50  # "some long and complicated computation" — 50 updates
+
+
+def fig2_episode():
+    runtime = LocalRuntime()
+    objects_b = [Counter(runtime, value=0) for _ in range(B_WORK)]
+    work_done_by_b = 0
+    work_surviving = 0
+    try:
+        with runtime.top_level(name="A"):
+            with runtime.atomic(name="B") as b:
+                for counter in objects_b:
+                    counter.increment(1, action=b)
+                    work_done_by_b += 1
+            raise RuntimeError("failure prevents completion of A")
+    except RuntimeError:
+        pass
+    work_surviving = sum(counter.value for counter in objects_b)
+    return {"done_by_B": work_done_by_b, "surviving": work_surviving}
+
+
+def test_fig02_nesting_undoes_completed_work(benchmark):
+    metrics = benchmark(fig2_episode)
+    assert metrics["done_by_B"] == B_WORK
+    assert metrics["surviving"] == 0   # all of B's completed work was undone
+    print_figure(
+        "Fig. 2 — nested B's completed work is lost when A aborts",
+        [("plain nesting", metrics["done_by_B"], metrics["surviving"])],
+        headers=("structure", "updates completed by B", "updates surviving A's abort"),
+    )

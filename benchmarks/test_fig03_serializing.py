@@ -1,0 +1,71 @@
+"""F3 — Fig. 3: the serializing action and its three outcomes (§3.1).
+
+Claims reproduced:
+(i)   no effects when B aborts;
+(ii)  B's and C's effects permanent when both commit;
+(iii) B's effects only, when C aborts;
+plus the headline contrast with fig. 2: B's completed work *survives* the
+enclosing action's failure.
+"""
+
+from bench_util import print_figure
+
+from repro.runtime.runtime import LocalRuntime
+from repro.stdobjects import Counter
+from repro.structures import SerializingAction
+
+B_WORK = 50
+
+
+def outcome_episode(b_aborts: bool, c_aborts: bool, a_aborts: bool):
+    runtime = LocalRuntime()
+    b_objects = [Counter(runtime, value=0) for _ in range(B_WORK)]
+    c_object = Counter(runtime, value=0)
+    ser = SerializingAction(runtime, name="A")
+    try:
+        with ser.constituent(name="B") as b:
+            for counter in b_objects:
+                counter.increment(1, action=b)
+            if b_aborts:
+                raise RuntimeError("B aborts")
+        try:
+            with ser.constituent(name="C") as c:
+                c_object.increment(1, action=c)
+                if c_aborts:
+                    raise RuntimeError("C aborts")
+        except RuntimeError:
+            pass
+    except RuntimeError:
+        pass
+    if a_aborts or b_aborts:
+        ser.cancel()
+    else:
+        ser.close()
+    return {
+        "b_surviving": sum(counter.value for counter in b_objects),
+        "c_surviving": c_object.value,
+    }
+
+
+def run_all_outcomes():
+    return {
+        "(i) B aborts": outcome_episode(b_aborts=True, c_aborts=False, a_aborts=True),
+        "(ii) B and C commit": outcome_episode(False, False, False),
+        "(iii) C aborts": outcome_episode(False, True, False),
+        "B commits, A aborts": outcome_episode(False, False, True),
+    }
+
+
+def test_fig03_serializing_outcomes(benchmark):
+    outcomes = benchmark(run_all_outcomes)
+    assert outcomes["(i) B aborts"] == {"b_surviving": 0, "c_surviving": 0}
+    assert outcomes["(ii) B and C commit"] == {"b_surviving": B_WORK, "c_surviving": 1}
+    assert outcomes["(iii) C aborts"] == {"b_surviving": B_WORK, "c_surviving": 0}
+    # the fig. 2 contrast: B's work survives A's failure
+    assert outcomes["B commits, A aborts"]["b_surviving"] == B_WORK
+    print_figure(
+        "Fig. 3 — serializing action outcomes (§3.1)",
+        [(label, m["b_surviving"], m["c_surviving"])
+         for label, m in outcomes.items()],
+        headers=("outcome", "B updates surviving", "C updates surviving"),
+    )

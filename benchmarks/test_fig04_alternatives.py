@@ -1,0 +1,108 @@
+"""F4 — Fig. 4: the two rejected alternatives to glued actions (§3.2).
+
+The scenario: A modifies the set O and selects a subset P for the
+long-running B.  Requirements: P must stay unchanged between A and B, and
+(ideally) O−P should be free for everyone else meanwhile.
+
+(a) Two plain top-level actions: O−P is free, but **P is unprotected** —
+    an interloper can modify P between A and B.
+(b) A serializing action: P is protected, but **O−P stays locked** until
+    B finishes — bystanders are shut out of everything.
+
+The benchmark measures both quantities for both structures; fig. 5's glued
+actions (next file) get both right.
+"""
+
+from bench_util import print_figure
+
+from repro.errors import LockTimeout
+from repro.locking.modes import LockMode
+from repro.runtime.runtime import LocalRuntime
+from repro.stdobjects import Counter
+from repro.structures import SerializingAction
+
+O_SIZE, P_SIZE = 10, 3
+
+
+def probe_access(runtime, objects):
+    """How many of ``objects`` an outsider can WRITE-lock right now."""
+    accessible = 0
+    for obj in objects:
+        with runtime.top_level(name="probe") as probe:
+            try:
+                runtime.acquire(probe, obj, LockMode.WRITE, timeout=0.01)
+                accessible += 1
+            except LockTimeout:
+                pass
+            runtime.abort_action(probe)
+    return accessible
+
+
+def two_top_levels():
+    """Fig. 4(a): A then B as unrelated top-level actions."""
+    runtime = LocalRuntime()
+    objects = [Counter(runtime, value=0) for _ in range(O_SIZE)]
+    p, o_minus_p = objects[:P_SIZE], objects[P_SIZE:]
+    with runtime.top_level(name="A"):
+        for obj in objects:
+            obj.increment(1)
+    # between A and B: measure access
+    p_writable = probe_access(runtime, p)
+    rest_writable = probe_access(runtime, o_minus_p)
+    # an interloper actually corrupts P before B starts
+    with runtime.top_level(name="interloper"):
+        p[0].increment(100)
+    with runtime.top_level(name="B") as b_action:
+        values = [obj.get(action=b_action) for obj in p]
+    return {
+        "p_protected": p_writable == 0,
+        "rest_accessible": rest_writable,
+        "b_saw_interference": any(v != 1 for v in values),
+    }
+
+
+def serializing_structure():
+    """Fig. 4(b): A and B as constituents of one serializing action."""
+    runtime = LocalRuntime()
+    objects = [Counter(runtime, value=0) for _ in range(O_SIZE)]
+    p, o_minus_p = objects[:P_SIZE], objects[P_SIZE:]
+    ser = SerializingAction(runtime, name="ser")
+    with ser.constituent(name="A") as a:
+        for obj in objects:
+            obj.increment(1, action=a)
+    p_writable = probe_access(runtime, p)
+    rest_writable = probe_access(runtime, o_minus_p)
+    with ser.constituent(name="B") as b:
+        values = [obj.get(action=b) for obj in p]
+    ser.close()
+    return {
+        "p_protected": p_writable == 0,
+        "rest_accessible": rest_writable,
+        "b_saw_interference": any(v != 1 for v in values),
+    }
+
+
+def run_both():
+    return {"fig 4(a) two top-levels": two_top_levels(),
+            "fig 4(b) serializing": serializing_structure()}
+
+
+def test_fig04_alternatives(benchmark):
+    results = benchmark(run_both)
+    plain = results["fig 4(a) two top-levels"]
+    serial = results["fig 4(b) serializing"]
+    # (a): no protection (and B really saw the interference), full access
+    assert plain["p_protected"] is False
+    assert plain["b_saw_interference"] is True
+    assert plain["rest_accessible"] == O_SIZE - P_SIZE
+    # (b): full protection, zero access for bystanders
+    assert serial["p_protected"] is True
+    assert serial["b_saw_interference"] is False
+    assert serial["rest_accessible"] == 0
+    print_figure(
+        "Fig. 4 — alternatives to gluing: protection vs availability",
+        [(label, m["p_protected"], m["rest_accessible"], m["b_saw_interference"])
+         for label, m in results.items()],
+        headers=("structure", "P protected", f"of {O_SIZE - P_SIZE} O-P objects free",
+                 "B saw interference"),
+    )

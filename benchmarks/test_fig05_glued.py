@@ -1,0 +1,83 @@
+"""F5 — Fig. 5: glued actions get both properties at once (§3.2).
+
+Same scenario as F4; gluing A to B protects P (locks pass atomically)
+while releasing O−P at A's commit, and A's effects on P are not recovered
+when B fails.  Expected shape versus F4: glued dominates fig. 4(b) on
+bystander availability with identical protection, and dominates fig. 4(a)
+on protection with identical availability.
+"""
+
+from bench_util import print_figure
+
+from repro.errors import LockTimeout
+from repro.locking.modes import LockMode
+from repro.runtime.runtime import LocalRuntime
+from repro.stdobjects import Counter
+from repro.structures import GluedGroup
+
+O_SIZE, P_SIZE = 10, 3
+
+
+def probe_access(runtime, objects):
+    accessible = 0
+    for obj in objects:
+        with runtime.top_level(name="probe") as probe:
+            try:
+                runtime.acquire(probe, obj, LockMode.WRITE, timeout=0.01)
+                accessible += 1
+            except LockTimeout:
+                pass
+            runtime.abort_action(probe)
+    return accessible
+
+
+def glued_episode(b_fails: bool):
+    runtime = LocalRuntime()
+    objects = [Counter(runtime, value=0) for _ in range(O_SIZE)]
+    p, o_minus_p = objects[:P_SIZE], objects[P_SIZE:]
+    glue = GluedGroup(runtime, name="glue")
+    with glue.member(name="A") as member:
+        for obj in objects:
+            obj.increment(1, action=member.action)
+        member.hand_over(*p)
+    p_writable = probe_access(runtime, p)
+    rest_writable = probe_access(runtime, o_minus_p)
+    try:
+        with glue.member(name="B") as member:
+            values = [obj.get(action=member.action) for obj in p]
+            for obj in p:
+                obj.increment(10, action=member.action)
+            if b_fails:
+                raise RuntimeError("B fails")
+    except RuntimeError:
+        pass
+    glue.close()
+    return {
+        "p_protected": p_writable == 0,
+        "rest_accessible": rest_writable,
+        "b_saw_interference": any(v != 1 for v in values),
+        "a_effects_on_p": sum(1 for obj in p if obj.value >= 1),
+    }
+
+
+def run_both():
+    return {"glued (B commits)": glued_episode(False),
+            "glued (B fails)": glued_episode(True)}
+
+
+def test_fig05_glued(benchmark):
+    results = benchmark(run_both)
+    for metrics in results.values():
+        assert metrics["p_protected"] is True                    # like fig 4(b)
+        assert metrics["rest_accessible"] == O_SIZE - P_SIZE     # like fig 4(a)
+        assert metrics["b_saw_interference"] is False
+    # "The effects of A on P should not be recovered if B fails."
+    assert results["glued (B fails)"]["a_effects_on_p"] == P_SIZE
+    print_figure(
+        "Fig. 5 — glued actions: protection AND availability",
+        [(label, m["p_protected"], m["rest_accessible"], m["a_effects_on_p"])
+         for label, m in results.items()],
+        headers=("episode", "P protected",
+                 f"of {O_SIZE - P_SIZE} O-P objects free",
+                 "A's surviving effects on P"),
+    )

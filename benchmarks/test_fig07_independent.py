@@ -1,0 +1,115 @@
+"""F7 — Fig. 7: synchronous and asynchronous top-level independent actions.
+
+Claims reproduced: B commits/aborts independently of A in both modes; in
+the synchronous case A can branch on B's outcome; in the asynchronous case
+A proceeds without waiting and may even terminate first.
+"""
+
+import threading
+
+from bench_util import print_figure
+
+from repro.actions.status import Outcome
+from repro.runtime.runtime import LocalRuntime
+from repro.stdobjects import Counter
+from repro.structures import AsyncIndependent, independent_top_level
+
+
+def sync_episode():
+    runtime = LocalRuntime()
+    board = Counter(runtime, value=0)
+    observed_outcome = {}
+    try:
+        with runtime.top_level(name="A"):
+            scope = independent_top_level(runtime, name="B")
+            with scope as b:
+                board.increment(1, action=b)
+            observed_outcome["B"] = scope.outcome
+            raise RuntimeError("A aborts afterwards")
+    except RuntimeError:
+        pass
+    return {
+        "b_outcome": observed_outcome["B"],
+        "b_survives_a_abort": board.value == 1,
+    }
+
+
+def sync_branching_episode():
+    """A aborts *because* B aborted (the paper's example dependency)."""
+    runtime = LocalRuntime()
+    own_work = Counter(runtime, value=0)
+    a_aborted_due_to_b = False
+    try:
+        with runtime.top_level(name="A"):
+            own_work.increment(1)
+            scope = independent_top_level(runtime, name="B")
+            try:
+                with scope as b:
+                    raise ValueError("B fails")
+            except ValueError:
+                pass
+            if scope.outcome is Outcome.ABORTED:
+                raise RuntimeError("A aborts because B aborted")
+    except RuntimeError:
+        a_aborted_due_to_b = True
+    return {
+        "a_aborted_due_to_b": a_aborted_due_to_b,
+        "a_work_undone": own_work.value == 0,
+    }
+
+
+def async_episode():
+    runtime = LocalRuntime()
+    board = Counter(runtime, value=0)
+    release = threading.Event()
+    invoker_finished_first = {}
+
+    def body(action):
+        release.wait(10)
+        board.increment(1, action=action)
+
+    try:
+        with runtime.top_level(name="A"):
+            task = AsyncIndependent(runtime, body, name="B")
+            invoker_finished_first["running"] = task.running
+            raise RuntimeError("A aborts while B is still running")
+    except RuntimeError:
+        pass
+    release.set()
+    outcome = task.wait(10)
+    return {
+        "b_was_running_when_a_ended": invoker_finished_first["running"],
+        "b_outcome": outcome,
+        "b_survives": board.value == 1,
+    }
+
+
+def run_all():
+    return {
+        "sync": sync_episode(),
+        "sync-branching": sync_branching_episode(),
+        "async": async_episode(),
+    }
+
+
+def test_fig07_independent(benchmark):
+    results = benchmark(run_all)
+    assert results["sync"]["b_outcome"] is Outcome.COMMITTED
+    assert results["sync"]["b_survives_a_abort"] is True
+    assert results["sync-branching"]["a_aborted_due_to_b"] is True
+    assert results["sync-branching"]["a_work_undone"] is True
+    assert results["async"]["b_was_running_when_a_ended"] is True
+    assert results["async"]["b_outcome"] is Outcome.COMMITTED
+    assert results["async"]["b_survives"] is True
+    print_figure(
+        "Fig. 7 — top-level independent actions",
+        [
+            ("7(a) sync: B commits, then A aborts; B survives",
+             results["sync"]["b_survives_a_abort"]),
+            ("7(a) sync: A branches on B's outcome",
+             results["sync-branching"]["a_aborted_due_to_b"]),
+            ("7(b) async: A ends while B runs; B still commits",
+             results["async"]["b_survives"]),
+        ],
+        headers=("claim", "observed"),
+    )

@@ -1,0 +1,71 @@
+"""F10 — Fig. 10: the introductory two-coloured action.
+
+B {red, blue} inside A {blue} locks Or in red and Ob in blue.  After B's
+commit: red locks released and Or's states permanent (B top-level w.r.t.
+red); blue locks retained by A.  If A then aborts, only Ob is undone.
+"""
+
+from bench_util import print_figure
+
+from repro.locking.modes import LockMode
+from repro.runtime.runtime import LocalRuntime
+from repro.stdobjects import Counter
+
+SET_SIZE = 5
+
+
+def fig10_episode(a_aborts: bool):
+    runtime = LocalRuntime()
+    red = runtime.colours.fresh("red")
+    blue = runtime.colours.fresh("blue")
+    o_r = [Counter(runtime, value=0) for _ in range(SET_SIZE)]
+    o_b = [Counter(runtime, value=0) for _ in range(SET_SIZE)]
+    checkpoints = {}
+    try:
+        with runtime.coloured([blue], name="A") as a:
+            with runtime.coloured([red, blue], name="B") as b:
+                for obj in o_r:
+                    obj.increment(1, colour=red, action=b)
+                for obj in o_b:
+                    obj.increment(1, colour=blue, action=b)
+            checkpoints["red_released"] = not any(
+                runtime.locks.holds(a.uid, obj.uid, LockMode.READ)
+                for obj in o_r
+            )
+            checkpoints["blue_retained"] = all(
+                runtime.locks.holds(a.uid, obj.uid, LockMode.WRITE)
+                for obj in o_b
+            )
+            checkpoints["red_stable_at_b_commit"] = all(
+                runtime.store.read_committed(obj.uid).payload == obj.snapshot()
+                for obj in o_r
+            )
+            if a_aborts:
+                raise RuntimeError("A aborts")
+    except RuntimeError:
+        pass
+    checkpoints["or_surviving"] = sum(obj.value for obj in o_r)
+    checkpoints["ob_surviving"] = sum(obj.value for obj in o_b)
+    return checkpoints
+
+
+def run_both():
+    return {"A commits": fig10_episode(False), "A aborts": fig10_episode(True)}
+
+
+def test_fig10_coloured_basics(benchmark):
+    results = benchmark(run_both)
+    for label, metrics in results.items():
+        assert metrics["red_released"] is True
+        assert metrics["blue_retained"] is True
+        assert metrics["red_stable_at_b_commit"] is True
+        assert metrics["or_surviving"] == SET_SIZE  # red always survives
+    assert results["A commits"]["ob_surviving"] == SET_SIZE
+    assert results["A aborts"]["ob_surviving"] == 0   # only blue is undone
+    print_figure(
+        "Fig. 10 — coloured action B {red,blue} in A {blue}",
+        [(label, m["or_surviving"], m["ob_surviving"])
+         for label, m in results.items()],
+        headers=("episode", f"Or updates surviving (of {SET_SIZE})",
+                 f"Ob updates surviving (of {SET_SIZE})"),
+    )

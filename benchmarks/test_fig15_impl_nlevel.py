@@ -1,0 +1,85 @@
+"""F15 — Fig. 15: the colour assignment implementing fig. 14, generated
+automatically by the structures layer.
+
+The paper's scheme: A {red, blue}, B {red}, C {green}, D {red}, E {blue},
+F {green}.  Our API: C and F come from ``independent_top_level`` (fresh
+colour each — the role green plays), E from ``independent_relative_to``
+anchored at A (the marker plays blue), B and D are ordinary nested/red.
+The benchmark checks the generated assignment has exactly the paper's
+structure, then replays the fig. 14 semantics through it.
+"""
+
+from bench_util import print_figure
+
+from repro.runtime.runtime import LocalRuntime
+from repro.stdobjects import Counter
+from repro.structures import (
+    independence_markers,
+    independent_relative_to,
+    independent_top_level,
+)
+
+
+def episode():
+    runtime = LocalRuntime()
+    (marker,) = independence_markers(runtime, 1, name="blue")
+    red = runtime.colours.fresh("red")
+    effects = {name: Counter(runtime, value=0) for name in "CDEF"}
+    assignment = {}
+    try:
+        with runtime.coloured([red, marker], name="A") as a:
+            assignment["A"] = a.colours
+            with independent_top_level(runtime, parent=a, name="C") as c:
+                assignment["C"] = c.colours
+                effects["C"].increment(1, action=c)
+            try:
+                with runtime.coloured([red], parent=a, name="B") as b:
+                    assignment["B"] = b.colours
+                    with runtime.coloured([red], parent=b, name="D") as d:
+                        assignment["D"] = d.colours
+                        effects["D"].increment(1, action=d)
+                    with independent_relative_to(runtime, a, parent=b,
+                                                 name="E") as e:
+                        assignment["E"] = e.colours
+                        effects["E"].increment(1, action=e)
+                    with independent_top_level(runtime, parent=b,
+                                               name="F") as f:
+                        assignment["F"] = f.colours
+                        effects["F"].increment(1, action=f)
+                    raise RuntimeError("B aborts")
+            except RuntimeError:
+                pass
+            e_after_b = effects["E"].value
+            raise RuntimeError("A aborts")
+    except RuntimeError:
+        pass
+    return {
+        "assignment": assignment,
+        "e_after_b_abort": e_after_b,
+        "survivors": {name: counter.value for name, counter in effects.items()},
+        "marker": marker,
+        "red": red,
+    }
+
+
+def test_fig15_generated_assignment(benchmark):
+    result = benchmark(episode)
+    colours = result["assignment"]
+    red, marker = result["red"], result["marker"]
+    # the paper's structure, generated automatically:
+    assert colours["A"] == frozenset((red, marker))      # A {red, blue}
+    assert colours["B"] == frozenset((red,))             # B {red}
+    assert colours["D"] == frozenset((red,))             # D {red}
+    assert colours["E"] == frozenset((marker,))          # E {blue}
+    assert len(colours["C"]) == 1 and not (colours["C"] & colours["A"])  # C {green}
+    assert len(colours["F"]) == 1 and not (
+        colours["F"] & (colours["A"] | colours["B"]))                    # F {green'}
+    # and it reproduces fig. 14's semantics:
+    assert result["e_after_b_abort"] == 1                # E survives B
+    assert result["survivors"] == {"C": 1, "D": 0, "E": 0, "F": 1}
+    print_figure(
+        "Fig. 15 — automatically generated colour assignment",
+        [(name, "{" + ", ".join(sorted(str(c) for c in cs)) + "}")
+         for name, cs in sorted(result["assignment"].items())],
+        headers=("action", "colours"),
+    )

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Bulletin boards (§4(i)) and billing (§4(iii)) with independent actions.
+
+Shows why nesting is wrong for these: the post and the charge must stand
+even when the invoking application aborts — and how a compensating action
+retracts a post when the application really wants that.
+
+Run:  python examples/bulletin_and_billing.py
+"""
+
+from repro import Account, CompensationScope, LocalRuntime
+from repro.apps.billing import MeteredService
+from repro.apps.bulletin import BulletinBoard, BulletinService
+
+
+def bulletin_demo(runtime: LocalRuntime) -> None:
+    print("== bulletin board")
+    board = BulletinBoard(runtime, "announcements")
+    service = BulletinService(runtime, board)
+
+    # a plain post from inside an application that later aborts
+    try:
+        with runtime.top_level(name="release-pipeline"):
+            service.post("release-bot", "v2.0 rollout starting")
+            raise RuntimeError("pipeline aborts after announcing")
+    except RuntimeError:
+        pass
+    print(f"  after the pipeline aborted, the post stands: "
+          f"{[p['text'] for p in service.read_all()]}")
+
+    # a tentative post armed with a compensating retraction
+    try:
+        with runtime.top_level(name="maybe-event") as app:
+            compensation = CompensationScope(runtime, app)
+            service.post("events", "party friday?", compensation=compensation)
+            raise RuntimeError("event cancelled")
+    except RuntimeError:
+        pass
+    print(f"  compensations retracted the tentative post: "
+          f"{[p['text'] for p in service.read_all()]}")
+
+    # asynchronous posting (fig. 7(b))
+    task = service.post_async("bob", "posted in the background")
+    task.wait(5)
+    print(f"  async post landed: {[p['text'] for p in service.read_all()]}\n")
+
+
+def billing_demo(runtime: LocalRuntime) -> None:
+    print("== metered service billing")
+    customer = Account(runtime, owner="ann", balance=100)
+    provider = Account(runtime, owner="cloud-co", balance=0)
+    render = MeteredService(runtime, "render", fee=15,
+                            provider_account=provider)
+    output = Account(runtime, owner="artifacts", balance=0)
+
+    # the job aborts, the charge stands, the artifact does not
+    try:
+        with runtime.top_level(name="render-job"):
+            render.call(customer, lambda: output.deposit(1, "frame"))
+            raise RuntimeError("render crashed at 99%")
+    except RuntimeError:
+        pass
+    print(f"  after the aborted job: customer={customer.balance}, "
+          f"provider={provider.balance}, artifacts={output.balance}")
+
+    # the same with a refund-on-abort policy via compensation
+    try:
+        with runtime.top_level(name="render-job-2") as job:
+            refunds = CompensationScope(runtime, job)
+            render.call(customer, lambda: output.deposit(1, "frame"),
+                        refund_on_abort=refunds)
+            raise RuntimeError("crashed again")
+    except RuntimeError:
+        pass
+    print(f"  with refund policy: customer={customer.balance} "
+          f"(charged then refunded)")
+    print(f"  customer statement: {customer.statement}")
+
+
+def main() -> None:
+    runtime = LocalRuntime()
+    bulletin_demo(runtime)
+    billing_demo(runtime)
+
+
+if __name__ == "__main__":
+    main()

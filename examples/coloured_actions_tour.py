@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""A tour of multi-coloured actions: figs. 10, 14/15 by hand, then the
+serializing / glued / independent structures with automatic colours.
+
+Run:  python examples/coloured_actions_tour.py
+"""
+
+from repro import (
+    Counter,
+    GluedGroup,
+    LocalRuntime,
+    SerializingAction,
+    independence_markers,
+    independent_relative_to,
+    independent_top_level,
+)
+
+
+def fig10_two_coloured_action(runtime: LocalRuntime) -> None:
+    """B {red, blue} nested in A {blue}: red commits top-level, blue with A."""
+    print("== fig. 10: a two-coloured action")
+    red, blue = runtime.colours.fresh("red"), runtime.colours.fresh("blue")
+    o_red = Counter(runtime, value=0)
+    o_blue = Counter(runtime, value=0)
+    try:
+        with runtime.coloured([blue], name="A"):
+            with runtime.coloured([red, blue], name="B") as b:
+                o_red.increment(1, colour=red, action=b)
+                o_blue.increment(1, colour=blue, action=b)
+            print(f"  after B commits: o_red={o_red.value} (permanent), "
+                  f"o_blue={o_blue.value} (held by A)")
+            raise RuntimeError("A aborts")
+    except RuntimeError:
+        pass
+    print(f"  after A aborts:  o_red={o_red.value} survives, "
+          f"o_blue={o_blue.value} undone\n")
+
+
+def fig14_nlevel_independence(runtime: LocalRuntime) -> None:
+    """E, invoked from B, survives B's abort but falls with A (fig. 14)."""
+    print("== figs. 14/15: n-level independent actions")
+    (blue,) = independence_markers(runtime, 1, name="blue")
+    red = runtime.colours.fresh("red")
+    oe = Counter(runtime, value=0)
+    try:
+        with runtime.coloured([red, blue], name="A") as a:
+            try:
+                with runtime.coloured([red], parent=a, name="B") as b:
+                    with independent_relative_to(runtime, a, parent=b,
+                                                 name="E") as e:
+                        oe.increment(1, action=e)
+                    raise RuntimeError("B aborts after invoking E")
+            except RuntimeError:
+                pass
+            print(f"  B aborted, E's effect survives: oe={oe.value}")
+            raise RuntimeError("now A aborts")
+    except RuntimeError:
+        pass
+    print(f"  A aborted, E anchored at A is undone: oe={oe.value}\n")
+
+
+def serializing_structure(runtime: LocalRuntime) -> None:
+    """Fig. 3 via the structures API — colours assigned automatically."""
+    print("== serializing action (figs. 3/11)")
+    data = Counter(runtime, value=0)
+    ser = SerializingAction(runtime, name="pipeline")
+    with ser.constituent(name="B"):
+        data.increment(10)
+    print(f"  B committed: data={data.value} already permanent")
+    ser.cancel()  # the serializing action fails...
+    print(f"  serializing action aborted: data={data.value} — B's work kept\n")
+
+
+def glued_structure(runtime: LocalRuntime) -> None:
+    """Fig. 5: hand over P, release O - P early."""
+    print("== glued actions (figs. 5/12)")
+    p = Counter(runtime, value=0)        # handed over
+    o_minus_p = Counter(runtime, value=0)  # released at A's commit
+    with GluedGroup(runtime, name="glue") as glue:
+        with glue.member(name="A") as member:
+            p.increment(1, action=member.action)
+            o_minus_p.increment(1, action=member.action)
+            member.hand_over(p)
+        print("  A committed: o_minus_p free for everyone, p pinned for B")
+        with glue.member(name="B") as member:
+            p.increment(10, action=member.action)
+    print(f"  B committed, group closed: p={p.value}, "
+          f"o_minus_p={o_minus_p.value}\n")
+
+
+def independent_structure(runtime: LocalRuntime) -> None:
+    """Fig. 7(a): a bulletin-style post that outlives its invoker's abort."""
+    print("== top-level independent action (figs. 7/13)")
+    board = Counter(runtime, value=0)
+    try:
+        with runtime.top_level(name="application"):
+            with independent_top_level(runtime, name="post") as post:
+                board.increment(1, action=post)
+            raise RuntimeError("application aborts after posting")
+    except RuntimeError:
+        pass
+    print(f"  application aborted, the post stands: board={board.value}\n")
+
+
+def main() -> None:
+    runtime = LocalRuntime()
+    fig10_two_coloured_action(runtime)
+    fig14_nlevel_independence(runtime)
+    serializing_structure(runtime)
+    glued_structure(runtime)
+    independent_structure(runtime)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""The §4(v) meeting scheduler: glued actions over personal diaries.
+
+Three people's diaries, a round of preference narrowing per person, the
+surviving slots passed from round to round under lock, everything else
+released as soon as it is rejected — and a crash demo showing committed
+rounds surviving.
+
+Run:  python examples/meeting_scheduler.py
+"""
+
+from repro import Diary, LocalRuntime
+from repro.apps.meeting.scheduler import MeetingScheduler, SchedulerCrash
+
+DATES = [f"2026-07-{day:02d}" for day in range(6, 13)]
+
+PREFERENCES = {
+    "ann": DATES[1:6],
+    "bob": DATES[2:7],
+    "cat": [DATES[2], DATES[4]],
+}
+
+
+def main() -> None:
+    runtime = LocalRuntime()
+    diaries = [Diary(runtime, person, DATES) for person in PREFERENCES]
+
+    # bob already has something on one candidate date
+    with runtime.top_level(name="bob-dentist"):
+        diaries[1].slot(DATES[4]).book("dentist")
+
+    print("== scheduling a design review across three diaries")
+    scheduler = MeetingScheduler(runtime, diaries)
+    chosen = scheduler.schedule("design review", list(PREFERENCES.values()))
+    for round_info in scheduler.rounds:
+        print(f"  round {round_info.index}: examined {len(round_info.examined)}, "
+              f"kept {round_info.kept}, released {round_info.released}")
+    print(f"  agreed date: {chosen}")
+    for diary in diaries:
+        slot = diary.slot(chosen)
+        print(f"  {diary.owner}: {slot.date} -> {slot.description!r}")
+
+    # -- crash between rounds ------------------------------------------------------
+    print("\n== the application crashes after round 1")
+    runtime2 = LocalRuntime()
+    diaries2 = [Diary(runtime2, person, DATES) for person in PREFERENCES]
+    crashy = MeetingScheduler(runtime2, diaries2, fail_after_round=1)
+    try:
+        crashy.schedule("design review", list(PREFERENCES.values()))
+    except SchedulerCrash as error:
+        print(f"  crash: {error}")
+    last = crashy.rounds[-1]
+    print(f"  committed narrowing survives: kept={last.kept}")
+    crashy.release_pins()
+    resumed = MeetingScheduler(runtime2, diaries2)
+    chosen2 = resumed.schedule("design review", [last.kept])
+    print(f"  resumed from the surviving round: agreed {chosen2}")
+
+
+if __name__ == "__main__":
+    main()

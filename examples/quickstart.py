@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Quickstart: atomic actions over persistent objects.
+
+Covers the §2 basics in two minutes: top-level and nested actions, commit
+and abort, permanence in the stable object store, and concurrency control
+with read/write locks.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Account, Counter, LocalRuntime
+from repro.stdobjects.account import InsufficientFunds
+
+
+def main() -> None:
+    runtime = LocalRuntime()
+
+    # -- persistent objects ----------------------------------------------------
+    hits = Counter(runtime, value=0)
+    savings = Account(runtime, owner="ann", balance=100)
+    checking = Account(runtime, owner="ann", balance=10)
+
+    # -- a committed top-level action -------------------------------------------
+    with runtime.top_level(name="visit"):
+        hits.increment()
+    print(f"after commit: hits={hits.value}")
+    stored = runtime.store.read_committed(hits.uid)
+    print(f"stable store holds {len(stored.payload)} bytes for the counter "
+          f"(permanence of effect)")
+
+    # -- failure atomicity: the transfer aborts as a unit ------------------------
+    try:
+        with runtime.top_level(name="transfer"):
+            savings.withdraw(50, "to checking")
+            checking.deposit(50, "from savings")
+            raise RuntimeError("network glitch before the paperwork finished")
+    except RuntimeError:
+        pass
+    print(f"after aborted transfer: savings={savings.balance} "
+          f"checking={checking.balance} (both restored)")
+
+    # -- a successful transfer ------------------------------------------------------
+    with runtime.top_level(name="transfer-2"):
+        savings.withdraw(50, "to checking")
+        checking.deposit(50, "from savings")
+    print(f"after committed transfer: savings={savings.balance} "
+          f"checking={checking.balance}")
+
+    # -- application errors abort too --------------------------------------------------
+    try:
+        with runtime.top_level(name="overdraw"):
+            checking.withdraw(10_000, "yacht")
+    except InsufficientFunds as error:
+        print(f"overdraw refused and undone: {error}")
+    print(f"checking statement: {checking.statement}")
+
+    # -- nested actions: fig. 1 ----------------------------------------------------------
+    # B and C nest inside A; C's failure is contained, A commits the rest.
+    with runtime.top_level(name="A"):
+        with runtime.atomic(name="B"):
+            hits.increment(10)
+        try:
+            with runtime.atomic(name="C"):
+                hits.increment(100)
+                raise RuntimeError("C fails")
+        except RuntimeError:
+            pass
+        print(f"inside A after B committed, C aborted: hits={hits.value}")
+    print(f"after A's commit: hits={hits.value}")
+
+    # ... but if the *enclosing* action aborts, nested commits unwind with it
+    # (fig. 2 — the problem serializing actions solve; see the other examples).
+    try:
+        with runtime.top_level(name="A2"):
+            with runtime.atomic(name="B2"):
+                hits.increment(1000)
+            raise RuntimeError("A2 fails after B2 'completed'")
+    except RuntimeError:
+        pass
+    print(f"after A2's abort: hits={hits.value} (B2's work was undone)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+``pip install -e .`` needs the ``wheel`` package for PEP 517 editable
+installs; on offline machines without it, ``python setup.py develop``
+installs the same editable package using only setuptools.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,17 @@
+"""Actions: nested atomic actions and multi-coloured actions (§2, §5).
+
+The :class:`Action` class is a pure state machine: it tracks status, the
+action tree, per-colour undo records and write sets, and implements the
+paper's commit routing — for each colour, locks and undo responsibility go
+to the *closest ancestor possessing that colour*, or become permanent when
+no such ancestor exists.  Blocking, persistence and distribution are
+supplied by a runtime (:mod:`repro.runtime` locally,
+:mod:`repro.cluster` under simulation).
+"""
+
+from repro.actions.status import ActionStatus, Outcome
+from repro.actions.record import UndoRecord
+from repro.actions.runtime_api import ActionRuntime
+from repro.actions.action import Action
+
+__all__ = ["ActionStatus", "Outcome", "UndoRecord", "ActionRuntime", "Action"]

@@ -1,0 +1,71 @@
+"""Undo records: before-images captured on first write per (object, colour).
+
+The record keeps a reference to the live object (to restore its in-memory
+state on abort) and the serialized before-image.  ``seq`` orders restores:
+aborts replay newest-first so nested overwrites unwind correctly.  When a
+child commits into an ancestor, the ancestor keeps the *elder* image for an
+object it already has a record for — the elder image is the state at the
+start of the outermost responsibility span.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, TYPE_CHECKING
+
+from repro.colours.colour import Colour
+from repro.util.uid import Uid
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.objects.state_manager import StateManager
+
+
+@dataclass
+class UndoRecord:
+    """Everything needed to undo one object's modification in one colour."""
+
+    obj: "StateManager"
+    colour: Colour
+    before_image: bytes
+    seq: int
+    origin_action: Uid
+
+    @property
+    def object_uid(self) -> Uid:
+        return self.obj.uid
+
+    def restore(self) -> None:
+        """Put the object's in-memory state back to the before-image."""
+        self.obj.restore_snapshot(self.before_image)
+
+
+@dataclass
+class OperationUndo:
+    """Type-specific recovery (§2): undo one operation by compensating it.
+
+    "If some operations, say add() and subtract(), of an object commute,
+    then if an atomic action aborts after having performed, say an add()
+    operation, then rather than recovering the state of the object, the
+    corresponding subtract() operation can be performed."
+
+    Unlike a before-image there may be many of these per (object, colour);
+    each compensates exactly one applied operation, and compensations of
+    commuting operations commute, so restore order among them is free (we
+    still run newest-first globally, interleaved with image restores by
+    ``seq``).
+    """
+
+    obj: "StateManager"
+    colour: Colour
+    compensate: Callable[[], None]
+    description: str
+    seq: int
+    origin_action: Uid
+
+    @property
+    def object_uid(self) -> Uid:
+        return self.obj.uid
+
+    def restore(self) -> None:
+        """Apply the compensating operation."""
+        self.compensate()

@@ -1,0 +1,57 @@
+"""The contract an action expects from its runtime.
+
+Keeping this abstract lets the same :class:`~repro.actions.action.Action`
+state machine serve the threaded local runtime and the server side of the
+cluster simulator.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, TYPE_CHECKING
+
+from repro.colours.colour import Colour
+from repro.locking.registry import LockRegistry
+from repro.util.uid import Uid
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.objects.state_manager import StateManager
+
+
+class ActionRuntime(ABC):
+    """Services an action needs: uids, locks, undo ordering, persistence."""
+
+    @property
+    @abstractmethod
+    def locks(self) -> LockRegistry:
+        """The lock registry actions release/transfer their locks through."""
+
+    @abstractmethod
+    def fresh_action_uid(self) -> Uid:
+        ...
+
+    @abstractmethod
+    def next_undo_seq(self) -> int:
+        """Monotonic sequence for ordering undo records across actions."""
+
+    @abstractmethod
+    def persist_colour(self, action: "object", colour: Colour,
+                       written: Dict[Uid, "StateManager"]) -> None:
+        """Make the given objects' current states permanent (permanence of
+        effect for an outermost-coloured commit).
+
+        Locally this writes snapshots to the stable object store atomically;
+        the cluster runtime runs a two-phase commit across the object
+        servers involved.  Raising here aborts the commit.
+        """
+
+    @abstractmethod
+    def action_terminated(self, action: "object") -> None:
+        """Hook: the runtime may clean ambient state (context stacks, maps)."""
+
+    def action_created(self, action: "object") -> None:
+        """Hook: called at the end of every Action's construction.
+
+        Default: nothing.  Runtimes with observers (tracing, metrics)
+        override this.
+        """

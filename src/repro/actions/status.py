@@ -1,0 +1,30 @@
+"""Action lifecycle states and outcomes."""
+
+from __future__ import annotations
+
+import enum
+
+
+class ActionStatus(enum.Enum):
+    """States of an action's lifecycle.
+
+    ACTIVE -> COMMITTING -> COMMITTED on the success path;
+    ACTIVE/COMMITTING -> ABORTING -> ABORTED on the failure path.
+    """
+
+    ACTIVE = "active"
+    COMMITTING = "committing"
+    COMMITTED = "committed"
+    ABORTING = "aborting"
+    ABORTED = "aborted"
+
+    @property
+    def terminated(self) -> bool:
+        return self in (ActionStatus.COMMITTED, ActionStatus.ABORTED)
+
+
+class Outcome(enum.Enum):
+    """Final fate of an action, as reported to listeners."""
+
+    COMMITTED = "committed"
+    ABORTED = "aborted"

@@ -1,0 +1,69 @@
+"""Billing and accounting of resource usage (§4(iii)).
+
+"If a service is accessed by an action and the user of the service is to
+be charged, then the charging information should not be recovered if the
+action aborts.  Top-level independent actions again provide the required
+functionality."
+
+:class:`MeteredService` wraps a service function: each call charges the
+client's account in a top-level independent action *first*, then runs the
+work under the caller's action.  If the caller's action subsequently
+aborts, the work is undone but the charge stands — the provider billed for
+the attempt.  A refund policy can be layered with a compensation scope.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Optional
+
+from repro.stdobjects.account import Account
+from repro.structures.compensation import CompensationScope
+from repro.structures.independent import independent_top_level
+
+
+class MeteredService:
+    """A service whose every use is billed durably."""
+
+    def __init__(self, runtime, name: str, fee: int,
+                 provider_account: Optional[Account] = None):
+        self.runtime = runtime
+        self.name = name
+        self.fee = fee
+        self.provider_account = provider_account
+        self.calls_billed = 0
+        self._seq = itertools.count(1)
+
+    def charge(self, customer: Account) -> int:
+        """Bill one use, independent of any enclosing action's fate."""
+        seq = next(self._seq)
+        with independent_top_level(
+            self.runtime, name=f"{self.name}.charge-{seq}"
+        ) as action:
+            customer.charge(self.fee, f"{self.name} call #{seq}", action=action)
+            if self.provider_account is not None:
+                self.provider_account.deposit(
+                    self.fee, f"{self.name} revenue #{seq}", action=action
+                )
+        self.calls_billed += 1
+        return seq
+
+    def call(self, customer: Account, work: Callable[[], Any],
+             refund_on_abort: Optional[CompensationScope] = None) -> Any:
+        """Charge, then run ``work`` under the caller's (ambient) action.
+
+        The charge is already permanent when the work begins; the caller's
+        abort undoes the work only.  Pass ``refund_on_abort`` (a
+        compensation scope on the governing action) to give the customer
+        their money back when the governing action aborts — a policy
+        choice, not recovery.
+        """
+        seq = self.charge(customer)
+        if refund_on_abort is not None:
+            refund_on_abort.register(
+                f"refund {self.name} call #{seq}",
+                lambda action, s=seq: customer.deposit(
+                    self.fee, f"{self.name} refund #{s}", action=action
+                ),
+            )
+        return work()

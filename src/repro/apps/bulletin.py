@@ -1,0 +1,118 @@
+"""Bulletin board (§4(i)).
+
+"Posting and retrieving information from bulletin boards can be performed
+via synchronous or asynchronous top-level independent actions invoked from
+applications structured as actions … if these actions are nested within
+the actions of an application, then bulletin information can remain
+inaccessible for long times."  And: "if the invoking action aborts it may
+well be necessary to invoke a compensating top-level action".
+
+The board is its own persistent object type (flat ``@operation`` methods,
+so it is also cluster-servable).  ``post``/``read_all`` run as top-level
+independent actions of the caller; ``post`` can arm a compensating retract
+against a governing action.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, ClassVar, Dict, List, Optional
+
+from repro.actions.action import Action
+from repro.errors import ObjectNotFound
+from repro.locking.modes import LockMode
+from repro.objects.lockable import LockableObject, operation
+from repro.objects.state import ObjectState
+from repro.structures.compensation import CompensationScope
+from repro.structures.independent import AsyncIndependent, independent_top_level
+
+
+class BulletinBoard(LockableObject):
+    """An append-only board of posts, each with a unique id."""
+
+    type_name: ClassVar[str] = "bulletin_board"
+
+    def __init__(self, runtime, name: str = "board", uid=None, persist: bool = True):
+        self.name = name
+        self.posts: List[Dict[str, Any]] = []
+        self.next_id = 1
+        super().__init__(runtime, uid=uid, persist=persist)
+
+    def save_state(self, state: ObjectState) -> None:
+        state.pack_string(self.name)
+        state.pack_int(self.next_id)
+        state.pack_value(self.posts)
+
+    def restore_state(self, state: ObjectState) -> None:
+        self.name = state.unpack_string()
+        self.next_id = state.unpack_int()
+        self.posts = state.unpack_value()
+
+    # -- operations -------------------------------------------------------------
+
+    @operation(LockMode.WRITE)
+    def post(self, author: str, text: str) -> int:
+        post_id = self.next_id
+        self.next_id += 1
+        self.posts.append({"id": post_id, "author": author, "text": text})
+        return post_id
+
+    @operation(LockMode.WRITE)
+    def retract(self, post_id: int) -> bool:
+        before = len(self.posts)
+        self.posts = [p for p in self.posts if p["id"] != post_id]
+        return len(self.posts) != before
+
+    @operation(LockMode.READ)
+    def read_all(self) -> List[Dict[str, Any]]:
+        return [dict(p) for p in self.posts]
+
+    @operation(LockMode.READ)
+    def read_post(self, post_id: int) -> Dict[str, Any]:
+        for post in self.posts:
+            if post["id"] == post_id:
+                return dict(post)
+        raise ObjectNotFound(f"{self.name}: no post {post_id}")
+
+
+class BulletinService:
+    """The application-facing API: independent actions over a board."""
+
+    def __init__(self, runtime, board: BulletinBoard):
+        self.runtime = runtime
+        self.board = board
+        self._names = itertools.count(1)
+
+    def post(self, author: str, text: str,
+             governing: Optional[Action] = None,
+             compensation: Optional[CompensationScope] = None) -> int:
+        """Post now (top-level independent of any ambient action).
+
+        With ``compensation`` (armed against ``governing`` or any action),
+        the post is retracted automatically if that action later aborts —
+        "consistent with the manner in which bulletin boards are used".
+        """
+        with independent_top_level(
+            self.runtime, name=f"post-{next(self._names)}"
+        ) as action:
+            post_id = self.board.post(author, text, action=action)
+        if compensation is not None:
+            compensation.register(
+                f"retract post {post_id}",
+                lambda act, pid=post_id: self.board.retract(pid, action=act),
+            )
+        return post_id
+
+    def post_async(self, author: str, text: str) -> AsyncIndependent:
+        """Fire-and-forget posting (fig. 7(b))."""
+        return AsyncIndependent(
+            self.runtime,
+            lambda action: self.board.post(author, text, action=action),
+            name=f"post-async-{next(self._names)}",
+        )
+
+    def read_all(self) -> List[Dict[str, Any]]:
+        """Read the board without holding up (or being held by) the caller's
+        own locks any longer than the read itself."""
+        with independent_top_level(self.runtime, name="read-board") as action:
+            return self.board.read_all(action=action)

@@ -1,0 +1,30 @@
+"""Fault-tolerant (distributed) make (§4(iv), fig. 8).
+
+The paper's three requirements:
+
+(i)   exploit the concurrency available (prerequisites build in parallel);
+(ii)  proper concurrency control (the files a make is using are not
+      manipulated by other programs meanwhile);
+(iii) fault tolerance: if make fails, files already made consistent remain
+      so — no reason to undo completed work.
+
+(ii) + (iii) are exactly a serializing action per target: the timestamp
+comparison and the command execution run as constituents (permanent at
+their own commit), while the enclosing control action retains the locks.
+"""
+
+from repro.apps.make.makefile import Makefile, Rule, parse_makefile
+from repro.apps.make.graph import DependencyGraph
+from repro.apps.make.engine import LocalMakeEngine, MakeReport, SimulatedCompiler
+from repro.apps.make.distributed import DistributedMakeEngine
+
+__all__ = [
+    "Makefile",
+    "Rule",
+    "parse_makefile",
+    "DependencyGraph",
+    "LocalMakeEngine",
+    "SimulatedCompiler",
+    "MakeReport",
+    "DistributedMakeEngine",
+]

@@ -1,0 +1,114 @@
+"""The dependency graph derived from a makefile.
+
+Make is recursive; the graph makes the recursion explicit: which targets a
+goal transitively needs, which files are sources (no rule), cycle
+detection, and the width of each level (the concurrency available to a
+distributed make — requirement (i))."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.apps.make.makefile import Makefile, MakefileError
+
+
+class DependencyGraph:
+    """Targets, sources, and build ordering for one makefile."""
+
+    def __init__(self, makefile: Makefile):
+        self.makefile = makefile
+        self._check_cycles()
+
+    # -- queries --------------------------------------------------------------
+
+    def is_target(self, name: str) -> bool:
+        return self.makefile.rule(name) is not None
+
+    def sources(self) -> Set[str]:
+        """Files mentioned as prerequisites that no rule builds."""
+        mentioned: Set[str] = set()
+        for rule in self.makefile.rules.values():
+            mentioned.update(rule.prerequisites)
+        return {name for name in mentioned if not self.is_target(name)}
+
+    def needed(self, goal: str) -> Set[str]:
+        """All targets transitively needed to build ``goal`` (incl. goal)."""
+        if not self.is_target(goal):
+            raise MakefileError(f"no rule to make {goal!r}")
+        found: Set[str] = set()
+        stack = [goal]
+        while stack:
+            name = stack.pop()
+            if name in found or not self.is_target(name):
+                continue
+            found.add(name)
+            stack.extend(self.makefile.rules[name].prerequisites)
+        return found
+
+    def build_order(self, goal: str) -> List[str]:
+        """Topological order of the targets needed for ``goal``."""
+        needed = self.needed(goal)
+        order: List[str] = []
+        visited: Set[str] = set()
+
+        def visit(name: str) -> None:
+            if name in visited or name not in needed:
+                return
+            visited.add(name)
+            for prereq in self.makefile.rules[name].prerequisites:
+                if self.is_target(prereq):
+                    visit(prereq)
+            order.append(name)
+
+        visit(goal)
+        return order
+
+    def levels(self, goal: str) -> List[List[str]]:
+        """Targets grouped by dependency depth: every target in one level can
+        build concurrently once the previous levels are done."""
+        needed = self.needed(goal)
+        depth: Dict[str, int] = {}
+
+        def depth_of(name: str) -> int:
+            if name in depth:
+                return depth[name]
+            rule = self.makefile.rule(name)
+            prereq_targets = [p for p in rule.prerequisites if self.is_target(p)]
+            value = 0 if not prereq_targets else 1 + max(
+                depth_of(p) for p in prereq_targets
+            )
+            depth[name] = value
+            return value
+
+        for name in needed:
+            depth_of(name)
+        by_level: Dict[int, List[str]] = {}
+        for name, level in depth.items():
+            by_level.setdefault(level, []).append(name)
+        return [sorted(by_level[level]) for level in sorted(by_level)]
+
+    def max_concurrency(self, goal: str) -> int:
+        """The widest level — the best possible build parallelism."""
+        return max(len(level) for level in self.levels(goal))
+
+    # -- internals --------------------------------------------------------------
+
+    def _check_cycles(self) -> None:
+        WHITE, GREY, BLACK = 0, 1, 2
+        state: Dict[str, int] = {name: WHITE for name in self.makefile.rules}
+
+        def visit(name: str, trail: List[str]) -> None:
+            if not self.is_target(name):
+                return
+            if state[name] == GREY:
+                cycle = trail[trail.index(name):] + [name]
+                raise MakefileError("dependency cycle: " + " -> ".join(cycle))
+            if state[name] == BLACK:
+                return
+            state[name] = GREY
+            for prereq in self.makefile.rules[name].prerequisites:
+                visit(prereq, trail + [name])
+            state[name] = BLACK
+
+        for name in self.makefile.rules:
+            visit(name, [])

@@ -1,0 +1,125 @@
+"""Makefile parsing (the paper's subset, plus variables).
+
+Grammar::
+
+    # comment
+    CC = cc                       # variable definition
+    OBJS = Test0.o Test1.o
+    target: prereq1 $(OBJS)       # $(VAR) expands in targets/prereqs/commands
+    <tab-or-spaces> $(CC) -c prereq1
+
+One target per rule; files without a rule are sources.  The paper's own
+example parses to three rules (Test, Test0.o, Test1.o).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import ReproError
+
+
+class MakefileError(ReproError):
+    """Malformed makefile text."""
+
+
+@dataclass
+class Rule:
+    """One dependency rule: target, prerequisites, rebuild commands."""
+
+    target: str
+    prerequisites: List[str] = field(default_factory=list)
+    commands: List[str] = field(default_factory=list)
+
+
+@dataclass
+class Makefile:
+    """An ordered set of rules; the first rule's target is the default goal."""
+
+    rules: Dict[str, Rule] = field(default_factory=dict)
+    default_goal: Optional[str] = None
+
+    def rule(self, target: str) -> Optional[Rule]:
+        return self.rules.get(target)
+
+    def targets(self) -> List[str]:
+        return list(self.rules)
+
+    def add(self, rule: Rule) -> None:
+        if rule.target in self.rules:
+            raise MakefileError(f"duplicate rule for target {rule.target!r}")
+        self.rules[rule.target] = rule
+        if self.default_goal is None:
+            self.default_goal = rule.target
+
+
+_VARIABLE_PATTERN = re.compile(r"\$\(([A-Za-z_][A-Za-z0-9_]*)\)")
+_DEFINITION_PATTERN = re.compile(r"^([A-Za-z_][A-Za-z0-9_]*)\s*=\s*(.*)$")
+
+
+def _expand(text: str, variables: Dict[str, str], line_no: int,
+            depth: int = 0) -> str:
+    """Substitute $(VAR) references, recursively, with a cycle bound."""
+    if depth > 16:
+        raise MakefileError(f"line {line_no}: variable expansion too deep "
+                            f"(circular definition?)")
+
+    def replace(match: "re.Match") -> str:
+        name = match.group(1)
+        if name not in variables:
+            raise MakefileError(f"line {line_no}: undefined variable $({name})")
+        return variables[name]
+
+    expanded = _VARIABLE_PATTERN.sub(replace, text)
+    if _VARIABLE_PATTERN.search(expanded):
+        return _expand(expanded, variables, line_no, depth + 1)
+    return expanded
+
+
+def parse_makefile(text: str) -> Makefile:
+    """Parse makefile text into a :class:`Makefile`."""
+    makefile = Makefile()
+    variables: Dict[str, str] = {}
+    current: Optional[Rule] = None
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.rstrip()
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        if line[0] in (" ", "\t"):
+            if current is None:
+                raise MakefileError(
+                    f"line {line_no}: command outside any rule: {stripped!r}"
+                )
+            current.commands.append(_expand(stripped, variables, line_no))
+            continue
+        definition = _DEFINITION_PATTERN.match(stripped)
+        if definition is not None and ":" not in definition.group(1):
+            name, value = definition.group(1), definition.group(2).strip()
+            variables[name] = _expand(value, variables, line_no)
+            continue
+        if ":" not in line:
+            raise MakefileError(f"line {line_no}: expected 'target: prereqs'")
+        target_part, _, prereq_part = line.partition(":")
+        target = _expand(target_part.strip(), variables, line_no)
+        if not target or " " in target:
+            raise MakefileError(f"line {line_no}: bad target {target_part!r}")
+        prereqs = _expand(prereq_part, variables, line_no).split()
+        current = Rule(target=target, prerequisites=prereqs)
+        makefile.add(current)
+    if not makefile.rules:
+        raise MakefileError("empty makefile")
+    return makefile
+
+
+#: The paper's example makefile, verbatim (§4(iv)).
+PAPER_EXAMPLE = """\
+Test: Test0.o Test1.o
+\tcc -o Test Test0.o Test1.o
+Test0.o: Test0.h Test1.h Test0.c
+\tcc -c Test0.c
+Test1.o: Test1.h Test1.c
+\tcc -c Test1.c
+"""

@@ -1,0 +1,5 @@
+"""Meeting scheduling over personal diaries with glued actions (§4(v), fig. 9)."""
+
+from repro.apps.meeting.scheduler import MeetingScheduler, SchedulingRound
+
+__all__ = ["MeetingScheduler", "SchedulingRound"]

@@ -1,0 +1,34 @@
+"""The simulated distributed system (§2's failure model, executable).
+
+Substituting for the paper's workstation LAN testbed: fail-silent nodes
+(volatile state wiped by crashes, stable storage and logs surviving), a
+message network with loss/duplication/delay/partitions, a retransmitting
+at-most-once RPC transport, object servers with coloured lock tables, and
+client-side action coordination with presumed-abort two-phase commit per
+outermost colour.
+
+Everything runs on the deterministic :mod:`repro.sim` kernel: application
+code is written as generator processes and each scenario replays
+bit-identically for a given seed.
+"""
+
+from repro.cluster.message import Message
+from repro.cluster.network import Network, NetworkConfig
+from repro.cluster.node import Node
+from repro.cluster.transport import RpcTransport
+from repro.cluster.server import ObjectServer
+from repro.cluster.client import ClusterAction, ClusterClient, ObjectRef
+from repro.cluster.cluster import Cluster
+
+__all__ = [
+    "Message",
+    "Network",
+    "NetworkConfig",
+    "Node",
+    "RpcTransport",
+    "ObjectServer",
+    "ClusterClient",
+    "ClusterAction",
+    "ObjectRef",
+    "Cluster",
+]

@@ -1,0 +1,532 @@
+"""Client-side action coordination for the cluster.
+
+Application code runs as simulation processes on some node and drives
+actions through a :class:`ClusterClient`.  All of the cluster API is
+generator-based: ``yield from client.invoke(...)`` etc.
+
+The client holds the authoritative action tree (it created it), so all
+commit routing decisions are made here, mirroring
+:meth:`repro.actions.action.Action.commit`: for each colour, locks and undo
+responsibility go to the closest same-coloured ancestor (a ``transfer``
+route in the ``finish_commit`` message), or — when the committing action is
+outermost for the colour — the colour's write set is made permanent with a
+presumed-abort two-phase commit across the object servers involved, and
+its locks are released.
+
+Safety against server crashes: the epoch of every server is recorded when
+an action first touches it; replies bearing a different epoch, and prepare
+phases reaching a restarted server, abort the action — its volatile undo
+and locks on that server died with the old epoch.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.actions.status import ActionStatus, Outcome
+from repro.cluster.deadlock import clear_waiting, mark_waiting
+from repro.cluster.message import (
+    encode_action_context,
+    encode_colour,
+    encode_uid,
+    decode_uid,
+)
+from repro.cluster.node import Node
+from repro.cluster.transport import RpcTransport
+from repro.colours.colour import Colour, colour_set
+from repro.errors import (
+    ActionAborted,
+    ClusterError,
+    CommitError,
+    InvalidActionState,
+    PrepareFailed,
+    RpcTimeout,
+)
+from repro.locking.modes import LockMode
+from repro.sim.kernel import all_of
+from repro.util.uid import Uid, UidGenerator
+
+
+@dataclass(frozen=True)
+class ObjectRef:
+    """A handle to an object hosted on some node."""
+
+    node: str
+    uid: Uid
+    type_name: str
+
+
+class ClusterAction:
+    """Client-side action record: identity, tree links, involvement maps."""
+
+    def __init__(self, uid: Uid, colours: Iterable[Colour],
+                 parent: Optional["ClusterAction"] = None, name: str = "",
+                 home: str = ""):
+        self.uid = uid
+        #: node this action's client runs on (deadlock probes route here)
+        self.home = home or (parent.home if parent is not None else "")
+        self.colours: FrozenSet[Colour] = colour_set(colours)
+        if not self.colours:
+            raise InvalidActionState("an action needs at least one colour")
+        self.parent = parent
+        self.name = name or f"caction-{uid.sequence}"
+        self.status = ActionStatus.ACTIVE
+        self.children: List["ClusterAction"] = []
+        self.path: Tuple[Uid, ...] = (parent.path + (uid,)) if parent else (uid,)
+        #: colour -> nodes where this action holds locks of that colour
+        self.involved: Dict[Colour, Set[str]] = {}
+        #: colour -> nodes where this action has written objects
+        self.write_nodes: Dict[Colour, Set[str]] = {}
+        #: colour -> node -> object uids written there
+        self.written: Dict[Colour, Dict[str, Set[Uid]]] = {}
+        #: node -> epoch at first involvement
+        self.server_epochs: Dict[str, int] = {}
+        self.default_colour: Optional[Colour] = None
+        self.companion_colour: Optional[Colour] = None
+        if parent is not None:
+            parent.children.append(self)
+
+    def lock_colour(self, requested: Optional[Colour] = None) -> Colour:
+        if requested is not None:
+            return requested
+        if self.default_colour is not None:
+            return self.default_colour
+        if len(self.colours) == 1:
+            return next(iter(self.colours))
+        raise InvalidActionState(f"{self.name}: multi-coloured; name a colour")
+
+    def closest_ancestor_with(self, colour: Colour) -> Optional["ClusterAction"]:
+        ancestor = self.parent
+        while ancestor is not None:
+            if colour in ancestor.colours:
+                return ancestor
+            ancestor = ancestor.parent
+        return None
+
+    def note_lock(self, colour: Colour, node: str) -> None:
+        self.involved.setdefault(colour, set()).add(node)
+
+    def note_write(self, colour: Colour, node: str, object_uid: Uid) -> None:
+        self.note_lock(colour, node)
+        self.write_nodes.setdefault(colour, set()).add(node)
+        self.written.setdefault(colour, {}).setdefault(node, set()).add(object_uid)
+
+    def all_nodes(self) -> Set[str]:
+        nodes: Set[str] = set()
+        for per_colour in self.involved.values():
+            nodes |= per_colour
+        return nodes
+
+    def check_epoch(self, node: str, epoch: int) -> None:
+        recorded = self.server_epochs.setdefault(node, epoch)
+        if recorded != epoch:
+            raise ActionAborted(
+                self.uid,
+                f"server {node} restarted (epoch {recorded} -> {epoch}); "
+                f"uncommitted state there was lost",
+            )
+
+    def __repr__(self) -> str:
+        return f"<ClusterAction {self.name} {self.status.value}>"
+
+
+class ClusterClient:
+    """Action factory and operation API for one client process on a node."""
+
+    def __init__(self, node: Node, transport: RpcTransport,
+                 action_uids: UidGenerator, colour_allocator,
+                 class_registry: Dict[str, type], name: str = "client"):
+        self.node = node
+        self.kernel = node.kernel
+        self.transport = transport
+        self.name = name
+        self._action_uids = action_uids
+        self._colours = colour_allocator
+        self._classes = class_registry
+        self._txn_seq = itertools.count(1)
+        #: tracing/metrics observers (see repro.trace) — notified on action
+        #: creation and termination
+        self.observers: list = []
+
+    def add_observer(self, observer) -> None:
+        self.observers.append(observer)
+
+    def _notify_created(self, action: ClusterAction) -> ClusterAction:
+        for observer in self.observers:
+            observer.on_action_created(action)
+        return action
+
+    def _notify_terminated(self, action: ClusterAction) -> None:
+        for observer in self.observers:
+            observer.on_action_terminated(action)
+
+    # -- action factories -----------------------------------------------------
+
+    def top_level(self, name: str = "") -> ClusterAction:
+        colour = self._colours.fresh(f"{name or 'top'}.colour")
+        return self._notify_created(ClusterAction(
+            self._action_uids.fresh(), [colour], None, name,
+            home=self.node.name,
+        ))
+
+    def atomic(self, parent: ClusterAction, name: str = "") -> ClusterAction:
+        return self._notify_created(ClusterAction(
+            self._action_uids.fresh(), parent.colours, parent, name,
+            home=self.node.name,
+        ))
+
+    def coloured(self, colours: Iterable[Colour],
+                 parent: Optional[ClusterAction] = None,
+                 name: str = "") -> ClusterAction:
+        return self._notify_created(ClusterAction(
+            self._action_uids.fresh(), colours, parent, name,
+            home=self.node.name,
+        ))
+
+    def independent_top_level(self, parent: ClusterAction,
+                              name: str = "independent") -> ClusterAction:
+        colour = self._colours.fresh(f"{name}.colour")
+        return self._notify_created(ClusterAction(
+            self._action_uids.fresh(), [colour], parent, name,
+            home=self.node.name,
+        ))
+
+    def fresh_colour(self, name: str = "") -> Colour:
+        return self._colours.fresh(name)
+
+    # -- object operations (generators) ------------------------------------------
+
+    def create(self, node_name: str, type_name: str, *args: Any,
+               **kwargs: Any):
+        """Create an object on a node (non-transactional); returns ObjectRef."""
+        reply = yield from self.transport.call(node_name, "create", {
+            "type_name": type_name, "args": list(args), "kwargs": kwargs,
+        })
+        return ObjectRef(node_name, decode_uid(reply["object_uid"]), type_name)
+
+    def invoke(self, action: ClusterAction, ref: ObjectRef, method: str,
+               *args: Any, colour: Optional[Colour] = None):
+        """Run an @operation on a remote object within ``action``."""
+        self._require_active(action)
+        chosen = action.lock_colour(colour)
+        self._check_colour(action, chosen)
+        _lock_key, is_update, is_semantic = self._operation_kind(
+            ref.type_name, method
+        )
+        mark_waiting(self.node, action.uid, ref.node)
+        try:
+            reply = yield from self.transport.call(ref.node, "invoke", {
+                "action": encode_action_context(action),
+                "object_uid": encode_uid(ref.uid),
+                "method": method,
+                "args": list(args),
+                "colour": encode_colour(chosen),
+            })
+        except (RpcTimeout, ActionAborted):
+            yield from self.abort(action)
+            raise
+        finally:
+            clear_waiting(self.node, action.uid)
+        action.note_lock(chosen, ref.node)
+        if is_update:
+            action.note_write(chosen, ref.node, ref.uid)
+        try:
+            action.check_epoch(ref.node, reply["epoch"])
+        except ActionAborted:
+            # The server restarted under us; the grant we just received is
+            # on the new epoch — the abort below reaches it.
+            yield from self.abort(action)
+            raise
+        if action.companion_colour is not None and action.companion_colour != chosen:
+            if is_semantic:
+                from repro.objects.semantic import RETAIN_GROUP
+                shadow = RETAIN_GROUP
+            else:
+                shadow = (LockMode.READ if not is_update
+                          else LockMode.EXCLUSIVE_READ)
+            yield from self.lock(action, ref, shadow,
+                                 colour=action.companion_colour)
+        return reply["result"]
+
+    def lock(self, action: ClusterAction, ref: ObjectRef, mode,
+             colour: Optional[Colour] = None):
+        """Explicitly lock a remote object (hand-over pins etc.).
+
+        ``mode`` is a :class:`LockMode` for ordinary objects or an
+        operation-group name (str) for semantic objects.
+        """
+        self._require_active(action)
+        chosen = action.lock_colour(colour)
+        self._check_colour(action, chosen)
+        mark_waiting(self.node, action.uid, ref.node)
+        try:
+            reply = yield from self.transport.call(ref.node, "lock", {
+                "action": encode_action_context(action),
+                "object_uid": encode_uid(ref.uid),
+                "mode": mode.value if hasattr(mode, "value") else str(mode),
+                "colour": encode_colour(chosen),
+            })
+        except (RpcTimeout, ActionAborted):
+            yield from self.abort(action)
+            raise
+        finally:
+            clear_waiting(self.node, action.uid)
+        action.note_lock(chosen, ref.node)
+        if mode is LockMode.WRITE:
+            action.note_write(chosen, ref.node, ref.uid)
+        try:
+            action.check_epoch(ref.node, reply["epoch"])
+        except ActionAborted:
+            yield from self.abort(action)
+            raise
+        return True
+
+    # -- termination ---------------------------------------------------------------
+
+    def commit(self, action: ClusterAction):
+        """Commit: per-colour 2PC or transfer, then one finish per server."""
+        self._require_active(action)
+        yield from self._settle_children(action)
+        action.status = ActionStatus.COMMITTING
+        routes: Dict[Colour, Optional[ClusterAction]] = {}
+        ordered = sorted(action.colours, key=lambda c: c.uid)
+        for colour in ordered:
+            destination = action.closest_ancestor_with(colour)
+            routes[colour] = destination
+            if destination is not None:
+                self._bequeath(action, colour, destination)
+                continue
+            write_map = action.written.get(colour, {})
+            if not write_map:
+                continue
+            committed = yield from self._two_phase_commit(action, colour, write_map)
+            if not committed:
+                action.status = ActionStatus.ACTIVE  # let abort run normally
+                yield from self.abort(action)
+                raise CommitError(
+                    f"{action.name}: two-phase commit of colour {colour} failed"
+                )
+        yield from self._finish_commit(action, routes)
+        action.status = ActionStatus.COMMITTED
+        if action.parent is not None and action in action.parent.children:
+            action.parent.children.remove(action)
+        self._notify_terminated(action)
+        return Outcome.COMMITTED
+
+    def abort(self, action: ClusterAction):
+        """Abort: undo and release on every involved server."""
+        if action.status is ActionStatus.ABORTED:
+            return Outcome.ABORTED
+        if action.status is ActionStatus.COMMITTED:
+            raise InvalidActionState(f"{action.name} already committed")
+        action.status = ActionStatus.ABORTING
+        yield from self._settle_children(action)
+        for node_name in sorted(action.all_nodes()):
+            try:
+                yield from self.transport.call(node_name, "abort_action", {
+                    "action_uid": encode_uid(action.uid),
+                })
+            except RpcTimeout:
+                # Either the server is down (its volatile locks died with
+                # it) or we are partitioned from a *live* server that still
+                # holds the action's locks.  A background reaper keeps
+                # retrying until the abort lands — abort_action is
+                # idempotent, so over-delivery is harmless.
+                self.kernel.spawn(
+                    self._reap_abort(node_name, action.uid),
+                    name=f"reap-abort:{action.uid}@{node_name}",
+                )
+        action.status = ActionStatus.ABORTED
+        if action.parent is not None and action in action.parent.children:
+            action.parent.children.remove(action)
+        self._notify_terminated(action)
+        return Outcome.ABORTED
+
+    def _reap_abort(self, node_name: str, action_uid: Uid, attempts: int = 30,
+                    pause: float = 15.0):
+        """Keep delivering an abort that a partition or crash swallowed."""
+        from repro.sim.kernel import Timeout
+        for _attempt in range(attempts):
+            yield Timeout(pause)
+            try:
+                yield from self.transport.call(node_name, "abort_action", {
+                    "action_uid": encode_uid(action_uid),
+                }, timeout=5.0, retries=1)
+                return True
+            except RpcTimeout:
+                continue
+        return False
+
+    def run_scope(self, action: ClusterAction, body):
+        """Run ``body`` (a generator taking nothing) under ``action``.
+
+        Clean return commits and yields the body's value; an exception
+        aborts and re-raises — the generator analogue of ActionScope.
+        """
+        try:
+            result = yield from body
+        except BaseException:
+            if not action.status.terminated:
+                yield from self.abort(action)
+            raise
+        if not action.status.terminated:
+            yield from self.commit(action)
+        return result
+
+    # -- internals ------------------------------------------------------------------------
+
+    def _require_active(self, action: ClusterAction) -> None:
+        if action.status is not ActionStatus.ACTIVE:
+            raise InvalidActionState(
+                f"{action.name} is {action.status.value}, expected active"
+            )
+
+    def _check_colour(self, action: ClusterAction, colour: Colour) -> None:
+        if colour not in action.colours:
+            raise InvalidActionState(
+                f"{action.name} does not possess colour {colour}"
+            )
+
+    def _operation_mode(self, type_name: str, method: str) -> LockMode:
+        cls = self._classes.get(type_name)
+        if cls is None:
+            raise ClusterError(f"unknown type {type_name!r}")
+        attr = getattr(cls, method, None)
+        mode = getattr(attr, "__repro_mode__", None)
+        if mode is None:
+            raise ClusterError(f"{type_name}.{method} is not an @operation")
+        return mode
+
+    def _operation_kind(self, type_name: str, method: str):
+        """(lock key, is_update, is_semantic) for plain or semantic ops."""
+        cls = self._classes.get(type_name)
+        if cls is None:
+            raise ClusterError(f"unknown type {type_name!r}")
+        attr = getattr(cls, method, None)
+        mode = getattr(attr, "__repro_mode__", None)
+        if mode is not None:
+            return mode, mode is LockMode.WRITE, False
+        group = getattr(attr, "__repro_group__", None)
+        if group is not None:
+            updates = getattr(attr, "__repro_inverse__", None) is not None
+            return group, updates, True
+        raise ClusterError(f"{type_name}.{method} is not an operation")
+
+    def _settle_children(self, action: ClusterAction):
+        while True:
+            active = [c for c in action.children if not c.status.terminated]
+            if not active:
+                return
+            for child in active:
+                if child.colours & action.colours:
+                    yield from self.abort(child)
+                else:
+                    self._detach(child)
+
+    def _detach(self, child: ClusterAction) -> None:
+        old_parent = child.parent
+        if old_parent is not None and child in old_parent.children:
+            old_parent.children.remove(child)
+        ancestor = old_parent.parent if old_parent is not None else None
+        while ancestor is not None and ancestor.status.terminated:
+            ancestor = ancestor.parent
+        child.parent = ancestor
+        if ancestor is not None:
+            ancestor.children.append(child)
+
+    def _bequeath(self, action: ClusterAction, colour: Colour,
+                  destination: ClusterAction) -> None:
+        """Client-side bookkeeping move; the servers move the real records
+        on finish_commit."""
+        destination.involved.setdefault(colour, set()).update(
+            action.involved.get(colour, set())
+        )
+        destination.write_nodes.setdefault(colour, set()).update(
+            action.write_nodes.get(colour, set())
+        )
+        dest_written = destination.written.setdefault(colour, {})
+        for node_name, uids in action.written.get(colour, {}).items():
+            dest_written.setdefault(node_name, set()).update(uids)
+        for node_name, epoch in action.server_epochs.items():
+            destination.server_epochs.setdefault(node_name, epoch)
+
+    def _finish_commit(self, action: ClusterAction,
+                       routes: Dict[Colour, Optional[ClusterAction]]):
+        encoded_routes = [
+            {
+                "colour": encode_colour(colour),
+                "dest": (encode_action_context(dest) if dest is not None else None),
+            }
+            for colour, dest in sorted(routes.items(), key=lambda kv: kv[0].uid)
+        ]
+        for node_name in sorted(action.all_nodes()):
+            try:
+                yield from self.transport.call(node_name, "finish_commit", {
+                    "action_uid": encode_uid(action.uid),
+                    "routes": encoded_routes,
+                })
+            except RpcTimeout:
+                continue  # crashed server: its locks are already gone
+
+    # -- two-phase commit (coordinator) --------------------------------------------------------
+
+    def _two_phase_commit(self, action: ClusterAction, colour: Colour,
+                          write_map: Dict[str, Set[Uid]]):
+        """Presumed-abort 2PC for one colour's write set; returns success."""
+        txn_id = f"txn:{self.node.name}:{action.uid.sequence}:{colour.uid.sequence}:{next(self._txn_seq)}"
+        participants = sorted(write_map)
+
+        def prepare_one(node_name: str):
+            reply = yield from self.transport.call(node_name, "txn_prepare", {
+                "txn_id": txn_id,
+                "action_uid": encode_uid(action.uid),
+                "colour": encode_colour(colour),
+                "object_uids": [encode_uid(u) for u in sorted(write_map[node_name])],
+                "expected_epoch": action.server_epochs.get(node_name),
+            })
+            return reply["vote"]
+
+        handles = [
+            self.kernel.spawn(prepare_one(n), name=f"prepare:{txn_id}:{n}")
+            for n in participants
+        ]
+        votes: List[Optional[str]] = []
+        prepared_ok = True
+        try:
+            results = yield all_of(self.kernel, [h.join() for h in handles])
+            votes = list(results)
+            prepared_ok = all(v == "commit" for v in votes)
+        except (PrepareFailed, RpcTimeout, ActionAborted, ClusterError):
+            prepared_ok = False
+        if not prepared_ok:
+            # presumed abort: no decision record needed; tell whoever may
+            # have prepared.
+            for node_name in participants:
+                try:
+                    yield from self.transport.call(node_name, "txn_abort", {
+                        "txn_id": txn_id,
+                    })
+                except RpcTimeout:
+                    continue
+            return False
+        # decision: commit — logged before any participant is told.
+        self.node.wal.append("coord_commit", txn_id=txn_id)
+        for node_name in participants:
+            acked = False
+            for _ in range(20):  # commit is blocking: retry until applied
+                try:
+                    yield from self.transport.call(node_name, "txn_commit", {
+                        "txn_id": txn_id,
+                    })
+                    acked = True
+                    break
+                except RpcTimeout:
+                    continue
+            if not acked:
+                # The participant will learn the decision from recovery
+                # (txn_decision_query against our log).
+                continue
+        self.node.wal.append("coord_end", txn_id=txn_id)
+        return True

@@ -1,0 +1,142 @@
+"""The Cluster facade: wire up kernel, network, nodes, servers and clients."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.cluster.client import ClusterClient
+from repro.cluster.network import Network, NetworkConfig
+from repro.cluster.node import Node
+from repro.cluster.server import ObjectServer
+from repro.cluster.transport import RpcTransport
+from repro.colours.colour import ColourAllocator
+from repro.errors import ClusterError
+from repro.sim.kernel import Kernel
+from repro.stdobjects import (
+    Account,
+    CommutingCounter,
+    Counter,
+    DiarySlot,
+    FifoQueue,
+    FileObject,
+    Register,
+)
+from repro.util.rng import SplitRandom
+from repro.util.uid import UidGenerator
+
+#: object types servable out of the box (flat @operation types)
+DEFAULT_CLASSES = {
+    Counter.type_name: Counter,
+    Register.type_name: Register,
+    Account.type_name: Account,
+    CommutingCounter.type_name: CommutingCounter,
+    FifoQueue.type_name: FifoQueue,
+    FileObject.type_name: FileObject,
+    DiarySlot.type_name: DiarySlot,
+}
+
+
+class Cluster:
+    """A simulated distributed system ready for experiments.
+
+    Typical use::
+
+        cluster = Cluster(seed=42)
+        for name in ("alpha", "beta", "gamma"):
+            cluster.add_node(name)
+        client = cluster.client("alpha")
+
+        def app():
+            ref = yield from client.create("beta", "counter", value=0)
+            action = client.top_level("t1")
+            yield from client.invoke(action, ref, "increment", 5)
+            yield from client.commit(action)
+
+        cluster.spawn("alpha", app())
+        cluster.run()
+    """
+
+    def __init__(self, seed: int = 0, config: Optional[NetworkConfig] = None,
+                 classes: Optional[Dict[str, type]] = None,
+                 lock_wait_timeout: float = 60.0,
+                 rpc_timeout: float = 10.0, rpc_retries: int = 3,
+                 edge_chasing: bool = True, probe_interval: float = 5.0):
+        self.kernel = Kernel()
+        self.rng = SplitRandom(seed)
+        self.network = Network(self.kernel, self.rng, config)
+        self.classes = dict(classes if classes is not None else DEFAULT_CLASSES)
+        self.lock_wait_timeout = lock_wait_timeout
+        self.rpc_timeout = rpc_timeout
+        self.rpc_retries = rpc_retries
+        self.edge_chasing = edge_chasing
+        self.probe_interval = probe_interval
+        self.nodes: Dict[str, Node] = {}
+        self.transports: Dict[str, RpcTransport] = {}
+        self.servers: Dict[str, ObjectServer] = {}
+        self._action_uids = UidGenerator("caction")
+        self.colours = ColourAllocator("ccolour")
+
+    # -- topology ------------------------------------------------------------
+
+    def add_node(self, name: str) -> Node:
+        if name in self.nodes:
+            raise ClusterError(f"node {name} already exists")
+        node = Node(name, self.kernel, self.network)
+        transport = RpcTransport(
+            node, default_timeout=self.rpc_timeout,
+            default_retries=self.rpc_retries,
+            # lock waits happen inside acknowledged rpcs: let the reply
+            # phase outlive the server's lock-wait bound
+            default_completion_timeout=self.lock_wait_timeout + 3 * self.rpc_timeout,
+        )
+        server = ObjectServer(node, transport, self.classes,
+                              lock_wait_timeout=self.lock_wait_timeout,
+                              edge_chasing=self.edge_chasing,
+                              probe_interval=self.probe_interval)
+        self.nodes[name] = node
+        self.transports[name] = transport
+        self.servers[name] = server
+        return node
+
+    def node(self, name: str) -> Node:
+        return self.nodes[name]
+
+    def client(self, node_name: str, name: str = "") -> ClusterClient:
+        node = self.nodes[node_name]
+        return ClusterClient(
+            node, self.transports[node_name],
+            self._action_uids, self.colours, self.classes,
+            name=name or f"client@{node_name}",
+        )
+
+    # -- execution -------------------------------------------------------------
+
+    def spawn(self, node_name: str, body, name: str = ""):
+        """Run an application generator as a process on a node."""
+        return self.nodes[node_name].spawn(body, name=name)
+
+    def run(self, until: Optional[float] = None) -> float:
+        return self.kernel.run(until=until)
+
+    def run_process(self, node_name: str, body, name: str = "",
+                    limit: float = 1e9):
+        """Spawn and run to completion; returns the process result."""
+        handle = self.spawn(node_name, body, name=name)
+        self.kernel.run_until_settled(handle.join(), limit=limit)
+        return handle.result
+
+    # -- fault injection ----------------------------------------------------------
+
+    def crash(self, node_name: str) -> None:
+        self.nodes[node_name].crash()
+
+    def restart(self, node_name: str) -> None:
+        self.nodes[node_name].restart()
+
+    def crash_at(self, node_name: str, when: float) -> None:
+        self.kernel.schedule(max(0.0, when - self.kernel.now),
+                             self.nodes[node_name].crash)
+
+    def restart_at(self, node_name: str, when: float) -> None:
+        self.kernel.schedule(max(0.0, when - self.kernel.now),
+                             self.nodes[node_name].restart)

@@ -1,0 +1,49 @@
+"""Fault-injection schedules for cluster experiments.
+
+§2's failure model says nodes crash and are "repaired within a finite
+amount of time".  A :class:`FaultSchedule` generates that behaviour over a
+horizon: per-node alternating up/down periods drawn from a seeded stream,
+so chaos runs replay deterministically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.cluster.cluster import Cluster
+from repro.util.rng import SplitRandom
+
+
+@dataclass
+class FaultSchedule:
+    """Deterministic crash/restart timelines for a set of nodes."""
+
+    cluster: Cluster
+    seed: int = 0
+    mean_uptime: float = 150.0
+    mean_downtime: float = 30.0
+    #: (time, node, "crash"|"restart") — filled by arm()
+    planned: List[Tuple[float, str, str]] = field(default_factory=list)
+
+    def arm(self, nodes: List[str], horizon: float,
+            start_after: float = 0.0) -> List[Tuple[float, str, str]]:
+        """Schedule alternating crashes/restarts for each node up to
+        ``horizon``; every node is left (scheduled to be) up at the end."""
+        rng = SplitRandom(self.seed).split("faults")
+        for node in nodes:
+            stream = rng.split(node)
+            now = start_after + stream.expovariate(1.0 / self.mean_uptime)
+            while now < horizon:
+                down_for = stream.expovariate(1.0 / self.mean_downtime)
+                self.planned.append((now, node, "crash"))
+                self.cluster.crash_at(node, now)
+                up_at = min(now + down_for, horizon)
+                self.planned.append((up_at, node, "restart"))
+                self.cluster.restart_at(node, up_at)
+                now = up_at + stream.expovariate(1.0 / self.mean_uptime)
+        self.planned.sort()
+        return list(self.planned)
+
+    def crash_count(self) -> int:
+        return sum(1 for _, _, kind in self.planned if kind == "crash")

@@ -1,0 +1,86 @@
+"""Messages and wire encoding of colours and action contexts.
+
+The simulated network deep-copies payloads, so nothing structured survives
+by reference — colours and action ancestry cross the wire as plain dicts,
+and the receiving server reconstructs them.  This mirrors what a real
+distributed Arjuna would marshal into RPC parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+from repro.colours.colour import Colour
+from repro.util.uid import Uid
+
+
+@dataclass(frozen=True)
+class Message:
+    """One network message."""
+
+    src: str
+    dst: str
+    kind: str
+    payload: Dict[str, Any] = field(default_factory=dict)
+    msg_id: int = 0
+    reply_to: int = 0
+
+    def reply(self, kind: str, payload: Dict[str, Any], msg_id: int) -> "Message":
+        return Message(
+            src=self.dst, dst=self.src, kind=kind,
+            payload=payload, msg_id=msg_id, reply_to=self.msg_id,
+        )
+
+
+# -- wire encoding ------------------------------------------------------------
+
+def encode_uid(uid: Uid) -> Tuple[str, int]:
+    return (uid.namespace, uid.sequence)
+
+
+def decode_uid(raw) -> Uid:
+    namespace, sequence = raw
+    return Uid(str(namespace), int(sequence))
+
+
+def encode_colour(colour: Colour) -> Dict[str, Any]:
+    return {"uid": encode_uid(colour.uid), "name": colour.name}
+
+
+def decode_colour(raw: Dict[str, Any]) -> Colour:
+    return Colour(decode_uid(raw["uid"]), str(raw["name"]))
+
+
+def encode_action_context(action) -> List[Dict[str, Any]]:
+    """Serialise an action's ancestry, root first.
+
+    ``action`` is anything with ``uid``, ``colours``, ``parent`` and
+    (optionally) ``home`` — the cluster client's action records.  The
+    server rebuilds mirrors from this; ``home`` (the node the action's
+    client runs on) is what distributed deadlock probes route through.
+    """
+    chain = []
+    walker = action
+    while walker is not None:
+        chain.append(walker)
+        walker = walker.parent
+    chain.reverse()
+    return [
+        {
+            "uid": encode_uid(entry.uid),
+            "colours": [encode_colour(c) for c in sorted(entry.colours, key=lambda c: c.uid)],
+            "home": getattr(entry, "home", ""),
+        }
+        for entry in chain
+    ]
+
+
+def decode_action_context(raw: List[Dict[str, Any]]) -> List[Tuple[Uid, frozenset, str]]:
+    """Decode to a list of (uid, colours, home) triples, root first."""
+    return [
+        (decode_uid(entry["uid"]),
+         frozenset(decode_colour(c) for c in entry["colours"]),
+         str(entry.get("home", "")))
+        for entry in raw
+    ]

@@ -1,0 +1,138 @@
+"""The simulated message network.
+
+Failure model (§2): messages may be lost, duplicated or delayed; corrupted
+messages are assumed to be detected and dropped by checksums, so corruption
+is folded into loss.  Nodes that are crashed or partitioned away receive
+nothing — silently, as a real network gives no receipt.
+
+Payloads are **deep-copied at send time**: sender and receiver can never
+share mutable state by accident, keeping the simulation honest about
+distribution.
+"""
+
+from __future__ import annotations
+
+import copy
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Set
+
+from repro.cluster.message import Message
+from repro.errors import ClusterError
+from repro.sim.kernel import Kernel
+from repro.util.rng import SplitRandom
+
+
+@dataclass
+class NetworkConfig:
+    """Tunable fault injection for the network."""
+
+    min_delay: float = 0.5
+    max_delay: float = 2.0
+    drop_probability: float = 0.0
+    duplicate_probability: float = 0.0
+
+    def validate(self) -> None:
+        if self.min_delay < 0 or self.max_delay < self.min_delay:
+            raise ClusterError("invalid delay bounds")
+        for p in (self.drop_probability, self.duplicate_probability):
+            if not 0.0 <= p < 1.0:
+                raise ClusterError("probabilities must be in [0, 1)")
+
+
+class Network:
+    """Message delivery between named endpoints."""
+
+    def __init__(self, kernel: Kernel, rng: SplitRandom,
+                 config: Optional[NetworkConfig] = None):
+        self.kernel = kernel
+        self.rng = rng.split("network")
+        self.config = config or NetworkConfig()
+        self.config.validate()
+        self._endpoints: Dict[str, Callable[[Message], None]] = {}
+        self._up: Dict[str, bool] = {}
+        self._partitions: Set[frozenset] = set()
+        self._msg_ids = itertools.count(1)
+        # observability
+        self.sent_count = 0
+        self.delivered_count = 0
+        self.dropped_count = 0
+        self.duplicated_count = 0
+
+    # -- topology --------------------------------------------------------------
+
+    def attach(self, name: str, deliver: Callable[[Message], None]) -> None:
+        """Register an endpoint; ``deliver`` is called for each arriving message."""
+        self._endpoints[name] = deliver
+        self._up[name] = True
+
+    def set_up(self, name: str, up: bool) -> None:
+        """Mark an endpoint reachable/unreachable (node crash/restart)."""
+        if name not in self._endpoints:
+            raise ClusterError(f"unknown endpoint {name}")
+        self._up[name] = up
+
+    def partition(self, a: str, b: str) -> None:
+        """Sever the link between two endpoints (both directions)."""
+        self._partitions.add(frozenset((a, b)))
+
+    def heal(self, a: str, b: str) -> None:
+        self._partitions.discard(frozenset((a, b)))
+
+    def heal_all(self) -> None:
+        self._partitions.clear()
+
+    def is_reachable(self, src: str, dst: str) -> bool:
+        return (
+            self._up.get(dst, False)
+            and frozenset((src, dst)) not in self._partitions
+        )
+
+    # -- sending -----------------------------------------------------------------
+
+    def fresh_msg_id(self) -> int:
+        return next(self._msg_ids)
+
+    def send(self, message: Message) -> None:
+        """Fire-and-forget: schedule delivery, subject to the fault model."""
+        self.sent_count += 1
+        if message.dst not in self._endpoints:
+            raise ClusterError(f"message to unknown endpoint {message.dst}")
+        copies = 1
+        if self.rng.random() < self.config.drop_probability:
+            copies = 0
+        elif self.rng.random() < self.config.duplicate_probability:
+            copies = 2
+            self.duplicated_count += 1
+        if copies == 0:
+            self.dropped_count += 1
+            return
+        for _ in range(copies):
+            delay = self.rng.uniform(self.config.min_delay, self.config.max_delay)
+            # Payload copied at send time: the receiver sees the message as
+            # it was when sent, never a later mutation.
+            frozen = Message(
+                src=message.src, dst=message.dst, kind=message.kind,
+                payload=copy.deepcopy(message.payload),
+                msg_id=message.msg_id, reply_to=message.reply_to,
+            )
+            self.kernel.schedule(delay, self._deliver, frozen)
+
+    def _deliver(self, message: Message) -> None:
+        # Reachability is evaluated at delivery time: a message in flight
+        # to a node that crashes meanwhile is lost, as on a real network.
+        if not self.is_reachable(message.src, message.dst):
+            self.dropped_count += 1
+            return
+        self.delivered_count += 1
+        self._endpoints[message.dst](message)
+
+    # -- metrics -------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "sent": self.sent_count,
+            "delivered": self.delivered_count,
+            "dropped": self.dropped_count,
+            "duplicated": self.duplicated_count,
+        }

@@ -1,0 +1,618 @@
+"""The object server: hosts objects, lock tables, and the 2PC participant.
+
+One server runs per node (the Arjuna object-store + lock-manager pair).
+Everything except the stable object store and the write-ahead log is
+volatile: lock tables, action mirrors, undo records and the RPC reply cache
+vanish at a crash — the client-side epoch checks and the prepared-state
+recovery below are what make that survivable.
+
+Server-side model: for each remote action that touches this node, a local
+:class:`ActionMirror` is rebuilt from the action context carried in the
+request (uids, ancestry path, colours).  The mirror holds the locks (it
+implements the LockOwner interface) and the per-colour undo records and
+write sets, exactly like a local :class:`~repro.actions.action.Action`.
+Commit-time routing decisions are made by the *client* (it knows the whole
+tree) and arrive as explicit transfer/release/2PC messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.actions.record import OperationUndo, UndoRecord
+from repro.cluster.message import (
+    Message,
+    decode_action_context,
+    decode_colour,
+    decode_uid,
+    encode_uid,
+)
+from repro.cluster.node import Node
+from repro.cluster.transport import Responder, RpcTransport
+from repro.colours.colour import Colour
+from repro.errors import (
+    ClusterError,
+    LockTimeout,
+    ObjectNotFound,
+    PrepareFailed,
+)
+from repro.locking.deadlock import DeadlockDetector
+from repro.locking.modes import LockMode
+from repro.locking.registry import LockRegistry
+from repro.locking.request import LockRequest, RequestStatus
+from repro.locking.rules import ColouredRules
+from repro.objects.state_manager import StateManager
+from repro.sim.kernel import Timeout
+from repro.util.uid import Uid, UidGenerator
+
+
+@dataclass
+class ActionMirror:
+    """Server-side image of a remote action: identity, ancestry, colours,
+    and this node's share of its undo records and write sets."""
+
+    uid: Uid
+    path: Tuple[Uid, ...]
+    colours: FrozenSet[Colour]
+    home: str = ""
+    undo: Dict[Colour, Dict[Uid, UndoRecord]] = field(default_factory=dict)
+    #: type-specific recovery: one compensation per applied operation
+    op_undo: Dict[Colour, List[OperationUndo]] = field(default_factory=dict)
+    written: Dict[Colour, Dict[Uid, StateManager]] = field(default_factory=dict)
+
+    def record_write(self, obj: StateManager, colour: Colour, seq: int) -> None:
+        per_colour = self.undo.setdefault(colour, {})
+        if obj.uid not in per_colour:
+            per_colour[obj.uid] = UndoRecord(
+                obj=obj, colour=colour, before_image=obj.snapshot(),
+                seq=seq, origin_action=self.uid,
+            )
+        self.written.setdefault(colour, {})[obj.uid] = obj
+
+    def record_operation(self, obj: StateManager, colour: Colour,
+                         compensate, description: str, seq: int) -> None:
+        self.op_undo.setdefault(colour, []).append(OperationUndo(
+            obj=obj, colour=colour, compensate=compensate,
+            description=description, seq=seq, origin_action=self.uid,
+        ))
+        self.written.setdefault(colour, {})[obj.uid] = obj
+
+    def bequeath(self, colour: Colour, destination: "ActionMirror") -> None:
+        """Move one colour's undo/write bookkeeping to an ancestor mirror."""
+        inherited = self.undo.pop(colour, {})
+        dest_undo = destination.undo.setdefault(colour, {})
+        for object_uid, record in inherited.items():
+            if object_uid not in dest_undo:
+                dest_undo[object_uid] = record  # elder image wins
+        inherited_ops = self.op_undo.pop(colour, [])
+        if inherited_ops:
+            destination.op_undo.setdefault(colour, []).extend(inherited_ops)
+        destination.written.setdefault(colour, {}).update(self.written.pop(colour, {}))
+
+    def drop_colour(self, colour: Colour) -> None:
+        self.undo.pop(colour, None)
+        self.op_undo.pop(colour, None)
+        self.written.pop(colour, None)
+
+    def all_undo_records(self) -> List:
+        records: List = [record for per in self.undo.values()
+                         for record in per.values()]
+        for ops in self.op_undo.values():
+            records.extend(ops)
+        return records
+
+
+class ServerObjectHost:
+    """The minimal 'runtime' server-hosted objects are constructed against.
+
+    Objects built on a server never block for locks themselves (the server
+    takes locks before running operation bodies), so only uid allocation
+    and registration are needed.
+    """
+
+    def __init__(self, server: "ObjectServer"):
+        self._server = server
+        self._object_uids = UidGenerator(f"obj@{server.node.name}")
+
+    def fresh_object_uid(self) -> Uid:
+        return self._object_uids.fresh()
+
+    def register_object(self, obj: StateManager, persist: bool = True) -> None:
+        self._server.objects[obj.uid] = obj
+        if persist:
+            obj.persist_to(self._server.node.stable_store)
+
+    @property
+    def locks(self) -> LockRegistry:
+        """Semantic objects register their specs here at construction."""
+        return self._server.registry
+
+    def acquire(self, *args, **kwargs):  # pragma: no cover - guard
+        raise ClusterError(
+            "server-hosted objects must not self-lock; the server locks "
+            "before running operation bodies"
+        )
+
+
+class ObjectServer:
+    """Message handlers for one node's objects, locks and transactions."""
+
+    def __init__(self, node: Node, transport: RpcTransport,
+                 classes: Dict[str, type],
+                 lock_wait_timeout: float = 60.0,
+                 edge_chasing: bool = True,
+                 probe_interval: float = 5.0):
+        self.node = node
+        self.kernel = node.kernel
+        self.transport = transport
+        self.classes = dict(classes)
+        self.lock_wait_timeout = lock_wait_timeout
+        self.host = ServerObjectHost(self)
+        # volatile state (rebuilt empty after a crash)
+        self.objects: Dict[Uid, StateManager] = {}
+        self.registry = LockRegistry(ColouredRules(), namespace=f"lreq@{node.name}")
+        self.detector = DeadlockDetector(self.registry)
+        self.mirrors: Dict[Uid, ActionMirror] = {}
+        self.prepared: Dict[str, Dict[str, Any]] = {}
+        self.in_doubt_objects: Set[Uid] = set()
+        self._undo_seq = 0
+        # metrics
+        self.invocations = 0
+        self.lock_waits = 0
+
+        for kind, handler in [
+            ("create", self._h_create),
+            ("invoke", self._h_invoke),
+            ("lock", self._h_lock),
+            ("fetch_state", self._h_fetch_state),
+            ("finish_commit", self._h_finish_commit),
+            ("abort_action", self._h_abort_action),
+            ("txn_prepare", self._h_txn_prepare),
+            ("txn_commit", self._h_txn_commit),
+            ("txn_abort", self._h_txn_abort),
+            ("txn_decision_query", self._h_txn_decision_query),
+        ]:
+            transport.register(kind, handler)
+        node.add_recovery_hook(self._recover)
+        self.edge_chaser = None
+        if edge_chasing:
+            from repro.cluster.deadlock import EdgeChaser
+            self.edge_chaser = EdgeChaser(self, probe_interval=probe_interval)
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _next_undo_seq(self) -> int:
+        self._undo_seq += 1
+        return self._undo_seq
+
+    def _object(self, object_uid: Uid) -> StateManager:
+        """The live instance, activated from the stable store if needed."""
+        obj = self.objects.get(object_uid)
+        if obj is not None:
+            return obj
+        stored = self.node.stable_store.read_committed(object_uid)  # may raise
+        cls = self.classes.get(stored.type_name)
+        if cls is None:
+            raise ClusterError(f"no class registered for {stored.type_name!r}")
+        obj = cls(self.host, uid=object_uid, persist=False)
+        obj.restore_snapshot(stored.payload)
+        self.objects[object_uid] = obj
+        return obj
+
+    def _mirror(self, context: List[Tuple[Uid, FrozenSet[Colour], str]]) -> ActionMirror:
+        """Get or build the mirror for the last entry of an action context."""
+        path: Tuple[Uid, ...] = ()
+        mirror: Optional[ActionMirror] = None
+        for uid, colours, home in context:
+            path = path + (uid,)
+            mirror = self.mirrors.get(uid)
+            if mirror is None:
+                mirror = ActionMirror(uid=uid, path=path, colours=colours,
+                                      home=home)
+                self.mirrors[uid] = mirror
+        assert mirror is not None
+        return mirror
+
+    def _ok(self, extra: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        reply = {"epoch": self.node.epoch}
+        if extra:
+            reply.update(extra)
+        return reply
+
+    # -- handlers: objects -------------------------------------------------------
+
+    def _h_create(self, message: Message, respond: Responder) -> None:
+        """Create an object (non-transactional, like Arjuna's first persist)."""
+        payload = message.payload
+        cls = self.classes.get(payload["type_name"])
+        if cls is None:
+            respond(False, ClusterError(f"unknown type {payload['type_name']!r}"))
+            return
+        obj = cls(self.host, *payload.get("args", []), **payload.get("kwargs", {}))
+        respond(True, self._ok({"object_uid": encode_uid(obj.uid)}))
+
+    def _h_fetch_state(self, message: Message, respond: Responder) -> None:
+        """Unlocked state read (debug/replication bootstrap)."""
+        object_uid = decode_uid(message.payload["object_uid"])
+        try:
+            obj = self._object(object_uid)
+        except ObjectNotFound as error:
+            respond(False, error)
+            return
+        respond(True, self._ok({
+            "type_name": obj.type_name, "payload": obj.snapshot(),
+        }))
+
+    def _h_invoke(self, message: Message, respond: Responder) -> None:
+        """Lock (per the operation's declared mode) then run an operation."""
+        payload = message.payload
+        object_uid = decode_uid(payload["object_uid"])
+        if object_uid in self.in_doubt_objects:
+            respond(False, ClusterError(
+                f"object {object_uid} is in doubt pending transaction recovery"
+            ))
+            return
+        try:
+            obj = self._object(object_uid)
+        except ObjectNotFound as error:
+            respond(False, error)
+            return
+        method = getattr(type(obj), payload["method"], None)
+        mode_name = getattr(method, "__repro_mode__", None)
+        group = getattr(method, "__repro_group__", None)
+        inverse = getattr(method, "__repro_inverse__", None)
+        body = getattr(method, "__repro_body__", None)
+        if body is None or (mode_name is None and group is None):
+            respond(False, ClusterError(
+                f"{obj.type_name}.{payload['method']} is not an operation"
+            ))
+            return
+        mirror = self._mirror(decode_action_context(payload["action"]))
+        colour = decode_colour(payload["colour"])
+        args = payload.get("args", [])
+        self.invocations += 1
+        lock_key = mode_name if mode_name is not None else group
+
+        def completed(request: LockRequest) -> None:
+            if request.status is not RequestStatus.GRANTED:
+                error = request.error or LockTimeout(
+                    f"{payload['method']} on {object_uid}: {request.refusal}"
+                )
+                respond(False, error)
+                return
+            if mode_name is LockMode.WRITE:
+                mirror.record_write(obj, colour, self._next_undo_seq())
+            try:
+                result = body(obj, *args)
+            except Exception as error:  # app exception: report, don't apply
+                respond(False, error if isinstance(error, Exception) else
+                        ClusterError(str(error)))
+                return
+            if group is not None and inverse is not None:
+                # type-specific recovery: compensation, not a before-image
+                def compensate(o=obj, r=result, a=tuple(args), name=inverse):
+                    getattr(o, name)(r, *a)
+
+                mirror.record_operation(
+                    obj, colour, compensate,
+                    description=f"{obj.type_name}.{inverse}",
+                    seq=self._next_undo_seq(),
+                )
+            respond(True, self._ok({"result": result}))
+
+        self._locked_request(mirror, object_uid, lock_key, colour, completed)
+
+    def _h_lock(self, message: Message, respond: Responder) -> None:
+        """Explicit lock acquisition (hand-over pins, companion locks)."""
+        payload = message.payload
+        object_uid = decode_uid(payload["object_uid"])
+        if object_uid in self.in_doubt_objects:
+            respond(False, ClusterError(
+                f"object {object_uid} is in doubt pending transaction recovery"
+            ))
+            return
+        try:
+            obj = self._object(object_uid)
+        except ObjectNotFound as error:
+            respond(False, error)
+            return
+        mirror = self._mirror(decode_action_context(payload["action"]))
+        colour = decode_colour(payload["colour"])
+        raw_mode = payload["mode"]
+        try:
+            mode = LockMode(raw_mode)
+        except ValueError:
+            mode = raw_mode  # a semantic operation group name
+
+        def completed(request: LockRequest) -> None:
+            if request.status is not RequestStatus.GRANTED:
+                label = mode.value if hasattr(mode, "value") else str(mode)
+                respond(False, request.error or LockTimeout(
+                    f"lock {label} on {object_uid}: {request.refusal}"
+                ))
+                return
+            if mode is LockMode.WRITE:
+                mirror.record_write(obj, colour, self._next_undo_seq())
+            respond(True, self._ok())
+
+        self._locked_request(mirror, object_uid, mode, colour, completed)
+
+    def _locked_request(self, mirror: ActionMirror, object_uid: Uid,
+                        mode, colour: Colour,
+                        completed: Callable[[LockRequest], None]) -> None:
+        """``mode`` is a LockMode for plain objects or a group name (str)
+        for semantic objects; the registry routes to the right table."""
+        request = self.registry.request(mirror, object_uid, mode, colour, completed)
+        if request.settled:
+            return
+        self.lock_waits += 1
+        # local deadlock detection now; edge-chasing probes catch cycles
+        # across servers; the wait timeout is the last-resort backstop.
+        self.detector.resolve_all()
+        if request.settled:
+            return
+        if self.edge_chaser is not None:
+            self.edge_chaser.chase_from(mirror.uid)
+        deadline = self.lock_wait_timeout
+        mode_label = mode.value if hasattr(mode, "value") else str(mode)
+
+        def expire() -> None:
+            if not request.settled and self.node.alive:
+                self.registry.cancel_request(
+                    request, reason="lock wait timeout",
+                    error=LockTimeout(
+                        f"lock {mode_label} on {object_uid} timed out "
+                        f"after {deadline} (distributed-deadlock bound)"
+                    ),
+                )
+
+        self.kernel.schedule(deadline, expire)
+
+    # -- handlers: action termination ------------------------------------------------
+
+    def _h_finish_commit(self, message: Message, respond: Responder) -> None:
+        """Apply the client's per-colour routing for a committing action.
+
+        ``routes``: list of {colour, dest: action-context or None}.  Colours
+        routed to an ancestor have their locks, undo records and write sets
+        moved to that ancestor's mirror; colours routed to None are released
+        (their permanence, if any, was already handled by 2PC).
+        """
+        payload = message.payload
+        action_uid = decode_uid(payload["action_uid"])
+        mirror = self.mirrors.get(action_uid)
+        if mirror is None:
+            # Crash wiped the mirror (or nothing ever happened here): the
+            # client's epoch check is responsible for safety; ack silently.
+            respond(True, self._ok({"known": False}))
+            return
+        destinations: Dict[Colour, Optional[ActionMirror]] = {}
+        for route in payload["routes"]:
+            colour = decode_colour(route["colour"])
+            if route["dest"] is None:
+                destinations[colour] = None
+            else:
+                destinations[colour] = self._mirror(
+                    decode_action_context(route["dest"])
+                )
+        for colour, destination in sorted(
+                destinations.items(), key=lambda item: item[0].uid):
+            if destination is not None:
+                mirror.bequeath(colour, destination)
+            else:
+                mirror.drop_colour(colour)
+        self.registry.transfer_on_commit(
+            mirror.uid, lambda colour: destinations.get(colour)
+        )
+        self.mirrors.pop(action_uid, None)
+        respond(True, self._ok({"known": True}))
+
+    def _h_abort_action(self, message: Message, respond: Responder) -> None:
+        """Undo and release everything this node holds for an action."""
+        action_uid = decode_uid(message.payload["action_uid"])
+        mirror = self.mirrors.pop(action_uid, None)
+        if mirror is not None:
+            for record in sorted(mirror.all_undo_records(),
+                                 key=lambda r: r.seq, reverse=True):
+                record.restore()
+        self.registry.release_action(action_uid)
+        respond(True, self._ok({"known": mirror is not None}))
+
+    # -- handlers: two-phase commit participant ----------------------------------------
+
+    def _h_txn_prepare(self, message: Message, respond: Responder) -> None:
+        """Phase one: stabilise new states as shadows, log PREPARED, vote."""
+        payload = message.payload
+        txn_id = payload["txn_id"]
+        action_uid = decode_uid(payload["action_uid"])
+        colour = decode_colour(payload["colour"])
+        expected_epoch = payload.get("expected_epoch")
+        if expected_epoch is not None and expected_epoch != self.node.epoch:
+            respond(False, PrepareFailed(
+                f"{self.node.name} restarted (epoch {self.node.epoch} != "
+                f"{expected_epoch}); uncommitted state was lost"
+            ))
+            return
+        mirror = self.mirrors.get(action_uid)
+        written = mirror.written.get(colour, {}) if mirror is not None else {}
+        wanted = {decode_uid(raw) for raw in payload["object_uids"]}
+        if not wanted.issubset(set(written)):
+            respond(False, PrepareFailed(
+                f"{self.node.name} no longer holds the write set for "
+                f"{txn_id} (crash or premature release)"
+            ))
+            return
+        for object_uid in sorted(wanted):
+            obj = written[object_uid]
+            self.node.stable_store.write_shadow(obj.stored_state())
+        self.node.wal.append(
+            "prepared", txn_id=txn_id, coordinator=message.src,
+            action_uid=encode_uid(action_uid),
+            object_uids=[encode_uid(u) for u in sorted(wanted)],
+        )
+        self.prepared[txn_id] = {
+            "action_uid": action_uid,
+            "colour": colour,
+            "object_uids": sorted(wanted),
+        }
+        respond(True, self._ok({"vote": "commit"}))
+
+    def _h_txn_commit(self, message: Message, respond: Responder) -> None:
+        """Decision = commit: promote shadows, release the colour."""
+        txn_id = message.payload["txn_id"]
+        info = self.prepared.pop(txn_id, None)
+        if info is None:
+            # Either recovered already, or duplicate decision: consult the log.
+            if self.node.wal.last(
+                "committed", where=lambda r: r.payload["txn_id"] == txn_id
+            ) is not None:
+                respond(True, self._ok({"applied": False}))
+                return
+            info = self._prepared_from_log(txn_id)
+            if info is None:
+                respond(True, self._ok({"applied": False}))
+                return
+        self._apply_commit(txn_id, info)
+        respond(True, self._ok({"applied": True}))
+
+    def _h_txn_abort(self, message: Message, respond: Responder) -> None:
+        """Decision = abort: discard shadows (undo restore comes with
+        abort_action, which the coordinator sends separately)."""
+        txn_id = message.payload["txn_id"]
+        info = self.prepared.pop(txn_id, None)
+        if info is None:
+            info = self._prepared_from_log(txn_id)
+        if info is not None:
+            for object_uid in info["object_uids"]:
+                self.node.stable_store.discard_shadow(object_uid)
+            self.node.wal.append("aborted", txn_id=txn_id)
+            for object_uid in info["object_uids"]:
+                self.in_doubt_objects.discard(object_uid)
+        respond(True, self._ok())
+
+    def _h_txn_decision_query(self, message: Message, respond: Responder) -> None:
+        """Coordinator side of recovery: presumed abort unless logged commit."""
+        txn_id = message.payload["txn_id"]
+        committed = self.node.wal.last(
+            "coord_commit", where=lambda r: r.payload["txn_id"] == txn_id
+        )
+        respond(True, self._ok({
+            "decision": "commit" if committed is not None else "abort"
+        }))
+
+    def _apply_commit(self, txn_id: str, info: Dict[str, Any]) -> None:
+        for object_uid in info["object_uids"]:
+            self.node.stable_store.commit_shadow(object_uid)
+            self.in_doubt_objects.discard(object_uid)
+            # refresh any live instance from the committed state so later
+            # activations and reads agree
+            obj = self.objects.get(object_uid)
+            if obj is not None:
+                stored = self.node.stable_store.read_committed(object_uid)
+                obj.restore_snapshot(stored.payload)
+        self.node.wal.append("committed", txn_id=txn_id)
+        mirror = self.mirrors.get(info["action_uid"]) if info.get("action_uid") else None
+        colour = info.get("colour")
+        if mirror is not None and colour is not None:
+            mirror.drop_colour(colour)
+
+    def _prepared_from_log(self, txn_id: str) -> Optional[Dict[str, Any]]:
+        record = self.node.wal.last(
+            "prepared", where=lambda r: r.payload["txn_id"] == txn_id
+        )
+        if record is None:
+            return None
+        return {
+            "action_uid": decode_uid(record.payload["action_uid"]),
+            "colour": None,
+            "object_uids": [decode_uid(raw) for raw in record.payload["object_uids"]],
+        }
+
+    # -- log management ---------------------------------------------------------------
+
+    def checkpoint(self) -> Dict[str, int]:
+        """Truncate the write-ahead log to the undecided suffix.
+
+        A PREPARED record is only needed until its transaction's decision
+        is also on the log; decided pairs (and stray decision records) can
+        be dropped.  Returns {"dropped": n, "kept": m} for observability.
+        The checkpoint itself is a log record, so recovery after a
+        checkpoint sees a well-formed log.
+        """
+        decided = set()
+        ended = set()
+        for record in self.node.wal.records():
+            if record.kind in ("committed", "aborted"):
+                decided.add(record.payload["txn_id"])
+            elif record.kind == "coord_end":
+                ended.add(record.payload["txn_id"])
+        needed_lsns = []
+        for record in self.node.wal.records("prepared"):
+            if record.payload["txn_id"] not in decided:
+                needed_lsns.append(record.lsn)
+        # a coordinator's COMMIT decision must stay queryable until every
+        # participant acked (coord_end)
+        for record in self.node.wal.records("coord_commit"):
+            if record.payload["txn_id"] not in ended:
+                needed_lsns.append(record.lsn)
+        marker = self.node.wal.append("checkpoint", decided=len(decided))
+        horizon = min(needed_lsns) if needed_lsns else marker.lsn
+        dropped = self.node.wal.truncate_before(horizon)
+        return {"dropped": dropped, "kept": len(self.node.wal)}
+
+    # -- recovery ---------------------------------------------------------------------
+
+    def _recover(self) -> None:
+        """Restart: resolve in-doubt transactions from the log (presumed abort).
+
+        PREPARED records without a matching COMMITTED/ABORTED are in doubt;
+        their objects are fenced off until the coordinator answers.
+        """
+        self.objects = {}
+        self.registry = LockRegistry(ColouredRules(), namespace=f"lreq@{self.node.name}")
+        self.detector = DeadlockDetector(self.registry)
+        self.mirrors = {}
+        self.prepared = {}
+        self.in_doubt_objects = set()
+        decided = set()
+        for record in self.node.wal.records():
+            if record.kind in ("committed", "aborted"):
+                decided.add(record.payload["txn_id"])
+        pending: List[Tuple[str, str, List[Uid]]] = []
+        for record in self.node.wal.records("prepared"):
+            txn_id = record.payload["txn_id"]
+            if txn_id in decided:
+                continue
+            object_uids = [decode_uid(raw) for raw in record.payload["object_uids"]]
+            pending.append((txn_id, record.payload["coordinator"], object_uids))
+        for txn_id, coordinator, object_uids in pending:
+            self.in_doubt_objects.update(object_uids)
+            self.node.spawn(
+                self._resolve_in_doubt(txn_id, coordinator, object_uids),
+                name=f"resolve:{txn_id}",
+            )
+
+    def _resolve_in_doubt(self, txn_id: str, coordinator: str,
+                          object_uids: List[Uid]):
+        """Query the coordinator until a decision arrives, then apply it."""
+        while True:
+            try:
+                reply = yield from self.transport.call(
+                    coordinator, "txn_decision_query", {"txn_id": txn_id},
+                    timeout=5.0, retries=1,
+                )
+            except Exception:
+                yield Timeout(5.0)
+                continue
+            decision = reply["decision"]
+            info = {"action_uid": None, "colour": None, "object_uids": object_uids}
+            if decision == "commit":
+                self._apply_commit(txn_id, info)
+            else:
+                for object_uid in object_uids:
+                    self.node.stable_store.discard_shadow(object_uid)
+                self.node.wal.append("aborted", txn_id=txn_id)
+            for object_uid in object_uids:
+                self.in_doubt_objects.discard(object_uid)
+            return decision

@@ -1,0 +1,247 @@
+"""At-most-once RPC over the lossy network.
+
+"Well known network protocol level techniques are available" for lost and
+duplicated messages (§2) — this is that layer.  Clients retransmit requests
+until a reply arrives or retries are exhausted; servers deduplicate by rpc
+id and cache replies so a retransmitted request is answered, not
+re-executed.  The cache is volatile: a crashed server forgets, which is
+exactly why the layers above (2PC, action abort) exist.
+
+Server handlers receive a ``respond`` callable and may reply *later* (lock
+waits resolve asynchronously); duplicates arriving while a request is in
+flight are dropped.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, Generator, Optional
+
+from repro.cluster.message import Message
+from repro.cluster.node import Node
+from repro.errors import (
+    ClusterError,
+    DeadlockDetected,
+    InvalidActionState,
+    LockRefused,
+    LockTimeout,
+    NameNotBound,
+    ObjectNotFound,
+    PrepareFailed,
+    ReproError,
+    RpcTimeout,
+)
+from repro.sim.kernel import SimEvent, any_of
+
+#: handler(message, respond) — respond(ok, value) completes the rpc.
+Responder = Callable[[bool, Any], None]
+Handler = Callable[[Message, Responder], None]
+
+_REPLY_KIND = "rpc_reply"
+_ACK_KIND = "rpc_ack"
+
+#: error kinds a server can return and the exception raised client-side.
+#: Ordered most-specific-first: error_kind_for picks the first isinstance.
+_ERROR_CLASSES = {
+    "lock_refused": LockRefused,
+    "lock_timeout": LockTimeout,
+    "deadlock": DeadlockDetected,
+    "object_not_found": ObjectNotFound,
+    "name_not_bound": NameNotBound,
+    "prepare_failed": PrepareFailed,
+    "invalid_state": InvalidActionState,
+    "cluster": ClusterError,
+}
+
+
+def error_kind_for(error: BaseException) -> str:
+    for kind, cls in _ERROR_CLASSES.items():
+        if isinstance(error, cls):
+            return kind
+    return "cluster"
+
+
+class RemoteError(ReproError):
+    """Fallback when the server's error kind has no specific class."""
+
+
+def _rebuild_error(kind: str, text: str) -> ReproError:
+    cls = _ERROR_CLASSES.get(kind)
+    if cls is DeadlockDetected:
+        error = DeadlockDetected()
+        error.args = (text,)
+        return error
+    if cls is not None:
+        return cls(text)
+    return RemoteError(f"{kind}: {text}")
+
+
+class RpcTransport:
+    """One node's RPC endpoint: client calls and server handlers."""
+
+    def __init__(self, node: Node, default_timeout: float = 10.0,
+                 default_retries: int = 3,
+                 default_completion_timeout: float = 120.0):
+        self.node = node
+        self.kernel = node.kernel
+        self.default_timeout = default_timeout
+        self.default_retries = default_retries
+        #: how long to wait for the reply once the server has ACKed the
+        #: request — long operations (lock waits) sit in this phase.
+        self.default_completion_timeout = default_completion_timeout
+        self._handlers: Dict[str, Handler] = {}
+        self._pending: Dict[str, SimEvent] = {}
+        self._acks: Dict[str, SimEvent] = {}
+        self._rpc_seq = itertools.count(1)
+        node.add_dispatcher(self._dispatch)
+
+    # -- server side -------------------------------------------------------------
+
+    def register(self, kind: str, handler: Handler) -> None:
+        if kind in self._handlers:
+            raise ClusterError(f"handler for {kind!r} already registered")
+        self._handlers[kind] = handler
+
+    def _dispatch(self, message: Message) -> bool:
+        if message.kind == _REPLY_KIND:
+            return self._accept_reply(message)
+        if message.kind == _ACK_KIND:
+            return self._accept_ack(message)
+        handler = self._handlers.get(message.kind)
+        if handler is None:
+            return False
+        rpc_id = message.payload.get("rpc_id")
+        if rpc_id is None:
+            return False
+        cache: Dict[str, Dict[str, Any]] = self.node.volatile.setdefault("rpc_cache", {})
+        if rpc_id in cache:
+            self.node.send(message.src, _REPLY_KIND, cache[rpc_id],
+                           reply_to=message.msg_id)
+            return True
+        inflight = self.node.volatile.setdefault("rpc_inflight", set())
+        if rpc_id in inflight:
+            # duplicate while executing: re-ack so the client stops
+            # retransmitting; the reply will come.
+            self.node.send(message.src, _ACK_KIND, {"rpc_id": rpc_id},
+                           reply_to=message.msg_id)
+            return True
+        inflight.add(rpc_id)
+        self.node.send(message.src, _ACK_KIND, {"rpc_id": rpc_id},
+                       reply_to=message.msg_id)
+
+        def respond(ok: bool, value: Any = None) -> None:
+            if not self.node.alive:
+                return  # the node died while handling; silence
+            live_cache = self.node.volatile.setdefault("rpc_cache", {})
+            live_inflight = self.node.volatile.setdefault("rpc_inflight", set())
+            if rpc_id in live_cache:
+                return  # already answered
+            if ok:
+                reply = {"rpc_id": rpc_id, "ok": True, "value": value}
+            elif isinstance(value, BaseException):
+                reply = {
+                    "rpc_id": rpc_id, "ok": False,
+                    "error_kind": error_kind_for(value), "error": str(value),
+                }
+            else:
+                reply = {"rpc_id": rpc_id, "ok": False,
+                         "error_kind": "cluster", "error": str(value)}
+            live_cache[rpc_id] = reply
+            live_inflight.discard(rpc_id)
+            self.node.send(message.src, _REPLY_KIND, reply, reply_to=message.msg_id)
+
+        try:
+            handler(message, respond)
+        except ReproError as error:
+            respond(False, error)
+        return True
+
+    # -- client side -----------------------------------------------------------------
+
+    def _accept_reply(self, message: Message) -> bool:
+        rpc_id = message.payload.get("rpc_id")
+        event = self._pending.pop(rpc_id, None)
+        if event is None or event.settled:
+            return True  # late or duplicate reply
+        event.trigger(message.payload)
+        return True
+
+    def _accept_ack(self, message: Message) -> bool:
+        rpc_id = message.payload.get("rpc_id")
+        event = self._acks.get(rpc_id)
+        if event is not None and not event.settled:
+            event.trigger()
+        return True
+
+    def call(self, dst: str, kind: str, payload: Dict[str, Any],
+             timeout: Optional[float] = None,
+             retries: Optional[int] = None,
+             completion_timeout: Optional[float] = None
+             ) -> Generator[Any, Any, Any]:
+        """Generator: perform one RPC; returns the reply value.
+
+        Two phases. Until the server ACKs receipt, the request is
+        retransmitted every ``timeout`` units, up to ``retries`` extra
+        times — lost messages are cheap to recover.  Once ACKed, the call
+        waits up to ``completion_timeout`` for the reply — long-running
+        operations (lock waits, prepares) sit here without retransmission
+        storms.  Raises :class:`RpcTimeout` on either phase's exhaustion,
+        or the reconstructed remote error for an unsuccessful reply.
+        """
+        timeout = timeout if timeout is not None else self.default_timeout
+        retries = retries if retries is not None else self.default_retries
+        completion_timeout = (
+            completion_timeout if completion_timeout is not None
+            else self.default_completion_timeout
+        )
+        rpc_id = f"{self.node.name}:{self.node.epoch}:{next(self._rpc_seq)}"
+        event = self.kernel.event(name=f"rpc:{kind}:{rpc_id}")
+        ack = self.kernel.event(name=f"ack:{kind}:{rpc_id}")
+        self._pending[rpc_id] = event
+        self._acks[rpc_id] = ack
+        request = dict(payload)
+        request["rpc_id"] = rpc_id
+
+        def finish(reply: Dict[str, Any]):
+            if reply["ok"]:
+                return reply.get("value")
+            raise _rebuild_error(reply.get("error_kind", "cluster"),
+                                 reply.get("error", ""))
+
+        try:
+            acked = False
+            for _attempt in range(retries + 1):
+                self.node.send(dst, kind, request)
+                deadline = self.kernel.timeout_event(timeout)
+                index, value = yield any_of(self.kernel, [event, ack, deadline])
+                if index == 0:
+                    return finish(value)
+                if index == 1:
+                    acked = True
+                    break
+            if not acked:
+                raise RpcTimeout(
+                    f"{self.node.name}: rpc {kind} to {dst} unacknowledged "
+                    f"after {retries + 1} attempts"
+                )
+            if event.settled:
+                return finish(event.value)
+            # completion phase: poll periodically — a lost reply is re-sent
+            # from the server's reply cache on the next poll.
+            remaining = completion_timeout
+            while remaining > 0:
+                wait = min(timeout, remaining)
+                deadline = self.kernel.timeout_event(wait)
+                index, value = yield any_of(self.kernel, [event, deadline])
+                if index == 0:
+                    return finish(value)
+                remaining -= wait
+                if remaining > 0:
+                    self.node.send(dst, kind, request)
+            raise RpcTimeout(
+                f"{self.node.name}: rpc {kind} to {dst} acknowledged but "
+                f"no reply within {completion_timeout}"
+            )
+        finally:
+            self._pending.pop(rpc_id, None)
+            self._acks.pop(rpc_id, None)

@@ -1,0 +1,12 @@
+"""Colours — the attribute the paper attaches to actions and locks (§5).
+
+A :class:`Colour` is an opaque identity.  A coloured action possesses a
+static set of colours; every lock it takes is taken *in* exactly one of its
+colours.  The commit rules route each colour's locks and undo responsibility
+to the closest ancestor of that colour, which is what lets one mechanism
+implement serializing, glued, and independent actions uniformly.
+"""
+
+from repro.colours.colour import Colour, ColourAllocator, colour_set
+
+__all__ = ["Colour", "ColourAllocator", "colour_set"]

@@ -1,0 +1,116 @@
+"""Exception hierarchy for the repro library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single except clause.  Errors are
+split along the lines the paper draws: locking (concurrency control), action
+lifecycle (failure atomicity), storage (permanence of effect), and the
+distributed substrate (nodes and messages).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ActionError(ReproError):
+    """Base class for action lifecycle errors."""
+
+
+class InvalidActionState(ActionError):
+    """An operation was attempted in an action state that forbids it.
+
+    For example committing an already-aborted action, or acquiring a lock
+    from a terminated action.
+    """
+
+
+class ActionAborted(ActionError):
+    """Raised to signal that the current action has been aborted.
+
+    Application code running inside an action sees this when the runtime
+    decides to abort it (deadlock victim, crashed node, explicit abort from
+    an ancestor).
+    """
+
+    def __init__(self, action_uid, reason: str = ""):
+        self.action_uid = action_uid
+        self.reason = reason
+        message = f"action {action_uid} aborted"
+        if reason:
+            message = f"{message}: {reason}"
+        super().__init__(message)
+
+
+class NoCurrentAction(ActionError):
+    """An operation requiring an ambient action found none in scope."""
+
+
+class ColourError(ActionError):
+    """A colour-rule violation.
+
+    Raised when an action requests a lock in a colour it does not possess,
+    or a structure is configured with an inconsistent colour scheme.
+    """
+
+
+class LockingError(ReproError):
+    """Base class for concurrency-control errors."""
+
+
+class LockRefused(LockingError):
+    """A lock request was refused outright (rule violation, not contention)."""
+
+
+class LockTimeout(LockingError):
+    """A blocking lock request did not complete within its deadline."""
+
+
+class DeadlockDetected(LockingError):
+    """The waits-for graph contained a cycle and this request was the victim."""
+
+    def __init__(self, cycle=None):
+        self.cycle = list(cycle or [])
+        detail = " -> ".join(str(uid) for uid in self.cycle)
+        super().__init__(f"deadlock detected: {detail}" if detail else "deadlock detected")
+
+
+class StorageError(ReproError):
+    """Base class for object-store and log errors."""
+
+
+class ObjectNotFound(StorageError):
+    """The requested object state is not present in the store."""
+
+
+class CorruptState(StorageError):
+    """An object state buffer failed to unpack cleanly."""
+
+
+class CommitError(ReproError):
+    """Base class for commit-protocol errors."""
+
+
+class PrepareFailed(CommitError):
+    """A participant voted no (or was unreachable) during phase one."""
+
+
+class ClusterError(ReproError):
+    """Base class for simulated-distribution errors."""
+
+
+class NodeDown(ClusterError):
+    """The addressed node is crashed."""
+
+
+class RpcTimeout(ClusterError):
+    """A remote procedure call exhausted its retries without a reply."""
+
+
+class NameNotBound(ClusterError):
+    """A name-server lookup found no binding."""
+
+
+class SimulationError(ReproError):
+    """Misuse of the discrete-event simulation kernel."""

@@ -1,0 +1,40 @@
+"""Concurrency control: lock modes, grant rules, tables, deadlock detection.
+
+Two interchangeable rule sets are provided (§5.2 of the paper):
+
+- :class:`~repro.locking.rules.ConventionalRules` — Moss-style nested atomic
+  action locking (read shared; write/exclusive-read require every holder to
+  be an ancestor).
+- :class:`~repro.locking.rules.ColouredRules` — the paper's modified rules:
+  an action locks in one of its own colours, and a WRITE lock additionally
+  requires every existing WRITE lock on the object to carry the same colour.
+
+The grant logic is a pure synchronous state machine driven through
+callbacks, so the same tables serve the threaded local runtime and the
+discrete-event cluster simulator.
+"""
+
+from repro.locking.modes import LockMode
+from repro.locking.owner import LockOwner, StubOwner
+from repro.locking.lock import LockRecord
+from repro.locking.request import LockRequest, RequestStatus
+from repro.locking.rules import ColouredRules, ConventionalRules, LockRules
+from repro.locking.table import LockTable
+from repro.locking.registry import LockRegistry
+from repro.locking.deadlock import DeadlockDetector, WaitsForGraph
+
+__all__ = [
+    "LockMode",
+    "LockOwner",
+    "StubOwner",
+    "LockRecord",
+    "LockRequest",
+    "RequestStatus",
+    "LockRules",
+    "ConventionalRules",
+    "ColouredRules",
+    "LockTable",
+    "LockRegistry",
+    "DeadlockDetector",
+    "WaitsForGraph",
+]

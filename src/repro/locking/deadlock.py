@@ -1,0 +1,110 @@
+"""Waits-for graph deadlock detection.
+
+Two-phase locking plus FIFO queues can deadlock (the paper notes the
+fig. 13(a) invoker/invokee deadlock explicitly).  The detector builds the
+waits-for graph from a :class:`~repro.locking.registry.LockRegistry`, finds
+a cycle, and cancels the pending requests of a victim — by default the
+*youngest* action in the cycle (largest uid: uids are creation-ordered), the
+cheapest work to redo.  The runtime then aborts the victim action when its
+lock wait fails with :class:`~repro.errors.DeadlockDetected`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import DeadlockDetected
+from repro.locking.registry import LockRegistry
+from repro.util.uid import Uid
+
+
+class WaitsForGraph:
+    """A directed graph over action uids with cycle search."""
+
+    def __init__(self, edges: Sequence[Tuple[Uid, Uid]] = ()):
+        self.adjacency: Dict[Uid, Set[Uid]] = {}
+        for waiter, holder in edges:
+            self.add_edge(waiter, holder)
+
+    def add_edge(self, waiter: Uid, holder: Uid) -> None:
+        if waiter == holder:
+            return
+        self.adjacency.setdefault(waiter, set()).add(holder)
+        self.adjacency.setdefault(holder, set())
+
+    def find_cycle(self) -> Optional[List[Uid]]:
+        """Return one cycle as a list of uids, or None.
+
+        Iterative three-colour DFS; deterministic because neighbours are
+        visited in sorted order.
+        """
+        WHITE, GREY, BLACK = 0, 1, 2
+        state = {node: WHITE for node in self.adjacency}
+        for root in sorted(self.adjacency):
+            if state[root] != WHITE:
+                continue
+            stack: List[Tuple[Uid, List[Uid]]] = [(root, sorted(self.adjacency[root]))]
+            state[root] = GREY
+            path = [root]
+            while stack:
+                node, neighbours = stack[-1]
+                advanced = False
+                while neighbours:
+                    nxt = neighbours.pop(0)
+                    if state[nxt] == GREY:
+                        cycle_start = path.index(nxt)
+                        return path[cycle_start:]
+                    if state[nxt] == WHITE:
+                        state[nxt] = GREY
+                        path.append(nxt)
+                        stack.append((nxt, sorted(self.adjacency[nxt])))
+                        advanced = True
+                        break
+                if not advanced:
+                    stack.pop()
+                    path.pop()
+                    state[node] = BLACK
+        return None
+
+
+class DeadlockDetector:
+    """Detects and resolves deadlocks over one lock registry."""
+
+    def __init__(self, registry: LockRegistry):
+        self.registry = registry
+        self.victims_chosen: List[Uid] = []
+
+    def scan(self) -> Optional[List[Uid]]:
+        """Return a current cycle of action uids, or None."""
+        graph = WaitsForGraph(self.registry.waits_for_edges())
+        return graph.find_cycle()
+
+    def choose_victim(self, cycle: Sequence[Uid]) -> Uid:
+        """Youngest action (largest uid) in the cycle."""
+        return max(cycle)
+
+    def resolve_once(self) -> Optional[Uid]:
+        """Break one cycle if present; returns the victim uid or None.
+
+        The victim's queued lock requests are refused with
+        :class:`DeadlockDetected`; releasing the victim's *held* locks is
+        the job of the runtime's subsequent abort of that action.
+        """
+        cycle = self.scan()
+        if cycle is None:
+            return None
+        victim = self.choose_victim(cycle)
+        error = DeadlockDetected(cycle=cycle)
+        self.registry.cancel_waiting(victim, reason="deadlock victim", error=error)
+        self.victims_chosen.append(victim)
+        return victim
+
+    def resolve_all(self, limit: int = 64) -> List[Uid]:
+        """Break cycles until none remain (bounded by ``limit`` victims)."""
+        victims: List[Uid] = []
+        for _ in range(limit):
+            victim = self.resolve_once()
+            if victim is None:
+                break
+            victims.append(victim)
+        return victims

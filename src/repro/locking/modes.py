@@ -1,0 +1,40 @@
+"""Lock modes.
+
+The paper uses three modes (§5.2): READ (shared), WRITE (fully exclusive)
+and EXCLUSIVE_READ — an exclusive read that exists *purely* so a coloured
+system can pin objects for later constituents without claiming the right to
+modify them (serializing/glued control actions hold these).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class LockMode(enum.Enum):
+    """The mode in which a lock is requested or held."""
+
+    READ = "read"
+    EXCLUSIVE_READ = "exclusive_read"
+    WRITE = "write"
+
+    @property
+    def is_exclusive(self) -> bool:
+        """True for modes that exclude non-ancestor holders entirely."""
+        return self is not LockMode.READ
+
+    @property
+    def strength(self) -> int:
+        """Total order used when merging inherited locks: READ < EXCLUSIVE_READ < WRITE."""
+        return _STRENGTH[self]
+
+    def strongest(self, other: "LockMode") -> "LockMode":
+        """The stronger of two modes (used when a parent inherits a child's lock)."""
+        return self if self.strength >= other.strength else other
+
+
+_STRENGTH = {
+    LockMode.READ: 0,
+    LockMode.EXCLUSIVE_READ: 1,
+    LockMode.WRITE: 2,
+}

@@ -1,0 +1,56 @@
+"""The view of an action that the locking layer depends on.
+
+Lock rules need three things about an owner: its identity, its ancestry and
+its colour set.  Ancestry is carried as the ``path`` of action uids from the
+root of the action tree down to the owner, which makes "is X an ancestor of
+Y" a simple membership test — and crucially lets a *remote* lock server
+evaluate the rules from a serialised path without holding the action objects
+themselves.  Per Moss, ancestry is inclusive: an action is its own ancestor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Tuple
+
+from repro.colours.colour import Colour
+from repro.util.uid import Uid
+
+try:  # Protocol is typing-only; keep runtime dependency soft for py3.9+
+    from typing import Protocol
+except ImportError:  # pragma: no cover
+    Protocol = object  # type: ignore[assignment]
+
+
+class LockOwner(Protocol):
+    """Structural interface implemented by actions (local or serialised)."""
+
+    uid: Uid
+
+    @property
+    def path(self) -> Tuple[Uid, ...]:
+        """Action uids from the root of the tree to this action, inclusive."""
+        ...
+
+    @property
+    def colours(self) -> FrozenSet[Colour]:
+        """The colours this action statically possesses."""
+        ...
+
+
+def is_ancestor(candidate: "LockOwner", of: "LockOwner") -> bool:
+    """True iff ``candidate`` is an (inclusive) ancestor of ``of``."""
+    return candidate.uid in of.path
+
+
+@dataclass(frozen=True)
+class StubOwner:
+    """A minimal concrete :class:`LockOwner`, for tests and remote requests."""
+
+    uid: Uid
+    path: Tuple[Uid, ...] = ()
+    colours: FrozenSet[Colour] = field(default_factory=frozenset)
+
+    def __post_init__(self):
+        if not self.path or self.path[-1] != self.uid:
+            object.__setattr__(self, "path", tuple(self.path) + (self.uid,))

@@ -1,0 +1,185 @@
+"""The lock registry: all lock tables of one runtime (or one object server).
+
+Tracks which objects each owner holds or awaits, so that commit/abort can
+visit exactly the affected tables, and exposes the waits-for edges for
+deadlock detection.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.colours.colour import Colour
+from repro.locking.lock import LockRecord
+from repro.locking.modes import LockMode
+from repro.locking.owner import LockOwner
+from repro.locking.request import LockRequest, RequestStatus
+from repro.locking.rules import ColouredRules, LockRules
+from repro.locking.table import ColourRouter, LockTable
+from repro.util.uid import Uid, UidGenerator
+
+
+class LockRegistry:
+    """Lock tables keyed by object uid, plus per-owner bookkeeping."""
+
+    def __init__(self, rules: Optional[LockRules] = None, namespace: str = "lockreq"):
+        self.rules: LockRules = rules if rules is not None else ColouredRules()
+        self._tables: Dict[Uid, LockTable] = {}
+        self._held_by: Dict[Uid, Set[Uid]] = {}      # owner uid -> object uids held
+        self._waiting_by: Dict[Uid, Set[Uid]] = {}   # owner uid -> object uids queued on
+        self._request_uids = UidGenerator(namespace)
+        #: object uid -> SemanticSpec for type-specific locking (§2)
+        self._semantic_specs: Dict[Uid, object] = {}
+
+    # -- tables ---------------------------------------------------------------
+
+    def use_semantic(self, object_uid: Uid, spec) -> None:
+        """Give one object a type-specific (operation-group) lock table."""
+        self._semantic_specs[object_uid] = spec
+
+    def table(self, object_uid: Uid):
+        existing = self._tables.get(object_uid)
+        if existing is None:
+            spec = self._semantic_specs.get(object_uid)
+            if spec is not None:
+                from repro.locking.semantic import SemanticLockTable
+                existing = SemanticLockTable(object_uid, spec)
+            else:
+                existing = LockTable(object_uid, self.rules)
+            self._tables[object_uid] = existing
+        return existing
+
+    def tables(self) -> Iterable[LockTable]:
+        return self._tables.values()
+
+    # -- requests -------------------------------------------------------------
+
+    def request(self, owner: LockOwner, object_uid: Uid, mode: LockMode,
+                colour: Colour,
+                on_complete: Optional[Callable[[LockRequest], None]] = None) -> LockRequest:
+        """Submit a lock request; bookkeeping wraps the caller's callback."""
+        request = LockRequest(
+            request_uid=self._request_uids.fresh(),
+            owner=owner,
+            object_uid=object_uid,
+            mode=mode,
+            colour=colour,
+        )
+        owner_uid = owner.uid
+
+        def completed(req: LockRequest) -> None:
+            self._waiting_by.get(owner_uid, set()).discard(object_uid)
+            if req.status is RequestStatus.GRANTED:
+                self._held_by.setdefault(owner_uid, set()).add(object_uid)
+            if on_complete is not None:
+                on_complete(req)
+
+        request.on_complete = completed
+        # Registered as waiting up front; cleared again in `completed` for
+        # immediate grants.
+        self._waiting_by.setdefault(owner_uid, set()).add(object_uid)
+        self.table(object_uid).request(request)
+        return request
+
+    def cancel_request(self, request: LockRequest, reason: str = "cancelled",
+                       error: Optional[BaseException] = None) -> bool:
+        return self.table(request.object_uid).cancel(request.request_uid, reason, error)
+
+    def cancel_waiting(self, owner_uid: Uid, reason: str,
+                       error: Optional[BaseException] = None) -> int:
+        """Cancel all queued requests of an owner (it is being aborted)."""
+        cancelled = 0
+        for object_uid in sorted(self._waiting_by.get(owner_uid, set())):
+            cancelled += self._tables[object_uid].cancel_owner(owner_uid, reason, error)
+        self._waiting_by.pop(owner_uid, None)
+        return cancelled
+
+    # -- termination ------------------------------------------------------------
+
+    def release_action(self, owner_uid: Uid) -> int:
+        """Abort path: drop all records and queued requests of the owner."""
+        self.cancel_waiting(owner_uid, reason="owner aborted")
+        dropped = 0
+        for object_uid in sorted(self._held_by.pop(owner_uid, set())):
+            table = self._tables.get(object_uid)
+            if table is not None:
+                dropped += table.release_all(owner_uid)
+                self._collect(object_uid, table)
+        return dropped
+
+    def transfer_on_commit(self, owner_uid: Uid, router: ColourRouter) -> None:
+        """Commit path: route every held record per colour across all tables."""
+        for object_uid in sorted(self._held_by.pop(owner_uid, set())):
+            table = self._tables.get(object_uid)
+            if table is None:
+                continue
+            routed = table.transfer(owner_uid, router)
+            for inheritor_uid in routed.values():
+                if inheritor_uid is not None:
+                    self._held_by.setdefault(inheritor_uid, set()).add(object_uid)
+            self._collect(object_uid, table)
+
+    # -- queries -----------------------------------------------------------------
+
+    def objects_held_by(self, owner_uid: Uid) -> Set[Uid]:
+        return set(self._held_by.get(owner_uid, set()))
+
+    def records_of(self, owner_uid: Uid) -> List[Tuple[Uid, LockRecord]]:
+        found: List[Tuple[Uid, LockRecord]] = []
+        for object_uid in sorted(self._held_by.get(owner_uid, set())):
+            table = self._tables.get(object_uid)
+            if table is None:
+                continue
+            found.extend((object_uid, record) for record in table.records_of(owner_uid))
+        return found
+
+    def holds(self, owner_uid: Uid, object_uid: Uid, mode: LockMode,
+              colour: Optional[Colour] = None) -> bool:
+        """Does the owner hold (at least) ``mode`` on the object?"""
+        table = self._tables.get(object_uid)
+        if table is None:
+            return False
+        for record in table.records_of(owner_uid):
+            if colour is not None and record.colour != colour:
+                continue
+            record_mode = getattr(record, "mode", None)
+            if record_mode is not None and record_mode.strength >= mode.strength:
+                return True
+        return False
+
+    def holds_group(self, owner_uid: Uid, object_uid: Uid, group: str,
+                    colour: Optional[Colour] = None) -> bool:
+        """Does the owner hold a semantic lock of ``group`` on the object?"""
+        table = self._tables.get(object_uid)
+        if table is None:
+            return False
+        for record in table.records_of(owner_uid):
+            if colour is not None and record.colour != colour:
+                continue
+            if getattr(record, "group", None) == group:
+                return True
+        return False
+
+    def waits_for_edges(self) -> List[Tuple[Uid, Uid]]:
+        """(waiter, holder) edges across all tables, for deadlock detection."""
+        edges: List[Tuple[Uid, Uid]] = []
+        for table in self._tables.values():
+            for queued in table.queue:
+                for holder_uid in table.blocked_on(queued):
+                    edges.append((queued.owner.uid, holder_uid))
+        return edges
+
+    def pending_requests_of(self, owner_uid: Uid) -> List[LockRequest]:
+        pending: List[LockRequest] = []
+        for object_uid in sorted(self._waiting_by.get(owner_uid, set())):
+            table = self._tables.get(object_uid)
+            if table is None:
+                continue
+            pending.extend(q for q in table.queue if q.owner.uid == owner_uid)
+        return pending
+
+    # -- internals ---------------------------------------------------------------
+
+    def _collect(self, object_uid: Uid, table: LockTable) -> None:
+        if table.is_idle():
+            self._tables.pop(object_uid, None)

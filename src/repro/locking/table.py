@@ -1,0 +1,187 @@
+"""Per-object lock table: holders, a FIFO wait queue, and commit routing.
+
+The table is a pure synchronous state machine.  Requests settle through
+their callbacks; the runtimes decide how a caller blocks.  Queueing is
+strict FIFO (no overtaking) to prevent writer starvation, with one
+documented exception: a requester that *already holds* a record on the
+object may be granted past the queue if the rules allow it — an upgrade or
+companion-colour acquisition is a continuation of an existing grant, not a
+new access, and forcing it behind the queue would manufacture deadlocks.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional
+
+from repro.colours.colour import Colour
+from repro.locking.lock import LockRecord
+from repro.locking.owner import LockOwner
+from repro.locking.request import LockRequest
+from repro.locking.rules import LockRules
+from repro.util.uid import Uid
+
+#: Commit-time routing: given a lock's colour, the ancestor that inherits it
+#: (or None to release — the committing action was outermost for the colour).
+ColourRouter = Callable[[Colour], Optional[LockOwner]]
+
+
+class LockTable:
+    """Lock state for a single object."""
+
+    def __init__(self, object_uid: Uid, rules: LockRules):
+        self.object_uid = object_uid
+        self.rules = rules
+        self.holders: List[LockRecord] = []
+        self.queue: Deque[LockRequest] = deque()
+
+    # -- queries ------------------------------------------------------------
+
+    def records_of(self, owner_uid: Uid) -> List[LockRecord]:
+        return [record for record in self.holders if record.owner.uid == owner_uid]
+
+    def is_idle(self) -> bool:
+        """True when nothing is held or queued (table may be garbage collected)."""
+        return not self.holders and not self.queue
+
+    def blocked_on(self, request: LockRequest) -> List[Uid]:
+        """Owner uids this queued request is currently waiting for.
+
+        Includes owners of blocking held records and owners of requests
+        queued ahead of it (FIFO makes those block too).  Used to build the
+        waits-for graph.
+        """
+        waiting_for = {record.owner.uid for record in self.rules.blockers(request, self.holders)}
+        for earlier in self.queue:
+            if earlier is request:
+                break
+            waiting_for.add(earlier.owner.uid)
+        waiting_for.discard(request.owner.uid)
+        return sorted(waiting_for)
+
+    # -- requesting -----------------------------------------------------------
+
+    def request(self, request: LockRequest) -> None:
+        """Grant now, refuse (rule violation), or enqueue the request."""
+        reason = self.rules.validate(request)
+        if reason is not None:
+            request.refuse(reason)
+            return
+        existing = self._record_for(request.owner.uid, request.colour)
+        if existing is not None and existing.mode.strength >= request.mode.strength:
+            request.grant()  # idempotent re-acquisition
+            return
+        holds_here = bool(self.records_of(request.owner.uid))
+        front_of_line = not self.queue
+        if (front_of_line or holds_here) and self.rules.may_grant(request, self.holders):
+            self._install(request)
+            request.grant()
+            return
+        self.queue.append(request)
+
+    def cancel(self, request_uid: Uid, reason: str = "cancelled",
+               error: Optional[BaseException] = None) -> bool:
+        """Remove a queued request (timeout / deadlock victim)."""
+        for queued in self.queue:
+            if queued.request_uid == request_uid:
+                self.queue.remove(queued)
+                if error is not None:
+                    queued.refuse(reason, error=error)
+                else:
+                    queued.cancel(reason)
+                self._wake()
+                return True
+        return False
+
+    def cancel_owner(self, owner_uid: Uid, reason: str,
+                     error: Optional[BaseException] = None) -> int:
+        """Cancel every queued request by ``owner_uid``; returns the count."""
+        victims = [q for q in self.queue if q.owner.uid == owner_uid]
+        for queued in victims:
+            self.queue.remove(queued)
+            if error is not None:
+                queued.refuse(reason, error=error)
+            else:
+                queued.cancel(reason)
+        if victims:
+            self._wake()
+        return len(victims)
+
+    # -- termination ---------------------------------------------------------
+
+    def release_all(self, owner_uid: Uid) -> int:
+        """Abort path: drop every record held by ``owner_uid``.
+
+        Ancestors' own records are untouched (§5.2 abort rule).  Returns the
+        number of records dropped.
+        """
+        before = len(self.holders)
+        self.holders = [record for record in self.holders if record.owner.uid != owner_uid]
+        dropped = before - len(self.holders)
+        if dropped:
+            self._wake()
+        return dropped
+
+    def transfer(self, owner_uid: Uid, router: ColourRouter) -> Dict[Colour, Optional[Uid]]:
+        """Commit path: route each of the owner's records per its colour.
+
+        ``router(colour)`` names the closest ancestor possessing the colour,
+        or None when the committing action is outermost for it (the record
+        is then released).  Returns {colour: inheritor uid or None} for the
+        colours actually routed.
+        """
+        routed: Dict[Colour, Optional[Uid]] = {}
+        keep: List[LockRecord] = []
+        moved: List[LockRecord] = []
+        for record in self.holders:
+            if record.owner.uid != owner_uid:
+                keep.append(record)
+                continue
+            destination = router(record.colour)
+            routed[record.colour] = destination.uid if destination is not None else None
+            if destination is not None:
+                record.reassign(destination)
+                moved.append(record)
+        self.holders = keep
+        for record in moved:
+            target = self._record_for(record.owner.uid, record.colour)
+            if target is not None:
+                target.merge_mode(record.mode)  # parent keeps the stronger mode
+            else:
+                self.holders.append(record)
+        self._wake()
+        return routed
+
+    # -- internals ---------------------------------------------------------------
+
+    def _record_for(self, owner_uid: Uid, colour: Colour) -> Optional[LockRecord]:
+        for record in self.holders:
+            if record.owner.uid == owner_uid and record.colour == colour:
+                return record
+        return None
+
+    def _install(self, request: LockRequest) -> None:
+        existing = self._record_for(request.owner.uid, request.colour)
+        if existing is not None:
+            existing.merge_mode(request.mode)
+        else:
+            self.holders.append(LockRecord(request.owner, request.mode, request.colour))
+
+    def _wake(self) -> None:
+        """Grant queued requests from the front while the rules allow (strict FIFO)."""
+        while self.queue:
+            front = self.queue[0]
+            if front.settled:  # settled elsewhere; discard
+                self.queue.popleft()
+                continue
+            existing = self._record_for(front.owner.uid, front.colour)
+            if existing is not None and existing.mode.strength >= front.mode.strength:
+                self.queue.popleft()
+                front.grant()
+                continue
+            if self.rules.may_grant(front, self.holders):
+                self.queue.popleft()
+                self._install(front)
+                front.grant()
+                continue
+            break

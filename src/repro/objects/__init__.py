@@ -1,0 +1,15 @@
+"""Persistent objects (§2's object model, after Arjuna's class hierarchy).
+
+- :class:`ObjectState` — a typed pack/unpack buffer; an object's state
+  crosses store, log and network boundaries as one of these.
+- :class:`StateManager` — base class providing snapshot/restore and
+  store activation for user-defined object types.
+- :class:`LockableObject` — adds lock acquisition (``setlock``) tied to a
+  runtime's ambient action, triggering before-image capture on first write.
+"""
+
+from repro.objects.state import ObjectState
+from repro.objects.state_manager import StateManager
+from repro.objects.lockable import LockableObject
+
+__all__ = ["ObjectState", "StateManager", "LockableObject"]

@@ -1,0 +1,82 @@
+"""LockableObject: StateManager plus lock acquisition (Arjuna's LockManager).
+
+Object types follow the Arjuna idiom: every public operation first calls
+:meth:`setlock` in the appropriate mode, then reads/writes instance
+variables.  ``setlock`` resolves the acting action (explicit argument or the
+ambient one), resolves the colour (explicit, or the action's single
+colour), blocks until granted, and — for writes — triggers before-image
+capture so the action can be aborted.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Callable, Optional, TYPE_CHECKING
+
+from repro.colours.colour import Colour
+from repro.locking.modes import LockMode
+from repro.objects.state_manager import StateManager
+from repro.runtime.context import require_current_action
+from repro.util.uid import Uid
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.actions.action import Action
+    from repro.runtime.runtime import LocalRuntime
+
+
+def operation(mode: LockMode) -> Callable:
+    """Declare a lock-managed operation on a :class:`LockableObject`.
+
+    The decorated method, called locally, first acquires ``mode`` on the
+    object for the acting action (explicit ``action=`` / ``colour=`` kwargs
+    or the ambient context) and then runs the body — the Arjuna idiom.
+
+    The undecorated body and the mode stay reachable as
+    ``method.__repro_body__`` / ``method.__repro_mode__`` so the cluster's
+    object servers can take the lock themselves (event-driven, on their own
+    lock tables) and then execute the body directly.
+    """
+
+    def wrap(fn: Callable) -> Callable:
+        @functools.wraps(fn)
+        def method(self, *args, colour=None, action=None, **kwargs):
+            self.setlock(mode, colour=colour, action=action)
+            return fn(self, *args, **kwargs)
+
+        method.__repro_mode__ = mode
+        method.__repro_body__ = fn
+        return method
+
+    return wrap
+
+
+class LockableObject(StateManager):
+    """Base class for persistent, lock-managed object types."""
+
+    def __init__(self, runtime: "LocalRuntime", uid: Optional[Uid] = None,
+                 persist: bool = True):
+        super().__init__(uid if uid is not None else runtime.fresh_object_uid())
+        self.runtime = runtime
+        runtime.register_object(self, persist=persist)
+
+    def setlock(self, mode: LockMode, colour: Optional[Colour] = None,
+                action: Optional["Action"] = None,
+                timeout: Optional[float] = None) -> "Action":
+        """Acquire ``mode`` on this object for the acting action; returns it."""
+        acting = action if action is not None else require_current_action()
+        self.runtime.acquire(acting, self, mode, colour=colour, timeout=timeout)
+        return acting
+
+    # Convenience wrappers keeping object methods terse.
+
+    def read_lock(self, colour: Optional[Colour] = None,
+                  action: Optional["Action"] = None) -> "Action":
+        return self.setlock(LockMode.READ, colour=colour, action=action)
+
+    def write_lock(self, colour: Optional[Colour] = None,
+                   action: Optional["Action"] = None) -> "Action":
+        return self.setlock(LockMode.WRITE, colour=colour, action=action)
+
+    def exclusive_read_lock(self, colour: Optional[Colour] = None,
+                            action: Optional["Action"] = None) -> "Action":
+        return self.setlock(LockMode.EXCLUSIVE_READ, colour=colour, action=action)

@@ -1,0 +1,239 @@
+"""ObjectState: the typed serialization buffer for object states.
+
+Modelled on Arjuna's ``ObjectState``: a ``save_state`` method packs an
+object's instance variables in a fixed order; ``restore_state`` unpacks in
+the same order.  Every value is tagged, and every unpack checks its tag, so
+a mismatched read fails loudly with :class:`~repro.errors.CorruptState`
+instead of silently mis-restoring.
+
+Supported value types: int (arbitrary precision), float, bool, str, bytes,
+None, :class:`~repro.util.uid.Uid`, and lists/tuples/dicts of these.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Dict, List, Optional
+
+from repro.errors import CorruptState
+from repro.util.uid import Uid
+
+_TAG_INT = b"i"
+_TAG_FLOAT = b"f"
+_TAG_BOOL = b"b"
+_TAG_STR = b"s"
+_TAG_BYTES = b"y"
+_TAG_NONE = b"n"
+_TAG_UID = b"u"
+_TAG_LIST = b"l"
+_TAG_TUPLE = b"t"
+_TAG_DICT = b"d"
+
+
+class ObjectState:
+    """A pack/unpack buffer with a read cursor.
+
+    Packing appends to the buffer; unpacking consumes from the cursor.  Use
+    :meth:`to_bytes` / :meth:`from_bytes` to cross storage or the network.
+    """
+
+    def __init__(self, payload: bytes = b""):
+        self._chunks: List[bytes] = [payload] if payload else []
+        self._buffer: Optional[bytes] = payload if payload else None
+        self._cursor = 0
+
+    # -- whole-buffer ---------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        if self._buffer is None or len(self._chunks) != 1:
+            self._buffer = b"".join(self._chunks)
+            self._chunks = [self._buffer]
+        return self._buffer
+
+    @classmethod
+    def from_bytes(cls, payload: bytes) -> "ObjectState":
+        return cls(payload)
+
+    @property
+    def exhausted(self) -> bool:
+        """True when every packed value has been unpacked."""
+        return self._cursor >= len(self.to_bytes())
+
+    # -- packing ------------------------------------------------------------------
+
+    def pack_int(self, value: int) -> "ObjectState":
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise TypeError(f"pack_int got {type(value).__name__}")
+        digits = str(value).encode("ascii")
+        self._append(_TAG_INT + struct.pack(">I", len(digits)) + digits)
+        return self
+
+    def pack_float(self, value: float) -> "ObjectState":
+        self._append(_TAG_FLOAT + struct.pack(">d", float(value)))
+        return self
+
+    def pack_bool(self, value: bool) -> "ObjectState":
+        self._append(_TAG_BOOL + (b"\x01" if value else b"\x00"))
+        return self
+
+    def pack_string(self, value: str) -> "ObjectState":
+        if not isinstance(value, str):
+            raise TypeError(f"pack_string got {type(value).__name__}")
+        raw = value.encode("utf-8")
+        self._append(_TAG_STR + struct.pack(">I", len(raw)) + raw)
+        return self
+
+    def pack_bytes(self, value: bytes) -> "ObjectState":
+        self._append(_TAG_BYTES + struct.pack(">I", len(value)) + bytes(value))
+        return self
+
+    def pack_none(self) -> "ObjectState":
+        self._append(_TAG_NONE)
+        return self
+
+    def pack_uid(self, value: Uid) -> "ObjectState":
+        raw = value.namespace.encode("utf-8")
+        self._append(_TAG_UID + struct.pack(">I", len(raw)) + raw + struct.pack(">q", value.sequence))
+        return self
+
+    def pack_value(self, value: Any) -> "ObjectState":
+        """Pack any supported value, dispatching on its type."""
+        if value is None:
+            return self.pack_none()
+        if isinstance(value, bool):
+            return self.pack_bool(value)
+        if isinstance(value, int):
+            return self.pack_int(value)
+        if isinstance(value, float):
+            return self.pack_float(value)
+        if isinstance(value, str):
+            return self.pack_string(value)
+        if isinstance(value, (bytes, bytearray)):
+            return self.pack_bytes(bytes(value))
+        if isinstance(value, Uid):
+            return self.pack_uid(value)
+        if isinstance(value, list):
+            return self._pack_sequence(_TAG_LIST, value)
+        if isinstance(value, tuple):
+            return self._pack_sequence(_TAG_TUPLE, value)
+        if isinstance(value, dict):
+            self._append(_TAG_DICT + struct.pack(">I", len(value)))
+            for key, item in value.items():
+                self.pack_value(key)
+                self.pack_value(item)
+            return self
+        raise TypeError(f"cannot pack value of type {type(value).__name__}")
+
+    # -- unpacking -------------------------------------------------------------------
+
+    def unpack_int(self) -> int:
+        self._expect(_TAG_INT)
+        length = self._read_u32()
+        digits = self._read(length)
+        try:
+            return int(digits.decode("ascii"))
+        except ValueError as exc:
+            raise CorruptState(f"bad int digits {digits!r}") from exc
+
+    def unpack_float(self) -> float:
+        self._expect(_TAG_FLOAT)
+        (value,) = struct.unpack(">d", self._read(8))
+        return value
+
+    def unpack_bool(self) -> bool:
+        self._expect(_TAG_BOOL)
+        return self._read(1) != b"\x00"
+
+    def unpack_string(self) -> str:
+        self._expect(_TAG_STR)
+        length = self._read_u32()
+        try:
+            return self._read(length).decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise CorruptState("bad utf-8 in string") from exc
+
+    def unpack_bytes(self) -> bytes:
+        self._expect(_TAG_BYTES)
+        return self._read(self._read_u32())
+
+    def unpack_uid(self) -> Uid:
+        self._expect(_TAG_UID)
+        length = self._read_u32()
+        namespace = self._read(length).decode("utf-8")
+        (sequence,) = struct.unpack(">q", self._read(8))
+        return Uid(namespace, sequence)
+
+    def unpack_value(self) -> Any:
+        """Unpack whatever was packed next (tag-dispatched)."""
+        tag = self._peek_tag()
+        if tag == _TAG_NONE:
+            self._read(1)
+            return None
+        if tag == _TAG_BOOL:
+            return self.unpack_bool()
+        if tag == _TAG_INT:
+            return self.unpack_int()
+        if tag == _TAG_FLOAT:
+            return self.unpack_float()
+        if tag == _TAG_STR:
+            return self.unpack_string()
+        if tag == _TAG_BYTES:
+            return self.unpack_bytes()
+        if tag == _TAG_UID:
+            return self.unpack_uid()
+        if tag == _TAG_LIST:
+            return list(self._unpack_sequence(_TAG_LIST))
+        if tag == _TAG_TUPLE:
+            return tuple(self._unpack_sequence(_TAG_TUPLE))
+        if tag == _TAG_DICT:
+            self._read(1)
+            count = self._read_u32()
+            result: Dict[Any, Any] = {}
+            for _ in range(count):
+                key = self.unpack_value()
+                result[key] = self.unpack_value()
+            return result
+        raise CorruptState(f"unknown tag {tag!r} at offset {self._cursor}")
+
+    # -- internals -----------------------------------------------------------------------
+
+    def _pack_sequence(self, tag: bytes, values) -> "ObjectState":
+        self._append(tag + struct.pack(">I", len(values)))
+        for item in values:
+            self.pack_value(item)
+        return self
+
+    def _unpack_sequence(self, tag: bytes) -> List[Any]:
+        self._expect(tag)
+        count = self._read_u32()
+        return [self.unpack_value() for _ in range(count)]
+
+    def _append(self, chunk: bytes) -> None:
+        self._chunks.append(chunk)
+        self._buffer = None
+
+    def _peek_tag(self) -> bytes:
+        data = self.to_bytes()
+        if self._cursor >= len(data):
+            raise CorruptState("unpack past end of state")
+        return data[self._cursor:self._cursor + 1]
+
+    def _expect(self, tag: bytes) -> None:
+        actual = self._peek_tag()
+        if actual != tag:
+            raise CorruptState(
+                f"expected tag {tag!r} but found {actual!r} at offset {self._cursor}"
+            )
+        self._cursor += 1
+
+    def _read(self, count: int) -> bytes:
+        data = self.to_bytes()
+        if self._cursor + count > len(data):
+            raise CorruptState("truncated state buffer")
+        chunk = data[self._cursor:self._cursor + count]
+        self._cursor += count
+        return chunk
+
+    def _read_u32(self) -> int:
+        (value,) = struct.unpack(">I", self._read(4))
+        return value

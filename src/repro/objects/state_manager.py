@@ -1,0 +1,73 @@
+"""StateManager: the base class for persistent object types.
+
+Subclasses implement ``save_state`` / ``restore_state`` over an
+:class:`~repro.objects.state.ObjectState`; everything else — snapshots for
+before-images, persistence into object stores, activation — is inherited.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import ClassVar
+
+from repro.errors import CorruptState
+from repro.objects.state import ObjectState
+from repro.store.interface import ObjectStore, StoredState
+from repro.util.uid import Uid
+
+
+class StateManager(ABC):
+    """A persistent object: identity plus state (de)serialization.
+
+    The class attribute ``type_name`` identifies the stored representation;
+    activation refuses to load a state recorded under a different type.
+    """
+
+    type_name: ClassVar[str] = "state_manager"
+
+    def __init__(self, uid: Uid):
+        self.uid = uid
+
+    # -- subclass contract -----------------------------------------------------
+
+    @abstractmethod
+    def save_state(self, state: ObjectState) -> None:
+        """Pack all instance variables into ``state`` (fixed order)."""
+
+    @abstractmethod
+    def restore_state(self, state: ObjectState) -> None:
+        """Unpack instance variables from ``state`` (same order as save)."""
+
+    # -- snapshots (before-images, commit images) ---------------------------------
+
+    def snapshot(self) -> bytes:
+        """Serialize the current in-memory state to an opaque buffer."""
+        state = ObjectState()
+        self.save_state(state)
+        return state.to_bytes()
+
+    def restore_snapshot(self, payload: bytes) -> None:
+        """Overwrite the in-memory state from a buffer produced by :meth:`snapshot`."""
+        self.restore_state(ObjectState.from_bytes(payload))
+
+    def stored_state(self) -> StoredState:
+        return StoredState(self.uid, self.type_name, self.snapshot())
+
+    # -- store interaction ----------------------------------------------------------
+
+    def persist_to(self, store: ObjectStore) -> None:
+        """Write the current state as the committed state in ``store``."""
+        store.write_committed(self.stored_state())
+
+    def activate_from(self, store: ObjectStore) -> None:
+        """Load the committed state from ``store`` into memory."""
+        stored = store.read_committed(self.uid)
+        if stored.type_name != self.type_name:
+            raise CorruptState(
+                f"object {self.uid} stored as {stored.type_name!r}, "
+                f"activated as {self.type_name!r}"
+            )
+        self.restore_snapshot(stored.payload)
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.uid}>"

@@ -1,0 +1,14 @@
+"""Object replication (§2) and the replicated name server (§4(ii)).
+
+Availability "can be increased by replicating [objects] and storing them in
+more than one object store", managed through a replica-consistency
+protocol.  Here that protocol is read-one/write-all layered on the action
+machinery: writes lock and update every replica inside the acting action
+(so a commit 2PCs across all hosting nodes, keeping copies mutually
+consistent), and reads are served by the first reachable replica.
+"""
+
+from repro.replication.group import ReplicaGroup
+from repro.replication.nameserver import ReplicatedNameServer
+
+__all__ = ["ReplicaGroup", "ReplicatedNameServer"]

@@ -1,0 +1,84 @@
+"""The replicated name server (§4(ii)).
+
+"For the sake of availability and consistency it is desirable that a name
+server be replicated and operations on it (such as add, delete, lookup)
+structured as atomic actions.  Such atomic actions can be invoked as
+top-level independent actions from within distributed applications."
+
+The server state is one :class:`~repro.stdobjects.register.Register` per
+replica node, holding the name->value mapping; a :class:`ReplicaGroup`
+keeps the copies mutually consistent.  Every public operation runs as a
+**top-level independent action** when invoked with an invoking action (so
+an application's abort never undoes a name-server update — the paper's
+explicit point) or as a plain top-level action otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+from repro.cluster.client import ClusterAction, ClusterClient
+from repro.errors import NameNotBound
+from repro.replication.group import ReplicaGroup
+
+
+class ReplicatedNameServer:
+    """bind/lookup/unbind over replicated registers."""
+
+    def __init__(self, client: ClusterClient, group: ReplicaGroup):
+        self.client = client
+        self.group = group
+
+    @classmethod
+    def create(cls, client: ClusterClient, nodes: Sequence[str]):
+        """Generator: set up empty replicas on ``nodes``."""
+        group = yield from ReplicaGroup.create(
+            client, nodes, "register", value={}
+        )
+        return cls(client, group)
+
+    def _action(self, invoker: Optional[ClusterAction], name: str) -> ClusterAction:
+        if invoker is not None:
+            return self.client.independent_top_level(invoker, name=name)
+        return self.client.top_level(name)
+
+    # -- operations (generators) ------------------------------------------------
+
+    def bind(self, name: str, value: Any,
+             invoker: Optional[ClusterAction] = None):
+        """Bind (or rebind) a name on all replicas, atomically."""
+        action = self._action(invoker, f"ns.bind:{name}")
+        def body():
+            mapping = yield from self.group.invoke(action, "get")
+            mapping = dict(mapping)
+            mapping[name] = value
+            yield from self.group.invoke(action, "set", mapping)
+        return self.client.run_scope(action, body())
+
+    def unbind(self, name: str, invoker: Optional[ClusterAction] = None):
+        action = self._action(invoker, f"ns.unbind:{name}")
+        def body():
+            mapping = yield from self.group.invoke(action, "get")
+            mapping = dict(mapping)
+            removed = mapping.pop(name, None) is not None
+            if removed:
+                yield from self.group.invoke(action, "set", mapping)
+            return removed
+        return self.client.run_scope(action, body())
+
+    def lookup(self, name: str, invoker: Optional[ClusterAction] = None):
+        """Read from the first available replica."""
+        action = self._action(invoker, f"ns.lookup:{name}")
+        def body():
+            mapping = yield from self.group.invoke(action, "get")
+            if name not in mapping:
+                raise NameNotBound(name)
+            return mapping[name]
+        return self.client.run_scope(action, body())
+
+    def names(self, invoker: Optional[ClusterAction] = None):
+        action = self._action(invoker, "ns.names")
+        def body():
+            mapping = yield from self.group.invoke(action, "get")
+            return sorted(mapping)
+        return self.client.run_scope(action, body())

@@ -1,0 +1,279 @@
+"""LocalRuntime: the single-process, multi-threaded action runtime.
+
+Holds the stable object store, the lock registry (coloured rules by
+default), the colour allocator, and a deadlock detector.  All shared state
+is guarded by one re-entrant mutex; waiting for locks happens *outside* the
+mutex on per-request events, so holders can release while others wait.
+
+Deadlock policy: detection runs whenever a request blocks (a cycle can only
+form at the instant its last edge appears, i.e. when some request blocks),
+and the youngest action in the cycle has its pending requests refused with
+:class:`~repro.errors.DeadlockDetected` — the waiter raises, and its scope
+aborts the action.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Dict, Iterable, Optional
+
+from repro.actions.action import Action
+from repro.actions.runtime_api import ActionRuntime
+from repro.actions.status import Outcome
+from repro.colours.colour import Colour, ColourAllocator
+from repro.errors import LockRefused, LockTimeout
+from repro.locking.deadlock import DeadlockDetector
+from repro.locking.modes import LockMode
+from repro.locking.registry import LockRegistry
+from repro.locking.request import LockRequest, RequestStatus
+from repro.locking.rules import ColouredRules, LockRules
+from repro.objects.state_manager import StateManager
+from repro.runtime.context import current_action
+from repro.runtime.scope import ActionScope
+from repro.store.interface import ObjectStore
+from repro.store.stable import StableStore
+from repro.util.uid import Uid, UidGenerator
+
+#: Sentinel: "use the ambient action as parent" in the action factories.
+AMBIENT = object()
+
+
+class LocalRuntime(ActionRuntime):
+    """Everything needed to run (multi-)coloured actions in one process."""
+
+    def __init__(self, rules: Optional[LockRules] = None,
+                 store: Optional[ObjectStore] = None,
+                 deadlock_detection: bool = True,
+                 default_lock_timeout: Optional[float] = None):
+        self.store: ObjectStore = store if store is not None else StableStore()
+        self._registry = LockRegistry(rules if rules is not None else ColouredRules())
+        self.colours = ColourAllocator()
+        self.deadlock_detection = deadlock_detection
+        self.default_lock_timeout = default_lock_timeout
+        self.objects: Dict[Uid, StateManager] = {}
+        self._action_uids = UidGenerator("action")
+        self._object_uids = UidGenerator("object")
+        self._undo_seq = itertools.count(1)
+        self._mutex = threading.RLock()
+        self._detector = DeadlockDetector(self._registry)
+        self._observers: list = []
+
+    # -- ActionRuntime contract ------------------------------------------------
+
+    @property
+    def locks(self) -> LockRegistry:
+        return self._registry
+
+    def fresh_action_uid(self) -> Uid:
+        with self._mutex:
+            return self._action_uids.fresh()
+
+    def next_undo_seq(self) -> int:
+        return next(self._undo_seq)
+
+    def persist_colour(self, action: Action, colour: Colour,
+                       written: Dict[Uid, StateManager]) -> None:
+        """Permanence of effect: write the new states to the stable store.
+
+        Single store, single mutex — the multi-object write is atomic with
+        respect to every other runtime operation.
+        """
+        for object_uid in sorted(written):
+            written[object_uid].persist_to(self.store)
+
+    def action_terminated(self, action: Action) -> None:
+        for observer in self._observers:
+            observer.on_action_terminated(action)
+
+    def action_created(self, action: Action) -> None:
+        for observer in self._observers:
+            observer.on_action_created(action)
+
+    def add_observer(self, observer) -> None:
+        """Attach a runtime observer (tracing, metrics).
+
+        Observers implement any of ``on_action_created(action)``,
+        ``on_action_terminated(action)``, ``on_lock_granted(action,
+        object_uid, mode, colour)`` — see :mod:`repro.trace`.
+        """
+        self._observers.append(observer)
+
+    # -- object management ------------------------------------------------------
+
+    def fresh_object_uid(self) -> Uid:
+        with self._mutex:
+            return self._object_uids.fresh()
+
+    def register_object(self, obj: StateManager, persist: bool = True) -> None:
+        """Track a live object; optionally write its initial committed state.
+
+        Object creation is not itself transactional (matching Arjuna's
+        model, where an object exists once its state reaches the store);
+        modifications to it are.
+        """
+        with self._mutex:
+            self.objects[obj.uid] = obj
+            if persist:
+                obj.persist_to(self.store)
+
+    def object(self, object_uid: Uid) -> StateManager:
+        return self.objects[object_uid]
+
+    # -- action factories ----------------------------------------------------------
+
+    def top_level(self, name: str = "", colour_name: str = "") -> ActionScope:
+        """A top-level atomic action: one fresh colour."""
+        colour = self.colours.fresh(colour_name or (name and f"{name}-colour") or "")
+        return ActionScope(self, Action(self, [colour], parent=None, name=name))
+
+    def atomic(self, parent=AMBIENT, name: str = "") -> ActionScope:
+        """A (possibly nested) atomic action.
+
+        Nested: inherits the parent's colours, giving exactly Moss's nested
+        atomic actions.  Without a parent (explicit ``parent=None`` or no
+        ambient action): a fresh top-level action.
+        """
+        resolved = self._resolve_parent(parent)
+        if resolved is None:
+            return self.top_level(name=name)
+        return ActionScope(self, Action(self, resolved.colours, parent=resolved, name=name))
+
+    def coloured(self, colours: Iterable[Colour], parent=AMBIENT,
+                 name: str = "") -> ActionScope:
+        """A multi-coloured action with an explicit static colour set (§5)."""
+        resolved = self._resolve_parent(parent)
+        return ActionScope(self, Action(self, colours, parent=resolved, name=name))
+
+    def _resolve_parent(self, parent) -> Optional[Action]:
+        if parent is AMBIENT:
+            return current_action()
+        return parent
+
+    # -- termination (mutex-guarded wrappers) -------------------------------------------
+
+    def commit_action(self, action: Action) -> Outcome:
+        with self._mutex:
+            return action.commit()
+
+    def abort_action(self, action: Action) -> Outcome:
+        with self._mutex:
+            return action.abort()
+
+    # -- lock acquisition -----------------------------------------------------------------
+
+    def acquire(self, action: Action, obj: StateManager, mode: LockMode,
+                colour: Optional[Colour] = None,
+                timeout: Optional[float] = None) -> LockRequest:
+        """Blockingly acquire a lock for ``action`` on ``obj``.
+
+        ``colour`` defaults to the action's ``default_colour`` (or its single
+        colour).  On grant of a WRITE lock the object's before-image is
+        captured (failure atomicity).  If the action declares a
+        ``companion_colour`` (§5.3's serializing scheme), the lock is
+        additionally shadowed in that colour: READ as READ, WRITE and
+        EXCLUSIVE_READ as EXCLUSIVE_READ — so the enclosing control action
+        will retain the object.  Raises :class:`DeadlockDetected`,
+        :class:`LockTimeout` or :class:`LockRefused` on the failure paths.
+        """
+        chosen = action.lock_colour(colour)
+        settled = threading.Event()
+
+        def completed(_request: LockRequest) -> None:
+            settled.set()
+
+        with self._mutex:
+            request = self._registry.request(action, obj.uid, mode, chosen, completed)
+            if not request.settled and self.deadlock_detection:
+                self._detector.resolve_all()
+
+        limit = timeout if timeout is not None else self.default_lock_timeout
+        if not settled.wait(timeout=limit):
+            with self._mutex:
+                self._registry.cancel_request(request, reason="lock timeout")
+            if request.status is not RequestStatus.GRANTED:
+                raise LockTimeout(
+                    f"{action.name}: {mode.value} lock on {obj.uid} timed out"
+                )
+
+        if request.status is RequestStatus.GRANTED:
+            if mode is LockMode.WRITE:
+                with self._mutex:
+                    action.record_write(obj, chosen)
+            for observer in self._observers:
+                observer.on_lock_granted(action, obj.uid, mode, chosen)
+            companion = action.companion_colour
+            if companion is not None and companion != chosen:
+                shadow_mode = (
+                    LockMode.READ if mode is LockMode.READ else LockMode.EXCLUSIVE_READ
+                )
+                self.acquire(action, obj, shadow_mode, colour=companion, timeout=timeout)
+            return request
+        if request.error is not None:
+            raise request.error
+        raise LockRefused(
+            f"{action.name}: {mode.value} lock on {obj.uid} refused: {request.refusal}"
+        )
+
+    # -- semantic (type-specific) locking (§2) ------------------------------------------------
+
+    def acquire_group(self, action: Action, obj: StateManager, group: str,
+                      colour: Optional[Colour] = None,
+                      timeout: Optional[float] = None) -> LockRequest:
+        """Blockingly acquire an operation-group lock on a semantic object.
+
+        The companion-colour mechanism applies here too: serializing
+        constituents shadow every group lock with the reserved retain
+        group in the control colour, pinning the object for the control
+        action.
+        """
+        from repro.objects.semantic import RETAIN_GROUP
+
+        chosen = action.lock_colour(colour)
+        settled = threading.Event()
+
+        def completed(_request: LockRequest) -> None:
+            settled.set()
+
+        with self._mutex:
+            request = self._registry.request(action, obj.uid, group, chosen,
+                                             completed)
+            if not request.settled and self.deadlock_detection:
+                self._detector.resolve_all()
+
+        limit = timeout if timeout is not None else self.default_lock_timeout
+        if not settled.wait(timeout=limit):
+            with self._mutex:
+                self._registry.cancel_request(request, reason="lock timeout")
+            if request.status is not RequestStatus.GRANTED:
+                raise LockTimeout(
+                    f"{action.name}: group {group!r} lock on {obj.uid} timed out"
+                )
+        if request.status is RequestStatus.GRANTED:
+            companion = action.companion_colour
+            if (companion is not None and companion != chosen
+                    and group != RETAIN_GROUP):
+                self.acquire_group(action, obj, RETAIN_GROUP,
+                                   colour=companion, timeout=timeout)
+            return request
+        if request.error is not None:
+            raise request.error
+        raise LockRefused(
+            f"{action.name}: group {group!r} on {obj.uid} refused: "
+            f"{request.refusal}"
+        )
+
+    def log_operation(self, action: Action, obj: StateManager, colour: Colour,
+                      compensate, description: str = "") -> None:
+        """Record a compensating operation (type-specific recovery)."""
+        with self._mutex:
+            action.record_operation(obj, colour, compensate, description)
+
+    # -- introspection -----------------------------------------------------------------------
+
+    def deadlock_victims(self) -> list:
+        return list(self._detector.victims_chosen)
+
+    def locked_objects(self) -> int:
+        with self._mutex:
+            return sum(1 for _ in self._registry.tables())

@@ -1,0 +1,52 @@
+"""Action scopes: ``with`` blocks that begin/commit/abort actions.
+
+Normal exit commits; an exception aborts and re-raises.  The scope also
+maintains the ambient action stack so nested scopes and object methods
+compose without explicit action plumbing.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+from repro.actions.action import Action
+from repro.actions.status import ActionStatus, Outcome
+from repro.runtime.context import pop_action, push_action
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.runtime import LocalRuntime
+
+
+class ActionScope:
+    """Context manager owning one action's begin/end.
+
+    ``__enter__`` returns the :class:`~repro.actions.action.Action`.  Inside
+    the block the action is the ambient one.  On clean exit the action is
+    committed (unless already terminated manually); on exception it is
+    aborted and the exception propagates.  The final outcome is available
+    as :attr:`outcome` afterwards.
+    """
+
+    def __init__(self, runtime: "LocalRuntime", action: Action):
+        self.runtime = runtime
+        self.action = action
+        self.outcome: Optional[Outcome] = None
+
+    def __enter__(self) -> Action:
+        push_action(self.action)
+        return self.action
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        pop_action(self.action)
+        if self.action.status.terminated:
+            self.outcome = (
+                Outcome.COMMITTED
+                if self.action.status is ActionStatus.COMMITTED
+                else Outcome.ABORTED
+            )
+            return False
+        if exc_type is None:
+            self.outcome = self.runtime.commit_action(self.action)
+        else:
+            self.outcome = self.runtime.abort_action(self.action)
+        return False

@@ -1,0 +1,117 @@
+"""Coordination primitives built on the kernel: gates, semaphores, channels.
+
+These are the simulation-side analogues of condition variables and queues;
+the cluster transport and node processes are written against them.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Generator, List
+
+from repro.errors import SimulationError
+from repro.sim.kernel import Kernel, SimEvent
+
+
+class Gate:
+    """A re-usable broadcast condition.
+
+    ``wait()`` returns an event for the *next* :meth:`open` call.  Unlike a
+    raw :class:`SimEvent`, a gate can fire many times; each ``open`` settles
+    the waiters registered since the previous one.
+    """
+
+    def __init__(self, kernel: Kernel, name: str = "gate"):
+        self.kernel = kernel
+        self.name = name
+        self._waiters: List[SimEvent] = []
+
+    def wait(self) -> SimEvent:
+        event = self.kernel.event(name=f"{self.name}.wait")
+        self._waiters.append(event)
+        return event
+
+    def open(self, value: Any = None) -> int:
+        """Release all current waiters; returns how many were released."""
+        waiters, self._waiters = self._waiters, []
+        for event in waiters:
+            event.trigger(value)
+        return len(waiters)
+
+
+class Semaphore:
+    """Counting semaphore with FIFO waiters."""
+
+    def __init__(self, kernel: Kernel, permits: int = 1, name: str = "sem"):
+        if permits < 0:
+            raise SimulationError("semaphore permits must be non-negative")
+        self.kernel = kernel
+        self.name = name
+        self._permits = permits
+        self._waiters: Deque[SimEvent] = deque()
+
+    @property
+    def available(self) -> int:
+        return self._permits
+
+    def acquire(self) -> SimEvent:
+        """Event that triggers once a permit has been granted to the caller."""
+        event = self.kernel.event(name=f"{self.name}.acquire")
+        if self._permits > 0 and not self._waiters:
+            self._permits -= 1
+            event.trigger()
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self) -> None:
+        if self._waiters:
+            self._waiters.popleft().trigger()
+        else:
+            self._permits += 1
+
+    def holding(self, body: Generator[Any, Any, Any]) -> Generator[Any, Any, Any]:
+        """Run a sub-generator while holding one permit."""
+        yield self.acquire()
+        try:
+            result = yield from body
+        finally:
+            self.release()
+        return result
+
+
+class Channel:
+    """Unbounded FIFO message channel between processes.
+
+    ``put`` never blocks; ``get`` returns an event that triggers with the
+    next item.  Getters are served in FIFO order.
+    """
+
+    def __init__(self, kernel: Kernel, name: str = "chan"):
+        self.kernel = kernel
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[SimEvent] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        if self._getters:
+            self._getters.popleft().trigger(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> SimEvent:
+        event = self.kernel.event(name=f"{self.name}.get")
+        if self._items:
+            event.trigger(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event
+
+    def drain(self) -> List[Any]:
+        """Remove and return all queued items without waiting."""
+        items = list(self._items)
+        self._items.clear()
+        return items

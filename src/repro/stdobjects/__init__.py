@@ -1,0 +1,27 @@
+"""Standard persistent object types used by the examples and applications.
+
+Each type follows the Arjuna idiom: operations take their lock via
+``setlock`` and then touch instance variables, so any of them can be used
+inside atomic, serializing, glued or independent actions without change.
+"""
+
+from repro.stdobjects.counter import Counter
+from repro.stdobjects.register import Register
+from repro.stdobjects.account import Account
+from repro.stdobjects.commuting import CommutingCounter
+from repro.stdobjects.directory import Directory
+from repro.stdobjects.fifo import FifoQueue
+from repro.stdobjects.file import FileObject
+from repro.stdobjects.diary import Diary, DiarySlot
+
+__all__ = [
+    "Counter",
+    "Register",
+    "Account",
+    "CommutingCounter",
+    "Directory",
+    "FifoQueue",
+    "FileObject",
+    "Diary",
+    "DiarySlot",
+]

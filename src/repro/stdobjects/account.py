@@ -1,0 +1,70 @@
+"""A bank-style account, used by the billing example (§4(iii))."""
+
+from __future__ import annotations
+
+from typing import ClassVar, List, Tuple
+
+from repro.errors import InvalidActionState
+from repro.locking.modes import LockMode
+from repro.objects.lockable import LockableObject, operation
+from repro.objects.state import ObjectState
+
+
+class InsufficientFunds(InvalidActionState):
+    """A withdrawal would overdraw the account."""
+
+
+class Account(LockableObject):
+    """Balance plus an append-only statement of (description, amount) entries."""
+
+    type_name: ClassVar[str] = "account"
+
+    def __init__(self, runtime, owner: str = "", balance: int = 0,
+                 uid=None, persist: bool = True):
+        self.owner = owner
+        self.balance = balance
+        self.statement: List[Tuple[str, int]] = []
+        super().__init__(runtime, uid=uid, persist=persist)
+
+    def save_state(self, state: ObjectState) -> None:
+        state.pack_string(self.owner)
+        state.pack_int(self.balance)
+        state.pack_value([list(entry) for entry in self.statement])
+
+    def restore_state(self, state: ObjectState) -> None:
+        self.owner = state.unpack_string()
+        self.balance = state.unpack_int()
+        self.statement = [tuple(entry) for entry in state.unpack_value()]
+
+    # -- operations ------------------------------------------------------------
+
+    @operation(LockMode.READ)
+    def read_balance(self) -> int:
+        return self.balance
+
+    @operation(LockMode.READ)
+    def read_statement(self) -> List[Tuple[str, int]]:
+        return list(self.statement)
+
+    @operation(LockMode.WRITE)
+    def deposit(self, amount: int, description: str = "deposit") -> int:
+        self.balance += amount
+        self.statement.append((description, amount))
+        return self.balance
+
+    @operation(LockMode.WRITE)
+    def withdraw(self, amount: int, description: str = "withdraw") -> int:
+        if amount > self.balance:
+            raise InsufficientFunds(
+                f"{self.owner or self.uid}: withdraw {amount} > balance {self.balance}"
+            )
+        self.balance -= amount
+        self.statement.append((description, -amount))
+        return self.balance
+
+    @operation(LockMode.WRITE)
+    def charge(self, amount: int, description: str) -> int:
+        """Billing entry — may overdraw (the provider bills regardless)."""
+        self.balance -= amount
+        self.statement.append((description, -amount))
+        return self.balance

@@ -1,0 +1,63 @@
+"""The §2 example object for type-specific CC and recovery: a counter
+whose add() and subtract() commute.
+
+Two different actions may add/subtract concurrently (the updates are
+compatible); an abort compensates with the inverse operation instead of
+restoring a state image, so it never wipes the other action's effect.
+Observers (get) conflict with updaters: a read sees only committed values
+plus this action's own updates — the usual semantic-counter design.
+"""
+
+from __future__ import annotations
+
+from typing import ClassVar
+
+from repro.locking.semantic import SemanticSpec
+from repro.objects.semantic import SemanticLockableObject, semantic_operation
+from repro.objects.state import ObjectState
+
+
+class CommutingCounter(SemanticLockableObject):
+    """A counter with commuting add/subtract (§2's type-specific example)."""
+
+    type_name: ClassVar[str] = "commuting_counter"
+
+    SEMANTICS: ClassVar[SemanticSpec] = SemanticSpec.build(
+        groups={"observe", "update"},
+        compatible_pairs=[
+            ("observe", "observe"),   # reads share, as always
+            ("update", "update"),     # add/subtract commute across actions
+        ],
+    )
+
+    def __init__(self, runtime, value: int = 0, uid=None, persist: bool = True):
+        self.value = value
+        super().__init__(runtime, uid=uid, persist=persist)
+
+    def save_state(self, state: ObjectState) -> None:
+        state.pack_int(self.value)
+
+    def restore_state(self, state: ObjectState) -> None:
+        self.value = state.unpack_int()
+
+    # -- operations -----------------------------------------------------------
+
+    @semantic_operation("observe")
+    def get(self) -> int:
+        return self.value
+
+    @semantic_operation("update", inverse="_undo_add")
+    def add(self, amount: int = 1) -> int:
+        self.value += amount
+        return self.value
+
+    def _undo_add(self, result: int, amount: int = 1) -> None:
+        self.value -= amount
+
+    @semantic_operation("update", inverse="_undo_subtract")
+    def subtract(self, amount: int = 1) -> int:
+        self.value -= amount
+        return self.value
+
+    def _undo_subtract(self, result: int, amount: int = 1) -> None:
+        self.value += amount

@@ -1,0 +1,45 @@
+"""A persistent integer counter."""
+
+from __future__ import annotations
+
+from typing import ClassVar
+
+from repro.locking.modes import LockMode
+from repro.objects.lockable import LockableObject, operation
+from repro.objects.state import ObjectState
+
+
+class Counter(LockableObject):
+    """An integer with increment/decrement/read, all lock-managed."""
+
+    type_name: ClassVar[str] = "counter"
+
+    def __init__(self, runtime, value: int = 0, uid=None, persist: bool = True):
+        self.value = value
+        super().__init__(runtime, uid=uid, persist=persist)
+
+    def save_state(self, state: ObjectState) -> None:
+        state.pack_int(self.value)
+
+    def restore_state(self, state: ObjectState) -> None:
+        self.value = state.unpack_int()
+
+    # -- operations ----------------------------------------------------------
+
+    @operation(LockMode.READ)
+    def get(self) -> int:
+        return self.value
+
+    @operation(LockMode.WRITE)
+    def set(self, value: int) -> None:
+        self.value = value
+
+    @operation(LockMode.WRITE)
+    def increment(self, amount: int = 1) -> int:
+        self.value += amount
+        return self.value
+
+    @operation(LockMode.WRITE)
+    def decrement(self, amount: int = 1) -> int:
+        self.value -= amount
+        return self.value

@@ -1,0 +1,140 @@
+"""A directory with type-specific (per-entry) concurrency control.
+
+§2 of the paper: "for a directory object, reading and deleting different
+entries can be permitted to take place simultaneously".  The implementation
+makes each entry its own persistent, individually lockable object, so
+operations on *different* entries never conflict, while two operations on
+the *same* entry follow the ordinary read/write rules.  Recovery is also
+per entry: aborting an action that deleted entry "a" cannot clobber a
+concurrent committed update to entry "b".
+
+Deletion is a tombstone (``present = False``) on the entry object — the
+entry's existence is transactional state, its uid allocation is not.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, ClassVar, Dict, List, Optional
+
+from repro.errors import ObjectNotFound
+from repro.objects.lockable import LockableObject
+from repro.objects.state import ObjectState
+
+
+class DirectoryEntry(LockableObject):
+    """One named slot of a directory: presence flag plus a value."""
+
+    type_name: ClassVar[str] = "directory_entry"
+
+    def __init__(self, runtime, name: str, uid=None, persist: bool = True):
+        self.name = name
+        self.present = False
+        self.value: Any = None
+        super().__init__(runtime, uid=uid, persist=persist)
+
+    def save_state(self, state: ObjectState) -> None:
+        state.pack_string(self.name)
+        state.pack_bool(self.present)
+        state.pack_value(self.value)
+
+    def restore_state(self, state: ObjectState) -> None:
+        self.name = state.unpack_string()
+        self.present = state.unpack_bool()
+        self.value = state.unpack_value()
+
+
+class Directory(LockableObject):
+    """Name -> value mapping with per-entry locking.
+
+    The directory object itself carries only its display name; the live
+    name->entry map is runtime bookkeeping (entry uids are stable, entries
+    persist individually).  ``add``/``remove``/``lookup``/``update`` lock
+    only the affected entry.
+    """
+
+    type_name: ClassVar[str] = "directory"
+
+    def __init__(self, runtime, name: str = "directory", uid=None, persist: bool = True):
+        self.name = name
+        self._entries: Dict[str, DirectoryEntry] = {}
+        self._entries_mutex = threading.Lock()
+        super().__init__(runtime, uid=uid, persist=persist)
+
+    def save_state(self, state: ObjectState) -> None:
+        state.pack_string(self.name)
+        with self._entries_mutex:
+            state.pack_value({key: entry.uid for key, entry in self._entries.items()})
+
+    def restore_state(self, state: ObjectState) -> None:
+        self.name = state.unpack_string()
+        state.unpack_value()  # entry uid map: live entries re-attach on access
+
+    # -- entry plumbing -----------------------------------------------------
+
+    def _entry(self, key: str, create: bool = False) -> Optional[DirectoryEntry]:
+        """Get (or make) the entry object for ``key``.
+
+        Uid allocation is non-transactional by design: a never-used entry
+        is indistinguishable from an absent one (``present`` is False).
+        """
+        with self._entries_mutex:
+            entry = self._entries.get(key)
+            if entry is None and create:
+                entry = DirectoryEntry(self.runtime, key)
+                self._entries[key] = entry
+            return entry
+
+    # -- operations ------------------------------------------------------------
+
+    def add(self, key: str, value: Any, colour=None, action=None) -> None:
+        entry = self._entry(key, create=True)
+        entry.write_lock(colour=colour, action=action)
+        entry.present = True
+        entry.value = value
+
+    def update(self, key: str, value: Any, colour=None, action=None) -> None:
+        entry = self._entry(key, create=False)
+        if entry is None:
+            raise ObjectNotFound(f"{self.name}: no entry {key!r}")
+        entry.write_lock(colour=colour, action=action)
+        if not entry.present:
+            raise ObjectNotFound(f"{self.name}: no entry {key!r}")
+        entry.value = value
+
+    def remove(self, key: str, colour=None, action=None) -> None:
+        entry = self._entry(key, create=False)
+        if entry is None:
+            raise ObjectNotFound(f"{self.name}: no entry {key!r}")
+        entry.write_lock(colour=colour, action=action)
+        if not entry.present:
+            raise ObjectNotFound(f"{self.name}: no entry {key!r}")
+        entry.present = False
+        entry.value = None
+
+    def lookup(self, key: str, colour=None, action=None) -> Any:
+        entry = self._entry(key, create=False)
+        if entry is None:
+            raise ObjectNotFound(f"{self.name}: no entry {key!r}")
+        entry.read_lock(colour=colour, action=action)
+        if not entry.present:
+            raise ObjectNotFound(f"{self.name}: no entry {key!r}")
+        return entry.value
+
+    def contains(self, key: str, colour=None, action=None) -> bool:
+        entry = self._entry(key, create=False)
+        if entry is None:
+            return False
+        entry.read_lock(colour=colour, action=action)
+        return entry.present
+
+    def keys(self, colour=None, action=None) -> List[str]:
+        """All present keys; read-locks every existing entry."""
+        with self._entries_mutex:
+            entries = sorted(self._entries.items())
+        names: List[str] = []
+        for key, entry in entries:
+            entry.read_lock(colour=colour, action=action)
+            if entry.present:
+                names.append(key)
+        return names

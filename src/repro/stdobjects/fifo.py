@@ -1,0 +1,43 @@
+"""A persistent FIFO queue (whole-object locking)."""
+
+from __future__ import annotations
+
+from typing import Any, ClassVar, List, Optional
+
+from repro.locking.modes import LockMode
+from repro.objects.lockable import LockableObject, operation
+from repro.objects.state import ObjectState
+
+
+class FifoQueue(LockableObject):
+    """Append/pop queue; both ends are WRITE operations, length is READ."""
+
+    type_name: ClassVar[str] = "fifo_queue"
+
+    def __init__(self, runtime, uid=None, persist: bool = True):
+        self.items: List[Any] = []
+        super().__init__(runtime, uid=uid, persist=persist)
+
+    def save_state(self, state: ObjectState) -> None:
+        state.pack_value(self.items)
+
+    def restore_state(self, state: ObjectState) -> None:
+        self.items = state.unpack_value()
+
+    @operation(LockMode.WRITE)
+    def enqueue(self, item: Any) -> None:
+        self.items.append(item)
+
+    @operation(LockMode.WRITE)
+    def dequeue(self) -> Optional[Any]:
+        if not self.items:
+            return None
+        return self.items.pop(0)
+
+    @operation(LockMode.READ)
+    def length(self) -> int:
+        return len(self.items)
+
+    @operation(LockMode.READ)
+    def peek_all(self) -> List[Any]:
+        return list(self.items)

@@ -1,0 +1,33 @@
+"""A persistent single-value register holding any packable value."""
+
+from __future__ import annotations
+
+from typing import Any, ClassVar
+
+from repro.locking.modes import LockMode
+from repro.objects.lockable import LockableObject, operation
+from repro.objects.state import ObjectState
+
+
+class Register(LockableObject):
+    """Read/write cell for any value :class:`ObjectState` can pack."""
+
+    type_name: ClassVar[str] = "register"
+
+    def __init__(self, runtime, value: Any = None, uid=None, persist: bool = True):
+        self.value = value
+        super().__init__(runtime, uid=uid, persist=persist)
+
+    def save_state(self, state: ObjectState) -> None:
+        state.pack_value(self.value)
+
+    def restore_state(self, state: ObjectState) -> None:
+        self.value = state.unpack_value()
+
+    @operation(LockMode.READ)
+    def get(self) -> Any:
+        return self.value
+
+    @operation(LockMode.WRITE)
+    def set(self, value: Any) -> None:
+        self.value = value

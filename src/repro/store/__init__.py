@@ -1,0 +1,25 @@
+"""Object stores and stable storage (§2's storage model).
+
+- :class:`VolatileStore` models a diskless node's memory: wiped by a crash.
+- :class:`StableStore` models stable storage: survives crashes with
+  probability one in the simulation.
+- Both support *shadow* (uncommitted) states so a two-phase-commit
+  participant can install new states during prepare and atomically promote
+  or discard them on the decision.
+- :class:`WriteAheadLog` is an append-only record log on stable storage used
+  by the commit protocols for crash recovery.
+"""
+
+from repro.store.interface import ObjectStore, StoredState
+from repro.store.memory import VolatileStore
+from repro.store.stable import StableStore
+from repro.store.wal import LogRecord, WriteAheadLog
+
+__all__ = [
+    "ObjectStore",
+    "StoredState",
+    "VolatileStore",
+    "StableStore",
+    "LogRecord",
+    "WriteAheadLog",
+]

@@ -1,0 +1,14 @@
+"""Volatile store: everything is lost on a crash."""
+
+from __future__ import annotations
+
+from repro.store.interface import DictBackedStore
+
+
+class VolatileStore(DictBackedStore):
+    """A diskless node's object store (§2): wiped entirely by a node crash."""
+
+    def crash(self) -> None:
+        """Simulate the node crash: all committed and shadow states vanish."""
+        self._committed.clear()
+        self._shadows.clear()

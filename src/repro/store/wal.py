@@ -1,0 +1,62 @@
+"""Write-ahead log on stable storage.
+
+The commit protocols append typed records; recovery scans the log from the
+start.  Appends are atomic (a record is either wholly present or absent).
+The log lives conceptually on the same stable medium as the
+:class:`~repro.store.stable.StableStore`, so it too survives crashes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One appended record: a kind tag plus an opaque payload dict."""
+
+    lsn: int
+    kind: str
+    payload: Dict[str, Any] = field(default_factory=dict)
+
+
+class WriteAheadLog:
+    """Append-only record log with scan and checkpoint-truncation."""
+
+    def __init__(self):
+        self._records: List[LogRecord] = []
+        self._lsn = itertools.count(1)
+
+    def append(self, kind: str, **payload: Any) -> LogRecord:
+        """Append a record; returns it (with its log sequence number)."""
+        record = LogRecord(lsn=next(self._lsn), kind=kind, payload=dict(payload))
+        self._records.append(record)
+        return record
+
+    def records(self, kind: Optional[str] = None) -> Iterator[LogRecord]:
+        """Scan records in append order, optionally filtered by kind."""
+        for record in self._records:
+            if kind is None or record.kind == kind:
+                yield record
+
+    def last(self, kind: Optional[str] = None,
+             where: Optional[Callable[[LogRecord], bool]] = None) -> Optional[LogRecord]:
+        """Most recent record matching the filters, or None."""
+        for record in reversed(self._records):
+            if kind is not None and record.kind != kind:
+                continue
+            if where is not None and not where(record):
+                continue
+            return record
+        return None
+
+    def truncate_before(self, lsn: int) -> int:
+        """Checkpoint: drop records with lsn < ``lsn``; returns count dropped."""
+        before = len(self._records)
+        self._records = [r for r in self._records if r.lsn >= lsn]
+        return before - len(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)

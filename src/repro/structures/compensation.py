@@ -1,0 +1,77 @@
+"""Compensating actions (§3.4).
+
+"Once a top-level action commits, its effects can only be 'undone' by
+running one or more application specific compensating actions."  The paper
+leaves mechanisms for this as further research; this module provides the
+obvious one for the structures implemented here: register a compensator
+alongside each committed piece of work, and if the *governing* action
+(e.g. a serializing control action, or a bulletin-board poster's
+application action) ends up aborting, run the compensators — each inside a
+fresh top-level action, in reverse registration order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, TYPE_CHECKING
+
+from repro.actions.action import Action
+from repro.actions.status import Outcome
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.runtime import LocalRuntime
+
+#: A compensator runs inside its own top-level action (passed in).
+Compensator = Callable[[Action], None]
+
+
+@dataclass
+class CompensationRecord:
+    description: str
+    compensator: Compensator
+    ran: bool = False
+    outcome: Optional[Outcome] = None
+
+
+class CompensationScope:
+    """Run registered compensators if the governing action aborts."""
+
+    def __init__(self, runtime: "LocalRuntime", governing: Action):
+        self.runtime = runtime
+        self.governing = governing
+        self.records: List[CompensationRecord] = []
+        governing.on_outcome(self._on_outcome)
+
+    def register(self, description: str, compensator: Compensator) -> CompensationRecord:
+        """Arm a compensator for one committed piece of work."""
+        record = CompensationRecord(description, compensator)
+        self.records.append(record)
+        return record
+
+    def discard(self, record: CompensationRecord) -> None:
+        """Disarm a compensator (the work no longer needs compensating)."""
+        if record in self.records:
+            self.records.remove(record)
+
+    def _on_outcome(self, _action: Action, outcome: Outcome) -> None:
+        if outcome is Outcome.ABORTED:
+            self.run_all()
+
+    def run_all(self) -> List[CompensationRecord]:
+        """Run all armed compensators (reverse order), each top-level.
+
+        A compensator that raises marks its record ABORTED and the rest
+        still run — compensation is best-effort per item, as each
+        compensates an independently committed action.
+        """
+        pending, self.records = list(self.records), []
+        for record in reversed(pending):
+            scope = self.runtime.top_level(name=f"compensate:{record.description}")
+            try:
+                with scope as action:
+                    record.compensator(action)
+            except Exception:  # noqa: BLE001 - recorded, not propagated
+                pass
+            record.ran = True
+            record.outcome = scope.outcome
+        return list(reversed(pending))

@@ -1,0 +1,94 @@
+"""Top-level independent actions (§3.3), via the fig. 13(b) colouring.
+
+The invoked action is structurally nested inside its invoker — so it can be
+granted locks the invoker holds, avoiding the fig. 13(a) deadlock — but is
+coloured with a single *fresh* colour.  Having no same-coloured ancestor it
+behaves top-level: its commit is immediately permanent, and the invoker's
+abort neither undoes it (no shared undo responsibility) nor kills it when
+running asynchronously (colour-disjoint children are detached, not
+aborted).
+
+Synchronous invocation is just a ``with`` block (fig. 7(a)); asynchronous
+invocation (:class:`AsyncIndependent`) runs the body in its own thread
+(fig. 7(b)) and exposes the outcome for the invoker to consult, as the
+paper suggests ("subsequent activities of A can be made to depend upon the
+outcome of B").
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Optional, TYPE_CHECKING
+
+from repro.actions.action import Action
+from repro.actions.status import Outcome
+from repro.runtime.context import current_action
+from repro.runtime.scope import ActionScope
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.runtime import LocalRuntime
+
+
+def independent_top_level(runtime: "LocalRuntime",
+                          parent: Optional[Action] = None,
+                          name: str = "independent",
+                          use_ambient_parent: bool = True) -> ActionScope:
+    """A synchronous top-level independent action (fig. 7(a)).
+
+    ``parent`` defaults to the ambient action (that is the point of the
+    structure: invoking a top-level action from *within* an action); pass
+    ``use_ambient_parent=False`` for a plain top-level action.
+    """
+    resolved = parent if parent is not None else (
+        current_action() if use_ambient_parent else None
+    )
+    colour = runtime.colours.fresh(f"{name}.colour")
+    action = Action(runtime, [colour], parent=resolved, name=name)
+    return ActionScope(runtime, action)
+
+
+class AsyncIndependent:
+    """An asynchronous top-level independent action (fig. 7(b)).
+
+    ``body`` receives the new action and runs in a separate thread inside
+    an action scope (clean return commits, exception aborts).  The invoker
+    may continue immediately; :meth:`wait` joins and returns the outcome.
+    """
+
+    def __init__(self, runtime: "LocalRuntime",
+                 body: Callable[[Action], Any],
+                 parent: Optional[Action] = None,
+                 name: str = "async-independent",
+                 use_ambient_parent: bool = True):
+        self.runtime = runtime
+        resolved = parent if parent is not None else (
+            current_action() if use_ambient_parent else None
+        )
+        colour = runtime.colours.fresh(f"{name}.colour")
+        self.action = Action(runtime, [colour], parent=resolved, name=name)
+        self.result: Any = None
+        self.error: Optional[BaseException] = None
+        self.outcome: Optional[Outcome] = None
+        self._thread = threading.Thread(target=self._run, args=(body,), daemon=True)
+        self._thread.start()
+
+    def _run(self, body: Callable[[Action], Any]) -> None:
+        scope = ActionScope(self.runtime, self.action)
+        try:
+            with scope:
+                self.result = body(self.action)
+        except BaseException as error:  # noqa: BLE001 - reported via .error
+            self.error = error
+        finally:
+            self.outcome = scope.outcome
+
+    def wait(self, timeout: Optional[float] = None) -> Optional[Outcome]:
+        """Join the invoked action; returns its outcome (None on timeout)."""
+        self._thread.join(timeout=timeout)
+        if self._thread.is_alive():
+            return None
+        return self.outcome
+
+    @property
+    def running(self) -> bool:
+        return self._thread.is_alive()

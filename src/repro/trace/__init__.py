@@ -1,0 +1,20 @@
+"""Action tracing and paper-style timeline rendering.
+
+Attach a :class:`TraceRecorder` to a :class:`~repro.runtime.LocalRuntime`
+and run any workload; :func:`render_timeline` then draws the executed
+action structure in the style of the paper's figures — spans along a
+logical time axis, nesting by indentation, colours in brackets, outcome at
+the end::
+
+    A [c1]      ├──────────────────────────────┤ aborted
+      B [c1]      ├────────┤ committed
+      C [c1]                 ├───────┤ aborted
+
+Used by ``examples/timeline_traces.py`` to regenerate figs. 2, 3, 5 and 7
+from real executions.
+"""
+
+from repro.trace.recorder import TraceEvent, TraceRecorder
+from repro.trace.timeline import render_timeline
+
+__all__ = ["TraceRecorder", "TraceEvent", "render_timeline"]

@@ -1,0 +1,104 @@
+"""Recording action lifecycle events from a runtime."""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.actions.status import ActionStatus
+from repro.colours.colour import Colour
+from repro.locking.modes import LockMode
+from repro.util.uid import Uid
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded occurrence, ordered by ``tick`` (logical or sim time)."""
+
+    tick: float
+    kind: str                      # "begin" | "commit" | "abort" | "lock"
+    action_uid: Uid
+    action_name: str
+    parent_uid: Optional[Uid]
+    colours: Tuple[str, ...]
+    detail: str = ""
+
+
+class TraceRecorder:
+    """A runtime observer accumulating :class:`TraceEvent`s.
+
+    Thread-safe (the local runtime is multi-threaded).  By default ticks
+    are a global logical clock, so concurrent actions interleave on one
+    axis; pass ``tick_source`` (e.g. ``lambda: kernel.now``) to put events
+    on simulated time instead — cluster traces do this, so a rendered
+    timeline's x-axis is real simulated duration.
+    """
+
+    def __init__(self, tick_source=None):
+        self.events: List[TraceEvent] = []
+        self._ticks = itertools.count(1)
+        self._tick_source = tick_source
+        self._mutex = threading.Lock()
+
+    # -- observer interface -------------------------------------------------
+
+    def on_action_created(self, action) -> None:
+        self._record("begin", action)
+
+    def on_action_terminated(self, action) -> None:
+        kind = "commit" if action.status is ActionStatus.COMMITTED else "abort"
+        self._record(kind, action)
+
+    def on_lock_granted(self, action, object_uid: Uid, mode: LockMode,
+                        colour: Colour) -> None:
+        self._record("lock", action,
+                     detail=f"{mode.value}:{object_uid}:{colour}")
+
+    # -- queries ----------------------------------------------------------------
+
+    def events_of(self, kind: str) -> List[TraceEvent]:
+        return [event for event in self.events if event.kind == kind]
+
+    def spans(self) -> Dict[Uid, Dict]:
+        """Per-action summary: begin/end ticks, outcome, names, ancestry."""
+        summary: Dict[Uid, Dict] = {}
+        for event in self.events:
+            entry = summary.setdefault(event.action_uid, {
+                "name": event.action_name,
+                "parent": event.parent_uid,
+                "colours": event.colours,
+                "begin": None, "end": None, "outcome": "active",
+                "locks": 0,
+            })
+            if event.kind == "begin":
+                entry["begin"] = event.tick
+            elif event.kind in ("commit", "abort"):
+                entry["end"] = event.tick
+                entry["outcome"] = "committed" if event.kind == "commit" else "aborted"
+            elif event.kind == "lock":
+                entry["locks"] += 1
+        return summary
+
+    def clear(self) -> None:
+        with self._mutex:
+            self.events.clear()
+
+    # -- internals ---------------------------------------------------------------
+
+    def _record(self, kind: str, action, detail: str = "") -> None:
+        with self._mutex:
+            if self._tick_source is not None:
+                tick = self._tick_source()
+            else:
+                tick = next(self._ticks)
+            self.events.append(TraceEvent(
+                tick=tick,
+                kind=kind,
+                action_uid=action.uid,
+                action_name=action.name,
+                parent_uid=action.parent.uid if action.parent else None,
+                colours=tuple(sorted(str(c) for c in action.colours)),
+                detail=detail,
+            ))

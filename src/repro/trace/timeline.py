@@ -1,0 +1,78 @@
+"""Rendering recorded traces as paper-style timelines."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.trace.recorder import TraceRecorder
+from repro.util.uid import Uid
+
+
+def render_timeline(recorder: TraceRecorder, title: str = "",
+                    width: int = 60, show_locks: bool = False) -> str:
+    """Draw every recorded action as a span on a shared logical time axis.
+
+    Rows are ordered by begin tick; nesting depth indents the label; the
+    span runs from the begin tick to the end tick (or the last tick for
+    still-active actions); the outcome is printed after the span.
+    """
+    spans = recorder.spans()
+    if not spans:
+        return f"{title}\n(empty trace)" if title else "(empty trace)"
+    first_tick = min(event.tick for event in recorder.events)
+    last_tick = max(event.tick for event in recorder.events)
+    span = max(last_tick - first_tick, 1e-9)
+    scale = span / max(1, width - 1)
+
+    def column(tick: float) -> int:
+        return int((tick - first_tick) / scale)
+
+    def depth_of(uid: Uid) -> int:
+        depth = 0
+        walker = spans[uid]["parent"]
+        while walker is not None and walker in spans:
+            depth += 1
+            walker = spans[walker]["parent"]
+        return depth
+
+    label_rows: List[Dict] = []
+    for uid, entry in spans.items():
+        if entry["begin"] is None:
+            continue
+        label = "  " * depth_of(uid) + entry["name"]
+        if entry["colours"]:
+            label += " [" + ",".join(entry["colours"]) + "]"
+        label_rows.append({
+            "label": label,
+            "begin": entry["begin"],
+            "end": entry["end"] if entry["end"] is not None else last_tick,
+            "outcome": entry["outcome"],
+            "locks": entry["locks"],
+        })
+    label_rows.sort(key=lambda row: row["begin"])
+    label_width = max(len(row["label"]) for row in label_rows)
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for row in label_rows:
+        start_col = column(row["begin"])
+        end_col = max(column(row["end"]), start_col + 1)
+        bar = (" " * start_col
+               + "├" + "─" * max(0, end_col - start_col - 1) + "┤")
+        suffix = f" {row['outcome']}"
+        if show_locks and row["locks"]:
+            suffix += f" ({row['locks']} locks)"
+        lines.append(f"{row['label']:<{label_width}}  {bar}{suffix}")
+    axis = (" " * (label_width + 2) + f"{first_tick:g}"
+            + "." * column(last_tick) + f" t={last_tick:g}")
+    lines.append(axis)
+    return "\n".join(lines)
+
+
+def survival_report(recorder: TraceRecorder) -> Dict[str, str]:
+    """action name -> outcome, for assertions over rendered scenarios."""
+    return {
+        entry["name"]: entry["outcome"]
+        for entry in recorder.spans().values()
+    }

@@ -1,0 +1,6 @@
+"""Small shared utilities: unique identifiers and seeded randomness."""
+
+from repro.util.uid import Uid, UidGenerator
+from repro.util.rng import SplitRandom
+
+__all__ = ["Uid", "UidGenerator", "SplitRandom"]

@@ -1,0 +1,32 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.locking.rules import ColouredRules, ConventionalRules
+from repro.runtime.runtime import LocalRuntime
+from repro.sim.kernel import Kernel
+from repro.util.uid import UidGenerator
+
+
+@pytest.fixture
+def runtime():
+    """A fresh local runtime with coloured rules (the default)."""
+    return LocalRuntime()
+
+
+@pytest.fixture
+def conventional_runtime():
+    """A runtime restricted to conventional (Moss) locking rules."""
+    return LocalRuntime(rules=ConventionalRules())
+
+
+@pytest.fixture
+def kernel():
+    """A fresh discrete-event simulation kernel."""
+    return Kernel()
+
+
+@pytest.fixture
+def uids():
+    """A uid generator for ad-hoc identities in unit tests."""
+    return UidGenerator("test")

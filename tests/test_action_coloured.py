@@ -1,0 +1,175 @@
+"""Multi-coloured action semantics: figs. 10, 14, 15 and §5.1 properties."""
+
+import pytest
+
+from repro.errors import LockTimeout
+from repro.locking.modes import LockMode
+from repro.stdobjects import Counter
+
+
+def test_fig10_red_permanent_blue_undone(runtime):
+    """B {red,blue} inside A {blue}: at B's commit red effects are permanent
+    and red locks released; blue effects/locks are retained by A and undone
+    when A aborts."""
+    red, blue = runtime.colours.fresh("red"), runtime.colours.fresh("blue")
+    o_red = Counter(runtime, value=1)
+    o_blue = Counter(runtime, value=2)
+    with pytest.raises(RuntimeError):
+        with runtime.coloured([blue], name="A") as a:
+            with runtime.coloured([red, blue], name="B") as b:
+                o_red.increment(10, colour=red, action=b)
+                o_blue.increment(20, colour=blue, action=b)
+            # after B's commit:
+            assert not runtime.locks.holds(a.uid, o_red.uid, LockMode.READ)   # red released
+            assert runtime.locks.holds(a.uid, o_blue.uid, LockMode.WRITE)     # blue retained
+            stored_red = runtime.store.read_committed(o_red.uid)
+            assert stored_red.payload == o_red.snapshot()                     # red permanent
+            raise RuntimeError("A aborts")
+    assert o_red.value == 11   # survives
+    assert o_blue.value == 2   # undone
+
+
+def test_fig10_commit_path_makes_blue_permanent_at_a(runtime):
+    red, blue = runtime.colours.fresh("red"), runtime.colours.fresh("blue")
+    o_red, o_blue = Counter(runtime, value=1), Counter(runtime, value=2)
+    with runtime.coloured([blue], name="A"):
+        with runtime.coloured([red, blue], name="B") as b:
+            o_red.increment(10, colour=red, action=b)
+            o_blue.increment(20, colour=blue, action=b)
+    assert o_blue.value == 22
+    assert runtime.store.read_committed(o_blue.uid).payload == o_blue.snapshot()
+
+
+def test_commit_routing_skips_to_closest_coloured_ancestor(runtime):
+    """Colour routing ignores intermediates without the colour."""
+    red, blue = runtime.colours.fresh("red"), runtime.colours.fresh("blue")
+    counter = Counter(runtime, value=0)
+    with pytest.raises(RuntimeError):
+        with runtime.coloured([blue], name="grandparent") as gp:
+            with runtime.coloured([red], name="parent") as p:
+                with runtime.coloured([blue], name="child") as c:
+                    counter.increment(5, colour=blue, action=c)
+                # child's blue goes past red parent to blue grandparent
+                assert runtime.locks.holds(gp.uid, counter.uid, LockMode.WRITE)
+                assert not runtime.locks.holds(p.uid, counter.uid, LockMode.READ)
+                runtime.commit_action(p)
+            raise RuntimeError("grandparent aborts")
+    assert counter.value == 0  # undone by the blue ancestor's abort
+
+
+def test_fig14_15_nlevel_scheme_explicit_colours(runtime):
+    """The full fig. 15 colouring: C, F survive anything; E survives B's
+    abort but falls with A; D falls with B (via A's red)."""
+    red = runtime.colours.fresh("red")
+    blue = runtime.colours.fresh("blue")
+    green = runtime.colours.fresh("green")
+    oc = Counter(runtime, value=0)   # written by C (green)
+    od = Counter(runtime, value=0)   # written by D (red)
+    oe = Counter(runtime, value=0)   # written by E (blue)
+    of = Counter(runtime, value=0)   # written by F (green)
+
+    with pytest.raises(RuntimeError):
+        with runtime.coloured([red, blue], name="A") as a:
+            with runtime.coloured([green], parent=a, name="C") as c:
+                oc.increment(1, action=c)
+            with runtime.coloured([red], parent=a, name="B") as b:
+                with runtime.coloured([red], parent=b, name="D") as d:
+                    od.increment(1, action=d)
+                with runtime.coloured([blue], parent=b, name="E") as e:
+                    oe.increment(1, action=e)
+                with runtime.coloured([green], parent=b, name="F") as f:
+                    of.increment(1, action=f)
+            raise RuntimeError("A aborts")
+    assert oc.value == 1   # C: top-level independent, survives
+    assert of.value == 1   # F: top-level independent, survives
+    assert od.value == 0   # D: red, undone via B -> A
+    assert oe.value == 0   # E: blue anchored at A, undone by A's abort
+
+
+def test_fig14_e_survives_b_abort(runtime):
+    """Second-level independence: B aborts after invoking E; E's effects stay
+    (pending A's fate)."""
+    red = runtime.colours.fresh("red")
+    blue = runtime.colours.fresh("blue")
+    oe = Counter(runtime, value=0)
+    with runtime.coloured([red, blue], name="A") as a:
+        with pytest.raises(RuntimeError):
+            with runtime.coloured([red], parent=a, name="B") as b:
+                with runtime.coloured([blue], parent=b, name="E") as e:
+                    oe.increment(1, action=e)
+                raise RuntimeError("B aborts after invoking E")
+        assert oe.value == 1           # E not undone by B
+        assert runtime.locks.holds(a.uid, oe.uid, LockMode.WRITE)  # A owns E's fate
+    assert oe.value == 1               # A committed
+
+
+def test_write_responsibility_single_coloured(runtime):
+    """An action cannot WRITE-lock in colour b over its own write in colour a.
+
+    The request is contention (the red lock might be released later), so it
+    waits rather than being refused — here it times out.
+    """
+    red, blue = runtime.colours.fresh("red"), runtime.colours.fresh("blue")
+    counter = Counter(runtime, value=0)
+    with runtime.coloured([red, blue], name="X") as x:
+        counter.increment(1, colour=red, action=x)
+        with pytest.raises(LockTimeout):
+            runtime.acquire(x, counter, LockMode.WRITE, colour=blue, timeout=0.1)
+        runtime.abort_action(x)
+
+
+def test_sequential_same_colour_writes_responsibility_chain(runtime):
+    """B writes under red, commits to A; C then writes under red; C's abort
+    restores B's committed value, and A's abort restores the original."""
+    red = runtime.colours.fresh("red")
+    counter = Counter(runtime, value=0)
+    with pytest.raises(RuntimeError):
+        with runtime.coloured([red], name="A") as a:
+            with runtime.coloured([red], parent=a, name="B") as b:
+                counter.increment(5, action=b)
+            with pytest.raises(ValueError):
+                with runtime.coloured([red], parent=a, name="C") as c:
+                    counter.increment(100, action=c)
+                    raise ValueError("C aborts")
+            assert counter.value == 5   # C undone to B's state
+            raise RuntimeError("A aborts")
+    assert counter.value == 0
+
+
+def test_single_colour_everything_reduces_to_atomic(runtime):
+    """§5.1: one colour everywhere behaves as conventional nesting."""
+    colour = runtime.colours.fresh("only")
+    counter = Counter(runtime, value=0)
+    with pytest.raises(RuntimeError):
+        with runtime.coloured([colour], name="A") as a:
+            with runtime.coloured([colour], parent=a, name="B") as b:
+                counter.increment(42, action=b)
+            raise RuntimeError("A aborts")
+    assert counter.value == 0
+
+
+def test_independent_child_detached_on_parent_abort(runtime):
+    """A colour-disjoint (independent) child survives its parent's abort."""
+    red, blue = runtime.colours.fresh("red"), runtime.colours.fresh("blue")
+    counter = Counter(runtime, value=0)
+    with runtime.coloured([red], name="A") as a:
+        child = runtime.coloured([blue], parent=a, name="indep")
+        b = child.__enter__()
+        runtime.abort_action(a)
+        assert b.status.value == "active"   # not killed
+        counter.increment(9, action=b)
+        child.__exit__(None, None, None)
+    assert counter.value == 9
+
+
+def test_shared_colour_child_aborted_with_parent(runtime):
+    red = runtime.colours.fresh("red")
+    counter = Counter(runtime, value=0)
+    with runtime.coloured([red], name="A") as a:
+        child_scope = runtime.coloured([red], parent=a, name="child")
+        child = child_scope.__enter__()
+        counter.increment(3, action=child)
+        runtime.abort_action(a)
+        assert child.status.value == "aborted"
+        child_scope.__exit__(None, None, None)
+    assert counter.value == 0

@@ -1,0 +1,145 @@
+"""Action lifecycle: status transitions, scopes, listeners, errors."""
+
+import pytest
+
+from repro.actions.action import Action
+from repro.actions.status import ActionStatus, Outcome
+from repro.errors import InvalidActionState, NoCurrentAction
+from repro.runtime.context import current_action, require_current_action
+from repro.stdobjects import Counter
+
+
+def test_scope_commits_on_clean_exit(runtime):
+    scope = runtime.top_level(name="t")
+    with scope as action:
+        assert action.status is ActionStatus.ACTIVE
+    assert action.status is ActionStatus.COMMITTED
+    assert scope.outcome is Outcome.COMMITTED
+
+
+def test_scope_aborts_on_exception_and_reraises(runtime):
+    scope = runtime.top_level(name="t")
+    with pytest.raises(ValueError):
+        with scope as action:
+            raise ValueError("app error")
+    assert action.status is ActionStatus.ABORTED
+    assert scope.outcome is Outcome.ABORTED
+
+
+def test_manual_commit_inside_scope_respected(runtime):
+    scope = runtime.top_level(name="t")
+    with scope as action:
+        runtime.commit_action(action)
+    assert scope.outcome is Outcome.COMMITTED
+
+
+def test_manual_abort_inside_scope_respected(runtime):
+    scope = runtime.top_level(name="t")
+    with scope as action:
+        runtime.abort_action(action)
+    assert scope.outcome is Outcome.ABORTED
+
+
+def test_commit_twice_raises(runtime):
+    with runtime.top_level() as action:
+        pass
+    with pytest.raises(InvalidActionState):
+        action.commit()
+
+
+def test_abort_after_commit_raises(runtime):
+    with runtime.top_level() as action:
+        pass
+    with pytest.raises(InvalidActionState):
+        action.abort()
+
+
+def test_abort_is_idempotent(runtime):
+    scope = runtime.top_level()
+    with scope as action:
+        runtime.abort_action(action)
+    assert runtime.abort_action(action) is Outcome.ABORTED
+
+
+def test_ambient_context_tracks_nesting(runtime):
+    assert current_action() is None
+    with runtime.top_level(name="outer") as outer:
+        assert current_action() is outer
+        with runtime.atomic(name="inner") as inner:
+            assert current_action() is inner
+        assert current_action() is outer
+    assert current_action() is None
+
+
+def test_require_current_action_raises_outside_scope():
+    with pytest.raises(NoCurrentAction):
+        require_current_action()
+
+
+def test_action_needs_at_least_one_colour(runtime):
+    with pytest.raises(InvalidActionState):
+        Action(runtime, [], parent=None)
+
+
+def test_cannot_nest_under_terminated_action(runtime):
+    with runtime.top_level() as action:
+        pass
+    with pytest.raises(InvalidActionState):
+        Action(runtime, list(action.colours), parent=action)
+
+
+def test_path_encodes_ancestry(runtime):
+    with runtime.top_level() as a:
+        with runtime.atomic() as b:
+            with runtime.atomic() as c:
+                assert c.path == (a.uid, b.uid, c.uid)
+                assert a.is_ancestor_of(c)
+                assert c.is_ancestor_of(c)
+                assert not c.is_ancestor_of(a)
+                assert c.root() is a
+                assert c.depth() == 2
+
+
+def test_outcome_listener_fires_once(runtime):
+    seen = []
+    with runtime.top_level() as action:
+        action.on_outcome(lambda a, o: seen.append(o))
+    assert seen == [Outcome.COMMITTED]
+
+
+def test_outcome_listener_on_abort(runtime):
+    seen = []
+    with pytest.raises(RuntimeError):
+        with runtime.top_level() as action:
+            action.on_outcome(lambda a, o: seen.append(o))
+            raise RuntimeError
+    assert seen == [Outcome.ABORTED]
+
+
+def test_record_write_requires_possessed_colour(runtime):
+    foreign = runtime.colours.fresh("foreign")
+    counter = Counter(runtime, value=0)
+    with runtime.top_level() as action:
+        with pytest.raises(InvalidActionState):
+            action.record_write(counter, foreign)
+        runtime.abort_action(action)
+
+
+def test_single_colour_helper(runtime):
+    red, blue = runtime.colours.fresh("red"), runtime.colours.fresh("blue")
+    with runtime.coloured([red]) as one:
+        assert one.single_colour() == red
+        runtime.abort_action(one)
+    with runtime.coloured([red, blue]) as two:
+        with pytest.raises(InvalidActionState):
+            two.single_colour()
+        runtime.abort_action(two)
+
+
+def test_lock_colour_resolution_order(runtime):
+    red, blue = runtime.colours.fresh("red"), runtime.colours.fresh("blue")
+    with runtime.coloured([red, blue]) as action:
+        assert action.lock_colour(red) == red
+        action.default_colour = blue
+        assert action.lock_colour() == blue
+        runtime.abort_action(action)

@@ -1,0 +1,133 @@
+"""Conventional nested atomic actions (fig. 1 / fig. 2 semantics)."""
+
+import pytest
+
+from repro.errors import ObjectNotFound
+from repro.locking.modes import LockMode
+from repro.stdobjects import Counter
+
+
+def test_child_commit_defers_permanence_to_top_level(runtime):
+    counter = Counter(runtime, value=0)
+    with runtime.top_level(name="A") as a:
+        with runtime.atomic(name="B"):
+            counter.increment(5)
+        # B committed, but permanence belongs to the top level: the store
+        # still has the old state.
+        assert runtime.store.read_committed(counter.uid).payload == \
+            Counter(runtime, value=0, persist=False).snapshot()
+    assert runtime.store.read_committed(counter.uid).payload == counter.snapshot()
+    assert counter.value == 5
+
+
+def test_fig2_nesting_undoes_completed_child_work(runtime):
+    """The paper's motivating problem: B completes, A aborts, B's work is lost."""
+    objects_b = Counter(runtime, value=100)
+    with pytest.raises(RuntimeError):
+        with runtime.top_level(name="A"):
+            with runtime.atomic(name="B"):
+                objects_b.increment(23)   # long, complicated computation
+            assert objects_b.value == 123
+            raise RuntimeError("failure prevents completion of A")
+    assert objects_b.value == 100  # everything undone
+
+
+def test_child_abort_leaves_parent_intact(runtime):
+    counter = Counter(runtime, value=0)
+    with runtime.top_level(name="A"):
+        counter.increment(1)
+        with pytest.raises(RuntimeError):
+            with runtime.atomic(name="B"):
+                counter.increment(10)
+                raise RuntimeError("B fails")
+        assert counter.value == 1  # B undone, A's own write kept
+    assert counter.value == 1
+
+
+def test_lock_inheritance_on_child_commit(runtime):
+    counter = Counter(runtime, value=0)
+    with runtime.top_level(name="A") as a:
+        with runtime.atomic(name="B") as b:
+            counter.increment(1)
+            assert runtime.locks.holds(b.uid, counter.uid, LockMode.WRITE)
+        assert runtime.locks.holds(a.uid, counter.uid, LockMode.WRITE)
+    assert not runtime.locks.holds(a.uid, counter.uid, LockMode.READ)
+
+
+def test_child_abort_discards_its_locks_only(runtime):
+    counter = Counter(runtime, value=0)
+    with runtime.top_level(name="A") as a:
+        counter.increment(1)  # A holds WRITE
+        with pytest.raises(RuntimeError):
+            with runtime.atomic(name="B") as b:
+                counter.increment(1)
+                raise RuntimeError
+        assert runtime.locks.holds(a.uid, counter.uid, LockMode.WRITE)
+        assert not runtime.locks.holds(b.uid, counter.uid, LockMode.WRITE)
+
+
+def test_deep_nesting_undo_ordering(runtime):
+    counter = Counter(runtime, value=0)
+    with pytest.raises(RuntimeError):
+        with runtime.top_level(name="A"):
+            counter.increment(1)
+            with runtime.atomic(name="B"):
+                counter.increment(10)
+                with runtime.atomic(name="C"):
+                    counter.increment(100)
+                assert counter.value == 111
+            assert counter.value == 111
+            raise RuntimeError
+    assert counter.value == 0
+
+
+def test_middle_abort_restores_to_parents_view(runtime):
+    counter = Counter(runtime, value=0)
+    with runtime.top_level(name="A"):
+        counter.increment(1)
+        with pytest.raises(RuntimeError):
+            with runtime.atomic(name="B"):
+                counter.increment(10)
+                with runtime.atomic(name="C"):
+                    counter.increment(100)
+                raise RuntimeError("B aborts after C committed into it")
+        # C's work was inherited by B, so B's abort undoes both
+        assert counter.value == 1
+    assert counter.value == 1
+
+
+def test_commit_with_active_child_aborts_child(runtime):
+    counter = Counter(runtime, value=0)
+    with runtime.top_level(name="A") as a:
+        child_scope = runtime.atomic(name="B")
+        child = child_scope.__enter__()
+        counter.increment(7, action=child)
+        # commit A with B still open: the straggler child is aborted
+        runtime.commit_action(a)
+        assert child.status.value == "aborted"
+        child_scope.__exit__(None, None, None)
+    assert counter.value == 0
+
+
+def test_concurrent_siblings_serialize_on_shared_object(runtime):
+    """Fig. 1: B and C nested in A; their writes to one object serialize."""
+    counter = Counter(runtime, value=0)
+    with runtime.top_level(name="A"):
+        with runtime.atomic(name="B"):
+            counter.increment(10)
+        with runtime.atomic(name="C"):
+            counter.increment(100)
+    assert counter.value == 110
+
+
+def test_sibling_abort_independent_of_committed_sibling(runtime):
+    counter = Counter(runtime, value=0)
+    with runtime.top_level(name="A"):
+        with runtime.atomic(name="B"):
+            counter.increment(10)
+        with pytest.raises(RuntimeError):
+            with runtime.atomic(name="C"):
+                counter.increment(100)
+                raise RuntimeError
+        assert counter.value == 10
+    assert counter.value == 10

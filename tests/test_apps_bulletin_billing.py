@@ -1,0 +1,143 @@
+"""Bulletin board (§4(i)) and billing (§4(iii))."""
+
+import pytest
+
+from repro.actions.status import Outcome
+from repro.apps.billing import MeteredService
+from repro.apps.bulletin import BulletinBoard, BulletinService
+from repro.errors import ObjectNotFound
+from repro.stdobjects import Account
+from repro.structures import CompensationScope
+
+
+# -- bulletin board ------------------------------------------------------------
+
+def test_post_and_read(runtime):
+    board = BulletinBoard(runtime, "dev")
+    service = BulletinService(runtime, board)
+    post_id = service.post("ann", "meeting at noon")
+    posts = service.read_all()
+    assert posts == [{"id": post_id, "author": "ann", "text": "meeting at noon"}]
+
+
+def test_post_survives_invoker_abort(runtime):
+    board = BulletinBoard(runtime, "dev")
+    service = BulletinService(runtime, board)
+    with pytest.raises(RuntimeError):
+        with runtime.top_level(name="app"):
+            service.post("ann", "important notice")
+            raise RuntimeError("app aborts")
+    assert len(service.read_all()) == 1
+
+
+def test_post_with_compensation_retracted_on_abort(runtime):
+    board = BulletinBoard(runtime, "dev")
+    service = BulletinService(runtime, board)
+    with pytest.raises(RuntimeError):
+        with runtime.top_level(name="app") as app:
+            comp = CompensationScope(runtime, app)
+            service.post("ann", "tentative", compensation=comp)
+            raise RuntimeError("app aborts")
+    assert service.read_all() == []
+
+
+def test_compensated_post_stays_on_commit(runtime):
+    board = BulletinBoard(runtime, "dev")
+    service = BulletinService(runtime, board)
+    with runtime.top_level(name="app") as app:
+        comp = CompensationScope(runtime, app)
+        service.post("ann", "final", compensation=comp)
+    assert len(service.read_all()) == 1
+
+
+def test_async_post(runtime):
+    board = BulletinBoard(runtime, "dev")
+    service = BulletinService(runtime, board)
+    task = service.post_async("bob", "background note")
+    assert task.wait(3) is Outcome.COMMITTED
+    assert any(p["text"] == "background note" for p in service.read_all())
+
+
+def test_read_post_and_retract(runtime):
+    board = BulletinBoard(runtime, "dev")
+    service = BulletinService(runtime, board)
+    post_id = service.post("ann", "x")
+    with runtime.top_level():
+        assert board.read_post(post_id)["author"] == "ann"
+        assert board.retract(post_id)
+        with pytest.raises(ObjectNotFound):
+            board.read_post(post_id)
+
+
+def test_board_state_roundtrip(runtime):
+    board = BulletinBoard(runtime, "dev")
+    with runtime.top_level():
+        board.post("ann", "one")
+        board.post("bob", "two")
+    clone = BulletinBoard(runtime, persist=False)
+    clone.restore_snapshot(board.snapshot())
+    assert clone.next_id == 3
+    assert [p["author"] for p in clone.posts] == ["ann", "bob"]
+
+
+# -- billing --------------------------------------------------------------------
+
+def test_charge_survives_caller_abort(runtime):
+    customer = Account(runtime, "cust", balance=100)
+    provider = Account(runtime, "prov", balance=0)
+    service = MeteredService(runtime, "compile", fee=10,
+                             provider_account=provider)
+    work_done = Account(runtime, "work", balance=0)
+    with pytest.raises(RuntimeError):
+        with runtime.top_level(name="job"):
+            service.call(customer, lambda: work_done.deposit(1, "result"))
+            raise RuntimeError("job aborts")
+    assert customer.balance == 90    # billed anyway
+    assert provider.balance == 10
+    assert work_done.balance == 0    # the work itself was undone
+
+
+def test_charge_and_work_on_commit(runtime):
+    customer = Account(runtime, "cust", balance=100)
+    service = MeteredService(runtime, "compile", fee=10)
+    result = Account(runtime, "out", balance=0)
+    with runtime.top_level(name="job"):
+        service.call(customer, lambda: result.deposit(5, "answer"))
+    assert customer.balance == 90
+    assert result.balance == 5
+    assert service.calls_billed == 1
+
+
+def test_multiple_calls_accumulate_charges(runtime):
+    customer = Account(runtime, "cust", balance=100)
+    service = MeteredService(runtime, "lookup", fee=3)
+    with pytest.raises(RuntimeError):
+        with runtime.top_level(name="job"):
+            for _ in range(4):
+                service.call(customer, lambda: None)
+            raise RuntimeError
+    assert customer.balance == 100 - 4 * 3
+    descriptions = [entry[0] for entry in customer.statement]
+    assert len(descriptions) == 4 and all("lookup" in d for d in descriptions)
+
+
+def test_refund_policy_via_compensation(runtime):
+    customer = Account(runtime, "cust", balance=50)
+    service = MeteredService(runtime, "render", fee=20)
+    with pytest.raises(RuntimeError):
+        with runtime.top_level(name="job") as job:
+            refunds = CompensationScope(runtime, job)
+            service.call(customer, lambda: None, refund_on_abort=refunds)
+            raise RuntimeError("job aborts")
+    assert customer.balance == 50            # charged 20, refunded 20
+    kinds = [entry[0] for entry in customer.statement]
+    assert any("refund" in k for k in kinds)
+
+
+def test_no_refund_on_commit(runtime):
+    customer = Account(runtime, "cust", balance=50)
+    service = MeteredService(runtime, "render", fee=20)
+    with runtime.top_level(name="job") as job:
+        refunds = CompensationScope(runtime, job)
+        service.call(customer, lambda: None, refund_on_abort=refunds)
+    assert customer.balance == 30

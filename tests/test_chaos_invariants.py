@@ -1,0 +1,103 @@
+"""Chaos runs: random crashes + message loss must never break atomicity.
+
+The canonical invariant workload: transfers between two accounts on two
+different object servers, while a fault schedule crashes and restarts the
+servers and the network drops messages.  Whatever mixture of commits,
+aborts, timeouts and recoveries results, the *committed stable states*
+must satisfy:
+
+- conservation: balance(A) + balance(B) == initial total;
+- agreement: the stable states match exactly the transfers the client saw
+  commit (all-or-nothing per transfer, across both nodes).
+"""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.failures import FaultSchedule
+from repro.cluster.network import NetworkConfig
+from repro.objects.state import ObjectState
+
+AMOUNT = 5
+TRANSFERS = 25
+INITIAL = 1000
+
+
+def stable_balance(cluster, ref):
+    stored = cluster.nodes[ref.node].stable_store.read_committed(ref.uid)
+    state = ObjectState.from_bytes(stored.payload)
+    state.unpack_string()            # owner
+    return state.unpack_int()        # balance
+
+
+def run_chaos(seed: int, drop: float = 0.1):
+    cluster = Cluster(
+        seed=seed,
+        config=NetworkConfig(drop_probability=drop,
+                             duplicate_probability=0.05),
+        rpc_retries=10,
+        lock_wait_timeout=120.0,
+    )
+    for name in ("home", "s1", "s2"):
+        cluster.add_node(name)
+    client = cluster.client("home")
+    refs = {}
+    outcomes = {"committed": 0, "failed": 0}
+
+    def setup():
+        refs["A"] = yield from client.create("s1", "account",
+                                             owner="A", balance=INITIAL)
+        refs["B"] = yield from client.create("s2", "account",
+                                             owner="B", balance=0)
+
+    cluster.run_process("home", setup())
+    schedule = FaultSchedule(cluster, seed=seed,
+                             mean_uptime=400.0, mean_downtime=40.0)
+    schedule.arm(["s1", "s2"], horizon=4000.0, start_after=50.0)
+
+    def workload():
+        from repro.sim.kernel import Timeout
+        for index in range(TRANSFERS):
+            action = client.top_level(f"xfer{index}")
+            try:
+                yield from client.invoke(action, refs["A"], "withdraw", AMOUNT)
+                yield from client.invoke(action, refs["B"], "deposit", AMOUNT)
+                yield from client.commit(action)
+                outcomes["committed"] += 1
+            except Exception:
+                outcomes["failed"] += 1
+                if not action.status.terminated:
+                    yield from client.abort(action)
+            yield Timeout(20.0)
+
+    cluster.run_process("home", workload())
+    # make sure everything is up, then let recovery and stragglers settle
+    for name in ("s1", "s2"):
+        if not cluster.nodes[name].alive:
+            cluster.restart(name)
+    cluster.run(until=cluster.kernel.now + 2_000.0)
+    return cluster, refs, outcomes, schedule
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3, 5])
+def test_money_conserved_under_chaos(seed):
+    cluster, refs, outcomes, schedule = run_chaos(seed)
+    balance_a = stable_balance(cluster, refs["A"])
+    balance_b = stable_balance(cluster, refs["B"])
+    # the run must actually have exercised failures to mean anything
+    assert schedule.crash_count() >= 1
+    assert outcomes["committed"] + outcomes["failed"] == TRANSFERS
+    # conservation across both stable stores
+    assert balance_a + balance_b == INITIAL, (outcomes, schedule.planned)
+    # agreement with the client's view, per committed transfer
+    assert balance_b == outcomes["committed"] * AMOUNT, (outcomes,)
+
+
+def test_chaos_with_heavier_loss():
+    cluster, refs, outcomes, schedule = run_chaos(seed=11, drop=0.25)
+    balance_a = stable_balance(cluster, refs["A"])
+    balance_b = stable_balance(cluster, refs["B"])
+    assert balance_a + balance_b == INITIAL
+    assert balance_b == outcomes["committed"] * AMOUNT
+    # under this much adversity some transfers must still get through
+    assert outcomes["committed"] >= 1

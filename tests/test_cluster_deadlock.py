@@ -1,0 +1,146 @@
+"""Distributed deadlock detection: edge-chasing probes across servers."""
+
+from repro.cluster.cluster import Cluster
+from repro.errors import DeadlockDetected, LockTimeout
+from repro.sim.kernel import Timeout
+
+
+def make_cluster(edge_chasing=True, lock_wait_timeout=600.0):
+    """Long wait timeout so only the probes (not the backstop) can break
+    cycles within the test horizon."""
+    cluster = Cluster(seed=0, edge_chasing=edge_chasing,
+                      lock_wait_timeout=lock_wait_timeout,
+                      probe_interval=3.0)
+    for name in ("home1", "home2", "s1", "s2"):
+        cluster.add_node(name)
+    return cluster
+
+
+def cross_server_deadlock(cluster, results):
+    """Client 1 (home1): lock obj1@s1 then obj2@s2.
+    Client 2 (home2): lock obj2@s2 then obj1@s1 — a 2-cycle across servers."""
+    c1 = cluster.client("home1", "c1")
+    c2 = cluster.client("home2", "c2")
+    refs = {}
+
+    def setup():
+        refs["obj1"] = yield from c1.create("s1", "counter", value=0)
+        refs["obj2"] = yield from c1.create("s2", "counter", value=0)
+
+    def worker(client, label, first, second):
+        action = client.top_level(label)
+        try:
+            yield from client.invoke(action, refs[first], "increment", 1)
+            yield Timeout(5.0)  # ensure both hold their first lock
+            yield from client.invoke(action, refs[second], "increment", 1)
+            yield from client.commit(action)
+            results[label] = "committed"
+        except (DeadlockDetected, LockTimeout) as error:
+            results[label] = type(error).__name__
+            if not action.status.terminated:
+                yield from client.abort(action)
+
+    cluster.run_process("home1", setup())
+    h1 = cluster.spawn("home1", worker(c1, "t1", "obj1", "obj2"))
+    h2 = cluster.spawn("home2", worker(c2, "t2", "obj2", "obj1"))
+    return h1, h2, refs
+
+
+def test_edge_chasing_breaks_cross_server_cycle():
+    cluster = make_cluster(edge_chasing=True)
+    results = {}
+    h1, h2, refs = cross_server_deadlock(cluster, results)
+    cluster.run(until=400)
+    assert not h1.alive and not h2.alive
+    outcomes = sorted(results.values())
+    # exactly one victim (the youngest), and the survivor commits — within
+    # the 400-unit horizon, far inside the 600-unit timeout backstop.
+    assert outcomes == ["DeadlockDetected", "committed"]
+    chasers = [s.edge_chaser for s in cluster.servers.values()]
+    assert sum(c.cycles_detected for c in chasers) >= 1
+
+
+def test_without_edge_chasing_only_timeout_breaks_it():
+    """The contrast: with only the timeout backstop, *both* symmetric
+    waiters expire — the blunt instrument cannot pick a single victim, so
+    the whole episode's work is lost (this is why the probes exist)."""
+    cluster = make_cluster(edge_chasing=False, lock_wait_timeout=50.0)
+    results = {}
+    h1, h2, refs = cross_server_deadlock(cluster, results)
+    cluster.run(until=600)
+    assert not h1.alive and not h2.alive
+    outcomes = sorted(results.values())
+    assert outcomes == ["LockTimeout", "LockTimeout"]
+
+
+def test_probes_do_not_disturb_contention_without_cycle():
+    """Plain contention (no cycle): the waiter gets the lock when the
+    holder commits; nobody is aborted by a probe."""
+    cluster = make_cluster(edge_chasing=True)
+    c1 = cluster.client("home1", "c1")
+    c2 = cluster.client("home2", "c2")
+    results = {}
+    refs = {}
+
+    def setup():
+        refs["obj"] = yield from c1.create("s1", "counter", value=0)
+
+    def holder():
+        action = c1.top_level("holder")
+        yield from c1.invoke(action, refs["obj"], "increment", 1)
+        yield Timeout(30.0)
+        yield from c1.commit(action)
+        results["holder"] = "committed"
+
+    def waiter():
+        yield Timeout(5.0)
+        action = c2.top_level("waiter")
+        yield from c2.invoke(action, refs["obj"], "increment", 10)
+        yield from c2.commit(action)
+        results["waiter"] = "committed"
+
+    cluster.run_process("home1", setup())
+    cluster.spawn("home1", holder())
+    cluster.spawn("home2", waiter())
+    cluster.run(until=300)
+    assert results == {"holder": "committed", "waiter": "committed"}
+
+
+def test_three_party_cycle_detected():
+    """A 3-cycle across three servers and three homes."""
+    cluster = Cluster(seed=0, edge_chasing=True, lock_wait_timeout=600.0,
+                      probe_interval=3.0)
+    for name in ("h1", "h2", "h3", "sA", "sB", "sC"):
+        cluster.add_node(name)
+    clients = {f"t{i}": cluster.client(f"h{i}", f"c{i}") for i in (1, 2, 3)}
+    refs = {}
+    results = {}
+
+    def setup():
+        bootstrap = cluster.client("h1", "setup")
+        refs["A"] = yield from bootstrap.create("sA", "counter", value=0)
+        refs["B"] = yield from bootstrap.create("sB", "counter", value=0)
+        refs["C"] = yield from bootstrap.create("sC", "counter", value=0)
+
+    def worker(label, client, first, second):
+        action = client.top_level(label)
+        try:
+            yield from client.invoke(action, refs[first], "increment", 1)
+            yield Timeout(5.0)
+            yield from client.invoke(action, refs[second], "increment", 1)
+            yield from client.commit(action)
+            results[label] = "committed"
+        except (DeadlockDetected, LockTimeout) as error:
+            results[label] = type(error).__name__
+            if not action.status.terminated:
+                yield from client.abort(action)
+
+    cluster.run_process("h1", setup())
+    cluster.spawn("h1", worker("t1", clients["t1"], "A", "B"))
+    cluster.spawn("h2", worker("t2", clients["t2"], "B", "C"))
+    cluster.spawn("h3", worker("t3", clients["t3"], "C", "A"))
+    cluster.run(until=500)
+    outcomes = sorted(results.values())
+    assert outcomes.count("committed") >= 1
+    assert "DeadlockDetected" in outcomes
+    assert len(results) == 3  # nobody left hanging

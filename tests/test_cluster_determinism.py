@@ -1,0 +1,66 @@
+"""Determinism: identical seeds replay identical distributed executions."""
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.network import NetworkConfig
+from repro.sim.kernel import Timeout
+
+
+def run_workload(seed: int):
+    """A mixed workload: contention, loss, a crash, commits and aborts."""
+    cluster = Cluster(
+        seed=seed,
+        config=NetworkConfig(drop_probability=0.15, duplicate_probability=0.05),
+        rpc_retries=10,
+        lock_wait_timeout=200.0,
+    )
+    for name in ("h1", "h2", "s1", "s2"):
+        cluster.add_node(name)
+    c1 = cluster.client("h1", "c1")
+    c2 = cluster.client("h2", "c2")
+    refs = {}
+    log = []
+
+    def setup():
+        refs["a"] = yield from c1.create("s1", "counter", value=0)
+        refs["b"] = yield from c1.create("s2", "counter", value=0)
+
+    def worker(client, label, ordered):
+        for index in range(4):
+            action = client.top_level(f"{label}-{index}")
+            try:
+                for key in ordered:
+                    yield from client.invoke(action, refs[key], "increment", 1)
+                if index == 2:
+                    yield from client.abort(action)
+                    log.append((cluster.kernel.now, label, index, "aborted"))
+                else:
+                    yield from client.commit(action)
+                    log.append((cluster.kernel.now, label, index, "committed"))
+            except Exception as error:
+                log.append((cluster.kernel.now, label, index,
+                            type(error).__name__))
+                if not action.status.terminated:
+                    yield from client.abort(action)
+            yield Timeout(3.0)
+
+    cluster.run_process("h1", setup())
+    cluster.crash_at("s2", cluster.kernel.now + 40.0)
+    cluster.restart_at("s2", cluster.kernel.now + 70.0)
+    h1 = cluster.spawn("h1", worker(c1, "w1", ["a", "b"]))
+    h2 = cluster.spawn("h2", worker(c2, "w2", ["b", "a"]))
+    cluster.run(until=2_000.0)
+    assert not h1.alive and not h2.alive
+    return {
+        "log": log,
+        "network": cluster.network.stats(),
+        "time": max(t for t, *_ in log) if log else 0.0,
+    }
+
+
+def test_same_seed_identical_execution():
+    assert run_workload(123) == run_workload(123)
+
+
+def test_different_seed_different_execution():
+    a, b = run_workload(123), run_workload(321)
+    assert a["network"] != b["network"] or a["log"] != b["log"]

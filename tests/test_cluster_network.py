@@ -1,0 +1,131 @@
+"""Simulated network: delivery, faults, partitions, payload isolation."""
+
+import pytest
+
+from repro.cluster.message import Message
+from repro.cluster.network import Network, NetworkConfig
+from repro.errors import ClusterError
+from repro.sim.kernel import Kernel
+from repro.util.rng import SplitRandom
+
+
+def make_network(config=None, seed=0):
+    kernel = Kernel()
+    network = Network(kernel, SplitRandom(seed), config)
+    return kernel, network
+
+
+def attach_sink(network, name):
+    inbox = []
+    network.attach(name, inbox.append)
+    return inbox
+
+
+def test_message_delivered_within_delay_bounds():
+    kernel, network = make_network(NetworkConfig(min_delay=1.0, max_delay=3.0))
+    inbox = attach_sink(network, "b")
+    network.attach("a", lambda m: None)
+    network.send(Message("a", "b", "ping", {}, msg_id=1))
+    kernel.run()
+    assert len(inbox) == 1
+    assert 1.0 <= kernel.now <= 3.0
+
+
+def test_send_to_unknown_endpoint_raises():
+    _, network = make_network()
+    network.attach("a", lambda m: None)
+    with pytest.raises(ClusterError):
+        network.send(Message("a", "ghost", "ping", {}))
+
+
+def test_down_endpoint_drops_silently():
+    kernel, network = make_network()
+    inbox = attach_sink(network, "b")
+    network.attach("a", lambda m: None)
+    network.set_up("b", False)
+    network.send(Message("a", "b", "ping", {}))
+    kernel.run()
+    assert inbox == []
+    assert network.dropped_count == 1
+
+
+def test_crash_during_flight_loses_message():
+    """Reachability is evaluated at delivery time."""
+    kernel, network = make_network(NetworkConfig(min_delay=5.0, max_delay=5.0))
+    inbox = attach_sink(network, "b")
+    network.attach("a", lambda m: None)
+    network.send(Message("a", "b", "ping", {}))
+    kernel.schedule(1.0, lambda: network.set_up("b", False))
+    kernel.run()
+    assert inbox == []
+
+
+def test_partition_blocks_both_directions_until_healed():
+    kernel, network = make_network()
+    inbox_a = attach_sink(network, "a")
+    inbox_b = attach_sink(network, "b")
+    network.partition("a", "b")
+    network.send(Message("a", "b", "x", {}))
+    network.send(Message("b", "a", "y", {}))
+    kernel.run()
+    assert inbox_a == [] and inbox_b == []
+    network.heal("a", "b")
+    network.send(Message("a", "b", "x", {}))
+    kernel.run()
+    assert len(inbox_b) == 1
+
+
+def test_drop_probability_loses_some_messages():
+    kernel, network = make_network(NetworkConfig(drop_probability=0.5), seed=3)
+    inbox = attach_sink(network, "b")
+    network.attach("a", lambda m: None)
+    for i in range(200):
+        network.send(Message("a", "b", "ping", {"i": i}))
+    kernel.run()
+    assert 0 < len(inbox) < 200
+    assert network.dropped_count == 200 - len(inbox)
+
+
+def test_duplicate_probability_duplicates_some_messages():
+    kernel, network = make_network(NetworkConfig(duplicate_probability=0.5), seed=5)
+    inbox = attach_sink(network, "b")
+    network.attach("a", lambda m: None)
+    for i in range(100):
+        network.send(Message("a", "b", "ping", {"i": i}))
+    kernel.run()
+    assert len(inbox) > 100
+
+
+def test_payload_deep_copied_at_send():
+    """Mutating the payload after send must not affect the receiver."""
+    kernel, network = make_network()
+    inbox = attach_sink(network, "b")
+    network.attach("a", lambda m: None)
+    payload = {"xs": [1, 2]}
+    network.send(Message("a", "b", "data", payload))
+    payload["xs"].append(99)
+    kernel.run()
+    assert inbox[0].payload["xs"] == [1, 2]
+
+
+def test_same_seed_same_fault_pattern():
+    def run(seed):
+        kernel, network = make_network(
+            NetworkConfig(drop_probability=0.3, duplicate_probability=0.2), seed=seed
+        )
+        inbox = attach_sink(network, "b")
+        network.attach("a", lambda m: None)
+        for i in range(50):
+            network.send(Message("a", "b", "ping", {"i": i}))
+        kernel.run()
+        return [m.payload["i"] for m in inbox]
+
+    assert run(11) == run(11)
+    assert run(11) != run(12)
+
+
+def test_invalid_config_rejected():
+    with pytest.raises(ClusterError):
+        NetworkConfig(min_delay=2.0, max_delay=1.0).validate()
+    with pytest.raises(ClusterError):
+        NetworkConfig(drop_probability=1.5).validate()

@@ -1,0 +1,106 @@
+"""Nodes: fail-silence, volatile wipe, stable survival, epochs, recovery."""
+
+import pytest
+
+from repro.cluster.network import Network
+from repro.cluster.node import Node
+from repro.errors import NodeDown
+from repro.sim.kernel import Kernel, Timeout
+from repro.store.interface import StoredState
+from repro.util.rng import SplitRandom
+from repro.util.uid import UidGenerator
+
+uids = UidGenerator("obj")
+
+
+def make_node(name="n1"):
+    kernel = Kernel()
+    network = Network(kernel, SplitRandom(0))
+    return kernel, network, Node(name, kernel, network)
+
+
+def test_crash_wipes_volatile_keeps_stable():
+    _, _, node = make_node()
+    uid = uids.fresh()
+    node.volatile["cache"] = {"a": 1}
+    node.stable_store.write_committed(StoredState(uid, "t", b"x"))
+    node.wal.append("marker")
+    node.crash()
+    assert node.volatile == {}
+    assert node.stable_store.read_committed(uid).payload == b"x"
+    assert len(node.wal) == 1
+
+
+def test_crash_kills_processes():
+    kernel, _, node = make_node()
+    progress = []
+
+    def worker():
+        while True:
+            yield Timeout(1)
+            progress.append(kernel.now)
+
+    node.spawn(worker())
+    kernel.schedule(3.5, node.crash)
+    kernel.run(until=10)
+    assert progress == [1, 2, 3]
+
+
+def test_epoch_bumps_on_restart_only():
+    _, _, node = make_node()
+    assert node.epoch == 1
+    node.crash()
+    assert node.epoch == 1  # still the old incarnation on disk
+    node.restart()
+    assert node.epoch == 2
+    node.restart()  # restart while alive: no-op
+    assert node.epoch == 2
+
+
+def test_crash_is_idempotent():
+    _, _, node = make_node()
+    node.crash()
+    node.crash()
+    assert node.crash_count == 1
+
+
+def test_send_and_spawn_refused_while_down():
+    _, _, node = make_node()
+    node.crash()
+    with pytest.raises(NodeDown):
+        node.send("n1", "x")
+    with pytest.raises(NodeDown):
+        node.spawn((x for x in []))
+
+
+def test_recovery_hooks_run_on_restart():
+    _, _, node = make_node()
+    ran = []
+    node.add_recovery_hook(lambda: ran.append(node.epoch))
+    node.crash()
+    node.restart()
+    assert ran == [2]  # epoch already bumped when hooks run
+    assert node.epoch == 2
+
+
+def test_messages_to_dead_node_not_dispatched():
+    kernel, network, node = make_node()
+    got = []
+    node.add_dispatcher(lambda m: got.append(m) or True)
+    other = Node("n2", kernel, network)
+    node.crash()
+    other.send("n1", "ping")
+    kernel.run()
+    assert got == []
+
+
+def test_dispatcher_chain_first_consumer_wins():
+    kernel, network, node = make_node()
+    order = []
+    node.add_dispatcher(lambda m: order.append("first") or m.kind == "a")
+    node.add_dispatcher(lambda m: order.append("second") or True)
+    other = Node("n2", kernel, network)
+    other.send("n1", "a")
+    other.send("n1", "b")
+    kernel.run()
+    assert order == ["first", "first", "second"]

@@ -1,0 +1,167 @@
+"""2PC crash recovery: prepared states, decision queries, presumed abort."""
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.message import encode_colour, encode_uid
+from repro.objects.state import ObjectState
+from repro.sim.kernel import Timeout
+
+
+def make_cluster(seed=0):
+    cluster = Cluster(seed=seed)
+    for name in ("coord", "part"):
+        cluster.add_node(name)
+    return cluster
+
+
+def committed_int(cluster, ref):
+    stored = cluster.nodes[ref.node].stable_store.read_committed(ref.uid)
+    return ObjectState.from_bytes(stored.payload).unpack_int()
+
+
+def drive_prepare(cluster, client, value_after):
+    """Run an action up to a successful prepare on 'part'; returns
+    (ref, action, txn_id) with the decision NOT yet sent."""
+    transport = cluster.transports["coord"]
+    holder = {}
+
+    def app():
+        ref = yield from client.create("part", "counter", value=1)
+        action = client.top_level("t")
+        yield from client.invoke(action, ref, "increment", value_after - 1)
+        txn_id = f"txn:test:{action.uid.sequence}"
+        colour = next(iter(action.colours))
+        reply = yield from transport.call("part", "txn_prepare", {
+            "txn_id": txn_id,
+            "action_uid": encode_uid(action.uid),
+            "colour": encode_colour(colour),
+            "object_uids": [encode_uid(ref.uid)],
+            "expected_epoch": action.server_epochs.get("part"),
+        })
+        holder.update(ref=ref, action=action, txn_id=txn_id, vote=reply["vote"])
+
+    cluster.run_process("coord", app())
+    assert holder["vote"] == "commit"
+    return holder
+
+
+def test_prepared_shadow_survives_crash_and_commit_applies_on_recovery():
+    """Participant crashes between prepare and decision; the coordinator had
+    logged COMMIT, so recovery promotes the shadow."""
+    cluster = make_cluster()
+    client = cluster.client("coord")
+    holder = drive_prepare(cluster, client, value_after=42)
+    # the coordinator decides commit and logs it — but the participant
+    # crashes before hearing it.
+    cluster.nodes["coord"].wal.append("coord_commit", txn_id=holder["txn_id"])
+    cluster.crash("part")
+    assert committed_int(cluster, holder["ref"]) == 1  # still old on disk
+    cluster.restart("part")
+    cluster.run(until=cluster.kernel.now + 200)  # recovery queries + applies
+    assert committed_int(cluster, holder["ref"]) == 42
+
+
+def test_presumed_abort_when_coordinator_never_decided():
+    """No COMMIT record at the coordinator => recovery discards the shadow."""
+    cluster = make_cluster()
+    client = cluster.client("coord")
+    holder = drive_prepare(cluster, client, value_after=42)
+    cluster.crash("part")
+    cluster.restart("part")
+    cluster.run(until=cluster.kernel.now + 200)
+    assert committed_int(cluster, holder["ref"]) == 1
+    shadow = cluster.nodes["part"].stable_store.read_shadow(holder["ref"].uid)
+    assert shadow is None
+
+
+def test_in_doubt_object_fenced_until_resolution():
+    """While the coordinator is unreachable, the prepared object refuses
+    operations; after resolution it serves again."""
+    cluster = make_cluster()
+    client = cluster.client("coord")
+    holder = drive_prepare(cluster, client, value_after=42)
+    cluster.nodes["coord"].wal.append("coord_commit", txn_id=holder["txn_id"])
+    cluster.crash("part")
+    cluster.network.partition("coord", "part")
+    cluster.restart("part")
+    cluster.run(until=cluster.kernel.now + 30)
+    server = cluster.servers["part"]
+    assert holder["ref"].uid in server.in_doubt_objects
+
+    # a fresh client on another... 'part' itself can't reach coord; try an op
+    part_client = cluster.client("part", "local")
+
+    def probe():
+        action = part_client.top_level("probe")
+        try:
+            yield from part_client.invoke(action, holder["ref"], "get")
+            return "served"
+        except Exception as error:
+            return type(error).__name__
+
+    result = cluster.run_process("part", probe())
+    assert result != "served"
+
+    cluster.network.heal_all()
+    cluster.run(until=cluster.kernel.now + 200)
+    assert holder["ref"].uid not in server.in_doubt_objects
+    assert committed_int(cluster, holder["ref"]) == 42
+
+
+def test_participant_votes_no_after_restart():
+    """Prepare against a restarted participant fails the epoch check."""
+    from repro.errors import PrepareFailed
+    cluster = make_cluster()
+    client = cluster.client("coord")
+    transport = cluster.transports["coord"]
+
+    def app():
+        ref = yield from client.create("part", "counter", value=1)
+        action = client.top_level("t")
+        yield from client.invoke(action, ref, "increment", 1)
+        cluster.crash("part")
+        cluster.restart("part")
+        try:
+            yield from transport.call("part", "txn_prepare", {
+                "txn_id": "txn:test:x",
+                "action_uid": encode_uid(action.uid),
+                "colour": encode_colour(next(iter(action.colours))),
+                "object_uids": [encode_uid(ref.uid)],
+                "expected_epoch": action.server_epochs.get("part"),
+            })
+            return "prepared"
+        except PrepareFailed:
+            return "refused"
+
+    assert cluster.run_process("coord", app()) == "refused"
+
+
+def test_full_commit_resilient_to_participant_crash_after_decision():
+    """The coordinator logs commit; the participant crashes before acking;
+    after restart, recovery completes the transaction."""
+    cluster = make_cluster()
+    client = cluster.client("coord")
+    holder = {}
+
+    def app():
+        ref = yield from client.create("part", "counter", value=0)
+        holder["ref"] = ref
+        action = client.top_level("t")
+        yield from client.invoke(action, ref, "increment", 5)
+        # crash 'part' at the instant the decision is being distributed:
+        # prepare takes a couple of rpc rounds; commit decision follows.
+        cluster.crash_at("part", cluster.kernel.now + 6.0)
+        cluster.restart_at("part", cluster.kernel.now + 40.0)
+        try:
+            yield from client.commit(action)
+            holder["outcome"] = "committed"
+        except Exception as error:
+            holder["outcome"] = type(error).__name__
+
+    cluster.run_process("coord", app())
+    cluster.run(until=cluster.kernel.now + 400)
+    final = committed_int(cluster, holder["ref"])
+    if holder["outcome"] == "committed":
+        assert final == 5
+    else:
+        # the whole action failed before any prepare: nothing applied
+        assert final == 0

@@ -1,0 +1,155 @@
+"""Distributed structures: lifecycle edges and fig. 7 over the cluster."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.structures import ClusterGluedGroup, ClusterSerializingAction
+from repro.errors import InvalidActionState
+from repro.objects.state import ObjectState
+
+
+def make_cluster():
+    cluster = Cluster(seed=0)
+    for name in ("home", "s1", "s2"):
+        cluster.add_node(name)
+    return cluster
+
+
+def committed_int(cluster, ref):
+    stored = cluster.nodes[ref.node].stable_store.read_committed(ref.uid)
+    return ObjectState.from_bytes(stored.payload).unpack_int()
+
+
+def test_independent_action_fig7_on_cluster():
+    """B commits independently of A across nodes; A's abort spares it."""
+    cluster = make_cluster()
+    client = cluster.client("home")
+
+    def app():
+        board = yield from client.create("s1", "counter", value=0)
+        own = yield from client.create("s2", "counter", value=0)
+        a = client.top_level("A")
+        yield from client.invoke(a, own, "increment", 1)
+        b = client.independent_top_level(a, name="B")
+        yield from client.invoke(b, board, "increment", 1)
+        yield from client.commit(b)
+        yield from client.abort(a)
+        return board, own
+
+    board, own = cluster.run_process("home", app())
+    assert committed_int(cluster, board) == 1   # B survived
+    assert committed_int(cluster, own) == 0     # A's own work undone
+
+
+def test_async_independent_on_cluster():
+    """Fig. 7(b): the invoked action runs as its own process and commits
+    after the invoker has already aborted."""
+    cluster = make_cluster()
+    client = cluster.client("home")
+    refs = {}
+    marks = {}
+
+    def setup():
+        refs["board"] = yield from client.create("s1", "counter", value=0)
+
+    cluster.run_process("home", setup())
+
+    def invoked(action):
+        from repro.sim.kernel import Timeout
+        yield Timeout(40.0)  # still running when A ends
+        yield from client.invoke(action, refs["board"], "increment", 1)
+        yield from client.commit(action)
+        marks["b_done"] = cluster.kernel.now
+
+    def invoker():
+        a = client.top_level("A")
+        b = client.independent_top_level(a, name="B")
+        handle = cluster.spawn("home", invoked(b), name="B-body")
+        yield from client.abort(a)
+        marks["a_done"] = cluster.kernel.now
+        yield handle.join()
+
+    cluster.run_process("home", invoker())
+    assert marks["a_done"] < marks["b_done"]
+    assert committed_int(cluster, refs["board"]) == 1
+
+
+def test_serializing_constituent_after_close_rejected():
+    cluster = make_cluster()
+    client = cluster.client("home")
+
+    def app():
+        ser = ClusterSerializingAction(client, name="ser")
+        yield from ser.close()
+        try:
+            ser.constituent("late")
+            return "accepted"
+        except InvalidActionState:
+            return "rejected"
+
+    assert cluster.run_process("home", app()) == "rejected"
+
+
+def test_glued_member_after_close_rejected():
+    cluster = make_cluster()
+    client = cluster.client("home")
+
+    def app():
+        glue = ClusterGluedGroup(client, name="g")
+        yield from glue.close()
+        try:
+            glue.member("late")
+            return "accepted"
+        except InvalidActionState:
+            return "rejected"
+
+    assert cluster.run_process("home", app()) == "rejected"
+
+
+def test_glued_cancel_aborts_active_member_but_keeps_committed_work():
+    cluster = make_cluster()
+    client = cluster.client("home")
+
+    def app():
+        done = yield from client.create("s1", "counter", value=0)
+        pending = yield from client.create("s2", "counter", value=0)
+        glue = ClusterGluedGroup(client, name="g")
+        first = glue.member("A")
+
+        def body():
+            yield from client.invoke(first, done, "increment", 1)
+            yield from glue.hand_over(first, done)
+
+        yield from client.run_scope(first, body())
+        second = glue.member("B")
+        yield from client.invoke(second, pending, "increment", 100)
+        yield from glue.cancel()   # aborts B, keeps A's committed work
+        return done, pending, second.status.value
+
+    done, pending, second_status = cluster.run_process("home", app())
+    assert committed_int(cluster, done) == 1
+    assert committed_int(cluster, pending) == 0
+    assert second_status == "aborted"
+
+
+def test_nested_serializing_inside_cluster_action():
+    """A serializing action nested under an ordinary top-level action."""
+    cluster = make_cluster()
+    client = cluster.client("home")
+
+    def app():
+        obj = yield from client.create("s1", "counter", value=0)
+        outer = client.top_level("outer")
+        ser = ClusterSerializingAction(client, parent=outer, name="ser")
+        constituent = ser.constituent("B")
+
+        def body():
+            yield from client.invoke(constituent, obj, "increment", 4)
+
+        yield from ser.run_constituent(constituent, body())
+        yield from ser.close()
+        yield from client.commit(outer)
+        return obj
+
+    obj = cluster.run_process("home", app())
+    assert committed_int(cluster, obj) == 4

@@ -1,0 +1,108 @@
+"""Waits-for graph and deadlock resolution."""
+
+from repro.colours.colour import Colour
+from repro.errors import DeadlockDetected
+from repro.locking.deadlock import DeadlockDetector, WaitsForGraph
+from repro.locking.modes import LockMode
+from repro.locking.owner import StubOwner
+from repro.locking.registry import LockRegistry
+from repro.locking.request import RequestStatus
+from repro.util.uid import Uid, UidGenerator
+
+auids = UidGenerator("a")
+cuids = UidGenerator("colour")
+ouids = UidGenerator("obj")
+RED = Colour(cuids.fresh(), "red")
+
+
+def owner():
+    uid = auids.fresh()
+    return StubOwner(uid=uid, path=(uid,), colours=frozenset((RED,)))
+
+
+def test_graph_finds_simple_cycle():
+    a, b = Uid("a", 1), Uid("a", 2)
+    graph = WaitsForGraph([(a, b), (b, a)])
+    cycle = graph.find_cycle()
+    assert cycle is not None and set(cycle) == {a, b}
+
+
+def test_graph_no_cycle_in_dag():
+    a, b, c = (Uid("a", i) for i in range(3))
+    graph = WaitsForGraph([(a, b), (b, c), (a, c)])
+    assert graph.find_cycle() is None
+
+
+def test_graph_finds_long_cycle():
+    nodes = [Uid("a", i) for i in range(5)]
+    edges = list(zip(nodes, nodes[1:])) + [(nodes[-1], nodes[0])]
+    graph = WaitsForGraph(edges)
+    cycle = graph.find_cycle()
+    assert cycle is not None and set(cycle) == set(nodes)
+
+
+def test_self_edges_ignored():
+    a = Uid("a", 1)
+    graph = WaitsForGraph([(a, a)])
+    assert graph.find_cycle() is None
+
+
+def test_detector_picks_youngest_victim_and_refuses_its_requests():
+    registry = LockRegistry()
+    elder, younger = owner(), owner()
+    assert elder.uid < younger.uid
+    obj1, obj2 = ouids.fresh(), ouids.fresh()
+    registry.request(elder, obj1, LockMode.WRITE, RED)
+    registry.request(younger, obj2, LockMode.WRITE, RED)
+    results = {}
+    registry.request(elder, obj2, LockMode.WRITE, RED,
+                     on_complete=lambda r: results.setdefault("elder", r))
+    registry.request(younger, obj1, LockMode.WRITE, RED,
+                     on_complete=lambda r: results.setdefault("younger", r))
+    detector = DeadlockDetector(registry)
+    victim = detector.resolve_once()
+    assert victim == younger.uid
+    assert results["younger"].status is RequestStatus.REFUSED
+    assert isinstance(results["younger"].error, DeadlockDetected)
+    assert "elder" not in results or results["elder"].status is RequestStatus.PENDING
+
+
+def test_detector_none_when_no_cycle():
+    registry = LockRegistry()
+    holder, waiter = owner(), owner()
+    obj = ouids.fresh()
+    registry.request(holder, obj, LockMode.WRITE, RED)
+    registry.request(waiter, obj, LockMode.WRITE, RED)
+    assert DeadlockDetector(registry).resolve_once() is None
+
+
+def test_resolve_all_breaks_multiple_cycles():
+    registry = LockRegistry()
+    pairs = []
+    for _ in range(2):  # two disjoint 2-cycles
+        a, b = owner(), owner()
+        oa, ob = ouids.fresh(), ouids.fresh()
+        registry.request(a, oa, LockMode.WRITE, RED)
+        registry.request(b, ob, LockMode.WRITE, RED)
+        registry.request(a, ob, LockMode.WRITE, RED)
+        registry.request(b, oa, LockMode.WRITE, RED)
+        pairs.append((a, b))
+    victims = DeadlockDetector(registry).resolve_all()
+    assert len(victims) == 2
+    assert DeadlockDetector(registry).scan() is None
+
+
+def test_victim_release_unblocks_survivor():
+    registry = LockRegistry()
+    a, b = owner(), owner()
+    obj1, obj2 = ouids.fresh(), ouids.fresh()
+    registry.request(a, obj1, LockMode.WRITE, RED)
+    registry.request(b, obj2, LockMode.WRITE, RED)
+    survivor_result = {}
+    registry.request(a, obj2, LockMode.WRITE, RED,
+                     on_complete=lambda r: survivor_result.setdefault("r", r))
+    registry.request(b, obj1, LockMode.WRITE, RED)
+    victim = DeadlockDetector(registry).resolve_once()
+    assert victim == b.uid
+    registry.release_action(b.uid)  # the runtime aborts the victim
+    assert survivor_result["r"].status is RequestStatus.GRANTED

@@ -1,0 +1,116 @@
+"""Directory: type-specific (per-entry) concurrency control (§2)."""
+
+import pytest
+
+from repro.errors import LockTimeout, ObjectNotFound
+from repro.locking.modes import LockMode
+from repro.stdobjects import Directory
+
+
+def test_add_lookup_remove(runtime):
+    directory = Directory(runtime, "ns")
+    with runtime.top_level():
+        directory.add("printer", "node-3")
+    with runtime.top_level():
+        assert directory.lookup("printer") == "node-3"
+        directory.remove("printer")
+    with runtime.top_level():
+        with pytest.raises(ObjectNotFound):
+            directory.lookup("printer")
+
+
+def test_lookup_missing_raises(runtime):
+    directory = Directory(runtime, "ns")
+    with runtime.top_level():
+        with pytest.raises(ObjectNotFound):
+            directory.lookup("ghost")
+        with pytest.raises(ObjectNotFound):
+            directory.remove("ghost")
+
+
+def test_abort_restores_added_entry(runtime):
+    directory = Directory(runtime, "ns")
+    with pytest.raises(RuntimeError):
+        with runtime.top_level():
+            directory.add("x", 1)
+            raise RuntimeError
+    with runtime.top_level():
+        assert not directory.contains("x")
+
+
+def test_abort_restores_removed_entry(runtime):
+    directory = Directory(runtime, "ns")
+    with runtime.top_level():
+        directory.add("x", 1)
+    with pytest.raises(RuntimeError):
+        with runtime.top_level():
+            directory.remove("x")
+            raise RuntimeError
+    with runtime.top_level():
+        assert directory.lookup("x") == 1
+
+
+def test_different_entries_do_not_conflict(runtime):
+    """The paper's motivating case: reading entry a while deleting entry b."""
+    directory = Directory(runtime, "ns")
+    with runtime.top_level():
+        directory.add("a", 1)
+        directory.add("b", 2)
+    scope1 = runtime.top_level(name="deleter")
+    deleter = scope1.__enter__()
+    directory.remove("b", action=deleter)      # holds write lock on entry b
+    with runtime.top_level(name="reader") as reader:
+        # reading a different entry succeeds immediately
+        assert directory.lookup("a", action=reader) == 1
+    scope1.__exit__(None, None, None)
+
+
+def test_same_entry_conflicts(runtime):
+    directory = Directory(runtime, "ns")
+    with runtime.top_level():
+        directory.add("a", 1)
+    scope1 = runtime.top_level(name="deleter")
+    deleter = scope1.__enter__()
+    directory.remove("a", action=deleter)
+    with runtime.top_level(name="reader") as reader:
+        entry = directory._entry("a")
+        with pytest.raises(LockTimeout):
+            runtime.acquire(reader, entry, LockMode.READ, timeout=0.05)
+        runtime.abort_action(reader)
+    scope1.__exit__(None, None, None)
+
+
+def test_concurrent_aborts_do_not_clobber_other_entries(runtime):
+    """Per-entry recovery: aborting a writer of entry b cannot undo a
+    committed write to entry a (the hazard of whole-object snapshots)."""
+    directory = Directory(runtime, "ns")
+    with runtime.top_level():
+        directory.add("a", "old-a")
+        directory.add("b", "old-b")
+    scope_b = runtime.top_level(name="writer-b")
+    writer_b = scope_b.__enter__()
+    directory.update("b", "dirty-b", action=writer_b)
+    with runtime.top_level(name="writer-a"):
+        directory.update("a", "new-a")  # commits while writer-b in flight
+    runtime.abort_action(writer_b)
+    scope_b.__exit__(None, None, None)
+    with runtime.top_level():
+        assert directory.lookup("a") == "new-a"   # not clobbered
+        assert directory.lookup("b") == "old-b"   # writer-b undone
+
+
+def test_keys_lists_present_entries(runtime):
+    directory = Directory(runtime, "ns")
+    with runtime.top_level():
+        directory.add("a", 1)
+        directory.add("b", 2)
+        directory.remove("a")
+    with runtime.top_level():
+        assert directory.keys() == ["b"]
+
+
+def test_update_missing_raises(runtime):
+    directory = Directory(runtime, "ns")
+    with runtime.top_level():
+        with pytest.raises(ObjectNotFound):
+            directory.update("nope", 1)

@@ -1,0 +1,125 @@
+"""Local-runtime crash/restart: rebuilding live state from the stable store.
+
+The paper's permanence of effect (§2) means a process crash loses only
+volatile state; everything committed is re-activatable from the object
+store.  These tests "crash" by abandoning the runtime (keeping its store)
+and restarting with a fresh one over the same store.
+"""
+
+import pytest
+
+from repro.apps.make.engine import LocalMakeEngine, LogicalClock
+from repro.apps.make.graph import DependencyGraph
+from repro.apps.make.makefile import PAPER_EXAMPLE, parse_makefile
+from repro.runtime.runtime import LocalRuntime
+from repro.stdobjects import Account, Counter, FileObject
+
+
+def restart(runtime: LocalRuntime) -> LocalRuntime:
+    """A new runtime over the surviving stable store (volatile state gone:
+    lock tables, live objects, in-flight actions)."""
+    return LocalRuntime(store=runtime.store)
+
+
+def test_committed_state_survives_restart():
+    runtime = LocalRuntime()
+    counter = Counter(runtime, value=0)
+    with runtime.top_level():
+        counter.increment(41)
+    revived_runtime = restart(runtime)
+    revived = Counter(revived_runtime, value=0, uid=counter.uid, persist=False)
+    revived.activate_from(revived_runtime.store)
+    assert revived.value == 41
+    with revived_runtime.top_level():
+        revived.increment(1)
+    assert revived.value == 42
+
+
+def test_uncommitted_state_lost_at_restart():
+    """An in-flight action's writes die with the process — the store still
+    has the last committed state (strict write-ahead of commitment)."""
+    from repro.actions.action import Action
+    runtime = LocalRuntime()
+    counter = Counter(runtime, value=10)
+    # the action is abandoned mid-flight by the crash: create it without a
+    # scope (no ambient-context bookkeeping to unwind)
+    action = Action(runtime, [runtime.colours.fresh()], name="in-flight")
+    counter.increment(100, action=action)
+    assert counter.value == 110       # live, uncommitted
+    revived_runtime = restart(runtime)   # crash here
+    revived = Counter(revived_runtime, value=0, uid=counter.uid, persist=False)
+    revived.activate_from(revived_runtime.store)
+    assert revived.value == 10
+
+
+def test_locks_are_volatile():
+    from repro.actions.action import Action
+    runtime = LocalRuntime()
+    counter = Counter(runtime, value=0)
+    holder = Action(runtime, [runtime.colours.fresh()], name="holder")
+    counter.increment(1, action=holder)
+    revived_runtime = restart(runtime)
+    revived = Counter(revived_runtime, value=0, uid=counter.uid, persist=False)
+    revived.activate_from(revived_runtime.store)
+    # the old holder's lock does not exist in the new incarnation
+    with revived_runtime.top_level():
+        revived.increment(5)
+    assert revived.value == 5
+
+
+def test_statement_and_balance_survive_together():
+    runtime = LocalRuntime()
+    account = Account(runtime, owner="ann", balance=100)
+    with runtime.top_level():
+        account.withdraw(30, "rent")
+        account.deposit(10, "refund")
+    revived_runtime = restart(runtime)
+    revived = Account(revived_runtime, uid=account.uid, persist=False)
+    revived.activate_from(revived_runtime.store)
+    assert revived.balance == 80
+    assert revived.statement == [("rent", -30), ("refund", 10)]
+
+
+def test_make_resumes_after_crash_from_stable_files():
+    """The fig. 8 story locally: crash after the object files were made
+    consistent; a fresh runtime reactivates them and only links."""
+    runtime = LocalRuntime()
+    makefile = parse_makefile(PAPER_EXAMPLE)
+    graph = DependencyGraph(makefile)
+    clock = LogicalClock()
+    files = {}
+    for name in sorted(graph.sources()):
+        files[name] = FileObject(runtime, name, content=f"// {name}",
+                                 timestamp=1.0)
+    for name in makefile.targets():
+        files[name] = FileObject(runtime, name, content="", timestamp=0.0)
+    report = LocalMakeEngine(runtime, makefile, files, clock=clock,
+                             fail_before="Test").make()
+    assert report.failed_at == "Test"
+
+    revived_runtime = restart(runtime)
+    revived_files = {}
+    for name, old in files.items():
+        revived = FileObject(revived_runtime, name, persist=False, uid=old.uid)
+        revived.activate_from(revived_runtime.store)
+        revived_files[name] = revived
+    assert revived_files["Test0.o"].timestamp > 1.0  # survived the crash
+    resume = LocalMakeEngine(revived_runtime, makefile, revived_files,
+                             clock=clock).make()
+    assert resume.rebuilt == ["Test"]
+    assert set(resume.up_to_date) == {"Test0.o", "Test1.o"}
+
+
+def test_serializing_constituent_work_survives_crash():
+    """F3's permanence claim against an actual restart."""
+    runtime = LocalRuntime()
+    from repro.structures import SerializingAction
+    counter = Counter(runtime, value=0)
+    ser = SerializingAction(runtime, name="ser")
+    with ser.constituent(name="B"):
+        counter.increment(7)
+    # crash before the serializing action ends (its locks are volatile)
+    revived_runtime = restart(runtime)
+    revived = Counter(revived_runtime, value=0, uid=counter.uid, persist=False)
+    revived.activate_from(revived_runtime.store)
+    assert revived.value == 7

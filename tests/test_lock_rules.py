@@ -1,0 +1,161 @@
+"""Grant rules: conventional (Moss) and coloured (§5.2), table-free."""
+
+import pytest
+
+from repro.colours.colour import Colour
+from repro.locking.lock import LockRecord
+from repro.locking.modes import LockMode
+from repro.locking.owner import StubOwner
+from repro.locking.request import LockRequest
+from repro.locking.rules import ColouredRules, ConventionalRules
+from repro.util.uid import UidGenerator
+
+uids = UidGenerator("a")
+cuids = UidGenerator("colour")
+ouids = UidGenerator("obj")
+
+RED = Colour(cuids.fresh(), "red")
+BLUE = Colour(cuids.fresh(), "blue")
+
+
+def owner(path_owners=(), colours=(RED, BLUE)):
+    """An owner whose proper ancestors are ``path_owners`` (root first)."""
+    uid = uids.fresh()
+    path = tuple(p.uid for p in path_owners) + (uid,)
+    return StubOwner(uid=uid, path=path, colours=frozenset(colours))
+
+
+def request(req_owner, mode, colour=RED):
+    return LockRequest(uids.fresh(), req_owner, ouids.fresh(), mode, colour)
+
+
+# -- conventional ---------------------------------------------------------------
+
+def test_conventional_read_shared_between_strangers():
+    rules = ConventionalRules()
+    holder, requester = owner(), owner()
+    held = [LockRecord(holder, LockMode.READ, RED)]
+    assert rules.may_grant(request(requester, LockMode.READ), held)
+
+
+def test_conventional_write_blocks_stranger_read():
+    rules = ConventionalRules()
+    holder, requester = owner(), owner()
+    held = [LockRecord(holder, LockMode.WRITE, RED)]
+    assert not rules.may_grant(request(requester, LockMode.READ), held)
+
+
+def test_conventional_exclusive_read_blocks_stranger_read():
+    rules = ConventionalRules()
+    held = [LockRecord(owner(), LockMode.EXCLUSIVE_READ, RED)]
+    assert not rules.may_grant(request(owner(), LockMode.READ), held)
+
+
+def test_conventional_write_requires_all_holders_ancestors():
+    rules = ConventionalRules()
+    parent = owner()
+    child = owner(path_owners=(parent,))
+    held = [LockRecord(parent, LockMode.WRITE, RED)]
+    assert rules.may_grant(request(child, LockMode.WRITE), held)
+    stranger = owner()
+    assert not rules.may_grant(request(stranger, LockMode.WRITE), held)
+
+
+def test_conventional_read_past_ancestor_write():
+    rules = ConventionalRules()
+    parent = owner()
+    child = owner(path_owners=(parent,))
+    held = [LockRecord(parent, LockMode.WRITE, RED)]
+    assert rules.may_grant(request(child, LockMode.READ), held)
+
+
+def test_conventional_self_is_own_ancestor():
+    rules = ConventionalRules()
+    me = owner()
+    held = [LockRecord(me, LockMode.READ, RED)]
+    assert rules.may_grant(request(me, LockMode.WRITE), held)  # upgrade
+
+
+def test_conventional_upgrade_blocked_by_other_reader():
+    rules = ConventionalRules()
+    me, other = owner(), owner()
+    held = [LockRecord(me, LockMode.READ, RED), LockRecord(other, LockMode.READ, RED)]
+    assert not rules.may_grant(request(me, LockMode.WRITE), held)
+
+
+# -- coloured ---------------------------------------------------------------------
+
+def test_coloured_validate_rejects_foreign_colour():
+    rules = ColouredRules()
+    requester = owner(colours=(RED,))
+    req = request(requester, LockMode.WRITE, colour=BLUE)
+    assert rules.validate(req) is not None
+
+
+def test_coloured_validate_accepts_possessed_colour():
+    rules = ColouredRules()
+    requester = owner(colours=(RED, BLUE))
+    assert rules.validate(request(requester, LockMode.WRITE, colour=BLUE)) is None
+
+
+def test_coloured_write_needs_matching_write_colour_even_for_ancestors():
+    """An ancestor's write lock in colour a forces colour a (§5.2)."""
+    rules = ColouredRules()
+    parent = owner(colours=(RED,))
+    child = owner(path_owners=(parent,), colours=(RED, BLUE))
+    held = [LockRecord(parent, LockMode.WRITE, RED)]
+    assert rules.may_grant(request(child, LockMode.WRITE, colour=RED), held)
+    assert not rules.may_grant(request(child, LockMode.WRITE, colour=BLUE), held)
+
+
+def test_coloured_write_past_ancestor_exclusive_read_of_other_colour():
+    """The key rule enabling glued/serializing: ER pins don't fix the colour."""
+    rules = ColouredRules()
+    control = owner(colours=(RED,))
+    member = owner(path_owners=(control,), colours=(RED, BLUE))
+    held = [LockRecord(control, LockMode.EXCLUSIVE_READ, RED)]
+    assert rules.may_grant(request(member, LockMode.WRITE, colour=BLUE), held)
+
+
+def test_coloured_write_blocked_for_stranger_regardless_of_colour():
+    rules = ColouredRules()
+    held = [LockRecord(owner(), LockMode.READ, RED)]
+    stranger = owner()
+    assert not rules.may_grant(request(stranger, LockMode.WRITE, colour=RED), held)
+
+
+def test_coloured_read_is_colour_free():
+    rules = ColouredRules()
+    holder = owner(colours=(RED,))
+    requester = owner(colours=(BLUE,))
+    held = [LockRecord(holder, LockMode.READ, RED)]
+    assert rules.may_grant(request(requester, LockMode.READ, colour=BLUE), held)
+
+
+def test_coloured_exclusive_read_requires_all_ancestors():
+    rules = ColouredRules()
+    parent = owner(colours=(RED,))
+    child = owner(path_owners=(parent,), colours=(RED, BLUE))
+    held = [LockRecord(parent, LockMode.WRITE, RED)]
+    assert rules.may_grant(request(child, LockMode.EXCLUSIVE_READ, colour=BLUE), held)
+    stranger = owner()
+    assert not rules.may_grant(request(stranger, LockMode.EXCLUSIVE_READ, colour=RED), held)
+
+
+def test_coloured_same_colour_system_matches_conventional():
+    """§5.1: all actions one colour => conventional behaviour (spot-check)."""
+    coloured, conventional = ColouredRules(), ConventionalRules()
+    parent = owner(colours=(RED,))
+    child = owner(path_owners=(parent,), colours=(RED,))
+    stranger = owner(colours=(RED,))
+    cases = [
+        ([LockRecord(parent, LockMode.WRITE, RED)], child, LockMode.WRITE),
+        ([LockRecord(parent, LockMode.WRITE, RED)], stranger, LockMode.WRITE),
+        ([LockRecord(parent, LockMode.READ, RED)], stranger, LockMode.READ),
+        ([LockRecord(parent, LockMode.READ, RED)], stranger, LockMode.WRITE),
+        ([LockRecord(parent, LockMode.EXCLUSIVE_READ, RED)], stranger, LockMode.READ),
+        ([LockRecord(parent, LockMode.EXCLUSIVE_READ, RED)], child, LockMode.READ),
+    ]
+    for held, requester, mode in cases:
+        req = request(requester, mode, colour=RED)
+        assert coloured.may_grant(req, held) == conventional.may_grant(req, held)

@@ -1,0 +1,230 @@
+"""LockTable: grants, FIFO queueing, upgrades, commit routing, releases."""
+
+from repro.colours.colour import Colour
+from repro.locking.modes import LockMode
+from repro.locking.owner import StubOwner
+from repro.locking.request import LockRequest, RequestStatus
+from repro.locking.rules import ColouredRules
+from repro.locking.table import LockTable
+from repro.util.uid import UidGenerator
+
+auids = UidGenerator("a")
+cuids = UidGenerator("colour")
+ouids = UidGenerator("obj")
+ruids = UidGenerator("req")
+
+RED = Colour(cuids.fresh(), "red")
+BLUE = Colour(cuids.fresh(), "blue")
+
+
+def owner(path_owners=(), colours=(RED, BLUE)):
+    uid = auids.fresh()
+    path = tuple(p.uid for p in path_owners) + (uid,)
+    return StubOwner(uid=uid, path=path, colours=frozenset(colours))
+
+
+def make_request(req_owner, mode, colour=RED):
+    return LockRequest(ruids.fresh(), req_owner, ouids.fresh(), mode, colour)
+
+
+def fresh_table():
+    return LockTable(ouids.fresh(), ColouredRules())
+
+
+def test_grant_on_unlocked_object():
+    table = fresh_table()
+    req = make_request(owner(), LockMode.WRITE)
+    table.request(req)
+    assert req.status is RequestStatus.GRANTED
+    assert len(table.holders) == 1
+
+
+def test_conflicting_request_queues():
+    table = fresh_table()
+    table.request(make_request(owner(), LockMode.WRITE))
+    blocked = make_request(owner(), LockMode.WRITE)
+    table.request(blocked)
+    assert blocked.status is RequestStatus.PENDING
+    assert len(table.queue) == 1
+
+
+def test_release_wakes_fifo_in_order():
+    table = fresh_table()
+    first = owner()
+    req = make_request(first, LockMode.WRITE)
+    table.request(req)
+    waiters = [make_request(owner(), LockMode.WRITE) for _ in range(3)]
+    for waiter in waiters:
+        table.request(waiter)
+    table.release_all(first.uid)
+    # only the front writer is granted; the rest stay FIFO
+    assert waiters[0].status is RequestStatus.GRANTED
+    assert waiters[1].status is RequestStatus.PENDING
+
+
+def test_readers_granted_together_on_release():
+    table = fresh_table()
+    writer = owner()
+    table.request(make_request(writer, LockMode.WRITE))
+    readers = [make_request(owner(), LockMode.READ) for _ in range(3)]
+    for reader in readers:
+        table.request(reader)
+    table.release_all(writer.uid)
+    assert all(r.status is RequestStatus.GRANTED for r in readers)
+
+
+def test_strict_fifo_no_reader_overtaking():
+    """A read compatible with holders still queues behind an earlier writer."""
+    table = fresh_table()
+    reader_holder = owner()
+    table.request(make_request(reader_holder, LockMode.READ))
+    blocked_writer = make_request(owner(), LockMode.WRITE)
+    table.request(blocked_writer)
+    late_reader = make_request(owner(), LockMode.READ)
+    table.request(late_reader)
+    assert late_reader.status is RequestStatus.PENDING
+
+
+def test_holder_upgrade_jumps_queue_when_rules_allow():
+    """An existing holder's upgrade is a continuation, not a new access."""
+    table = fresh_table()
+    holder = owner()
+    table.request(make_request(holder, LockMode.READ))
+    stranger_write = make_request(owner(), LockMode.WRITE)
+    table.request(stranger_write)  # queues behind holder's READ
+    upgrade = make_request(holder, LockMode.WRITE)
+    table.request(upgrade)
+    assert upgrade.status is RequestStatus.GRANTED
+    records = table.records_of(holder.uid)
+    assert len(records) == 1 and records[0].mode is LockMode.WRITE
+
+
+def test_idempotent_reacquisition_granted_without_new_record():
+    table = fresh_table()
+    holder = owner()
+    table.request(make_request(holder, LockMode.WRITE))
+    again = make_request(holder, LockMode.READ)  # weaker, same colour
+    table.request(again)
+    assert again.status is RequestStatus.GRANTED
+    assert len(table.records_of(holder.uid)) == 1
+
+
+def test_same_owner_different_colours_two_records():
+    table = fresh_table()
+    holder = owner(colours=(RED, BLUE))
+    r1 = make_request(holder, LockMode.WRITE, colour=RED)
+    table.request(r1)
+    r2 = make_request(holder, LockMode.EXCLUSIVE_READ, colour=BLUE)
+    table.request(r2)
+    assert r2.status is RequestStatus.GRANTED
+    assert len(table.records_of(holder.uid)) == 2
+
+
+def test_rule_violation_refused_not_queued():
+    table = fresh_table()
+    req = make_request(owner(colours=(RED,)), LockMode.WRITE, colour=BLUE)
+    table.request(req)
+    assert req.status is RequestStatus.REFUSED
+    assert not table.queue
+
+
+def test_cancel_removes_from_queue_and_wakes():
+    table = fresh_table()
+    holder = owner()
+    table.request(make_request(holder, LockMode.WRITE))
+    doomed = make_request(owner(), LockMode.WRITE)
+    table.request(doomed)
+    behind = make_request(owner(), LockMode.READ)
+    table.request(behind)
+    assert table.cancel(doomed.request_uid)
+    assert doomed.status is RequestStatus.CANCELLED
+    table.release_all(holder.uid)
+    assert behind.status is RequestStatus.GRANTED
+
+
+def test_cancel_owner_cancels_all_their_requests():
+    table = fresh_table()
+    table.request(make_request(owner(), LockMode.WRITE))
+    victim = owner()
+    reqs = [make_request(victim, LockMode.WRITE) for _ in range(2)]
+    for req in reqs:
+        table.request(req)
+    assert table.cancel_owner(victim.uid, "abort") == 2
+    assert all(r.status is RequestStatus.CANCELLED for r in reqs)
+
+
+def test_transfer_routes_by_colour():
+    """Commit: red released (outermost), blue inherited by the ancestor.
+
+    The fig. 11 pattern: WRITE in the data colour plus EXCLUSIVE_READ in
+    the control colour (a second WRITE in another colour would rightly be
+    refused — write responsibility must be single-coloured).
+    """
+    table = fresh_table()
+    parent = owner(colours=(BLUE,))
+    child = owner(path_owners=(parent,), colours=(RED, BLUE))
+    table.request(make_request(child, LockMode.WRITE, colour=RED))
+    table.request(make_request(child, LockMode.EXCLUSIVE_READ, colour=BLUE))
+
+    def router(colour):
+        return parent if colour == BLUE else None
+
+    routed = table.transfer(child.uid, router)
+    assert routed == {RED: None, BLUE: parent.uid}
+    assert not table.records_of(child.uid)
+    parent_records = table.records_of(parent.uid)
+    assert len(parent_records) == 1 and parent_records[0].colour == BLUE
+
+
+def test_transfer_merges_with_parent_keeping_stronger_mode():
+    table = fresh_table()
+    parent = owner(colours=(BLUE,))
+    child = owner(path_owners=(parent,), colours=(BLUE,))
+    table.request(make_request(parent, LockMode.READ, colour=BLUE))
+    table.request(make_request(child, LockMode.WRITE, colour=BLUE))
+    table.transfer(child.uid, lambda colour: parent)
+    records = table.records_of(parent.uid)
+    assert len(records) == 1 and records[0].mode is LockMode.WRITE
+
+
+def test_transfer_wakes_waiters_for_released_colour():
+    table = fresh_table()
+    child = owner(colours=(RED,))
+    table.request(make_request(child, LockMode.WRITE, colour=RED))
+    waiter = make_request(owner(), LockMode.WRITE, colour=RED)
+    table.request(waiter)
+    table.transfer(child.uid, lambda colour: None)  # outermost: release
+    assert waiter.status is RequestStatus.GRANTED
+
+
+def test_abort_release_keeps_ancestor_locks():
+    table = fresh_table()
+    parent = owner(colours=(RED,))
+    child = owner(path_owners=(parent,), colours=(RED,))
+    table.request(make_request(parent, LockMode.WRITE, colour=RED))
+    table.request(make_request(child, LockMode.WRITE, colour=RED))
+    table.release_all(child.uid)
+    assert table.records_of(parent.uid)
+    stranger = make_request(owner(), LockMode.WRITE, colour=RED)
+    table.request(stranger)
+    assert stranger.status is RequestStatus.PENDING  # parent still holds
+
+
+def test_blocked_on_lists_blockers_and_queue_predecessors():
+    table = fresh_table()
+    holder = owner()
+    table.request(make_request(holder, LockMode.WRITE))
+    first = make_request(owner(), LockMode.WRITE)
+    second = make_request(owner(), LockMode.WRITE)
+    table.request(first)
+    table.request(second)
+    assert table.blocked_on(first) == [holder.uid]
+    assert set(table.blocked_on(second)) == {holder.uid, first.owner.uid}
+
+
+def test_is_idle_after_full_release():
+    table = fresh_table()
+    holder = owner()
+    table.request(make_request(holder, LockMode.WRITE))
+    table.release_all(holder.uid)
+    assert table.is_idle()

@@ -1,0 +1,59 @@
+"""Synthetic make workload generator."""
+
+from repro.apps.make.graph import DependencyGraph
+from repro.apps.make.workload import generate_project
+
+NODES = ["a", "b", "c"]
+
+
+def test_generated_project_is_acyclic_and_buildable():
+    project = generate_project(seed=1, layers=3, width=4, fan_in=2, nodes=NODES)
+    graph = DependencyGraph(project.makefile)  # raises on cycles
+    order = graph.build_order("goal")
+    assert order[-1] == "goal"
+
+
+def test_layer_structure_and_goal():
+    project = generate_project(seed=2, layers=2, width=3, fan_in=2, nodes=NODES)
+    graph = DependencyGraph(project.makefile)
+    levels = graph.levels("goal")
+    assert levels[-1] == ["goal"]
+    assert len(levels) == 3  # two layers + the goal
+
+
+def test_sources_have_content_and_no_rules():
+    project = generate_project(seed=3, layers=1, width=4, fan_in=2, nodes=NODES)
+    graph = DependencyGraph(project.makefile)
+    assert set(project.sources) == graph.sources()
+    for name, content in project.sources.items():
+        assert name in content
+
+
+def test_every_file_is_placed():
+    project = generate_project(seed=4, layers=2, width=3, fan_in=2, nodes=NODES)
+    everything = set(project.makefile.rules) | set(project.sources)
+    assert everything == set(project.placement)
+    assert set(project.placement.values()) <= set(NODES)
+
+
+def test_same_seed_same_project():
+    a = generate_project(seed=9, layers=2, width=4, fan_in=2, nodes=NODES)
+    b = generate_project(seed=9, layers=2, width=4, fan_in=2, nodes=NODES)
+    assert {t: r.prerequisites for t, r in a.makefile.rules.items()} == \
+        {t: r.prerequisites for t, r in b.makefile.rules.items()}
+    assert a.placement == b.placement
+
+
+def test_different_seeds_differ():
+    a = generate_project(seed=1, layers=2, width=6, fan_in=2, nodes=NODES)
+    b = generate_project(seed=2, layers=2, width=6, fan_in=2, nodes=NODES)
+    assert {t: r.prerequisites for t, r in a.makefile.rules.items()} != \
+        {t: r.prerequisites for t, r in b.makefile.rules.items()}
+
+
+def test_fan_in_respected():
+    project = generate_project(seed=5, layers=2, width=5, fan_in=3, nodes=NODES)
+    for target, rule in project.makefile.rules.items():
+        if target == "goal":
+            continue
+        assert len(rule.prerequisites) == 3

@@ -1,0 +1,78 @@
+"""Makefile variable definitions and $(VAR) expansion."""
+
+import pytest
+
+from repro.apps.make.makefile import MakefileError, parse_makefile
+
+
+def test_variables_expand_in_prereqs_and_commands():
+    makefile = parse_makefile(
+        "CC = cc\n"
+        "OBJS = a.o b.o\n"
+        "prog: $(OBJS)\n"
+        "\t$(CC) -o prog $(OBJS)\n"
+        "a.o: a.c\n"
+        "\t$(CC) -c a.c\n"
+        "b.o: b.c\n"
+        "\t$(CC) -c b.c\n"
+    )
+    assert makefile.rule("prog").prerequisites == ["a.o", "b.o"]
+    assert makefile.rule("prog").commands == ["cc -o prog a.o b.o"]
+    assert makefile.rule("a.o").commands == ["cc -c a.c"]
+
+
+def test_variables_expand_in_targets():
+    makefile = parse_makefile(
+        "NAME = server\n"
+        "$(NAME): main.c\n"
+        "\tcc -o $(NAME) main.c\n"
+    )
+    assert makefile.rule("server") is not None
+    assert makefile.default_goal == "server"
+
+
+def test_variables_compose():
+    makefile = parse_makefile(
+        "BASE = Test\n"
+        "OBJ = $(BASE)0.o\n"
+        "$(BASE): $(OBJ)\n"
+        "\tcc -o $(BASE) $(OBJ)\n"
+    )
+    assert makefile.rule("Test").prerequisites == ["Test0.o"]
+
+
+def test_undefined_variable_rejected():
+    with pytest.raises(MakefileError):
+        parse_makefile("a: $(GHOST)\n\tcmd\n")
+
+
+def test_circular_definition_rejected():
+    with pytest.raises(MakefileError):
+        parse_makefile(
+            "A = $(B)\n"
+            "B = $(A)\n"
+            "t: $(A)\n"
+            "\tcmd\n"
+        )
+
+
+def test_later_redefinition_wins_for_later_uses():
+    makefile = parse_makefile(
+        "CC = gcc\n"
+        "a: a.c\n"
+        "\t$(CC) -c a.c\n"
+        "CC = clang\n"
+        "b: b.c\n"
+        "\t$(CC) -c b.c\n"
+    )
+    assert makefile.rule("a").commands == ["gcc -c a.c"]
+    assert makefile.rule("b").commands == ["clang -c b.c"]
+
+
+def test_definition_is_not_mistaken_for_rule():
+    makefile = parse_makefile(
+        "FLAGS = -O2\n"
+        "a: a.c\n"
+        "\tcc $(FLAGS) -c a.c\n"
+    )
+    assert "FLAGS" not in makefile.rules

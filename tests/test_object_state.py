@@ -1,0 +1,106 @@
+"""ObjectState pack/unpack, including hypothesis round-trips."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CorruptState
+from repro.objects.state import ObjectState
+from repro.util.uid import Uid
+
+
+def test_typed_roundtrip_in_order():
+    state = ObjectState()
+    state.pack_int(-42).pack_string("héllo").pack_bool(True)
+    state.pack_float(3.5).pack_bytes(b"\x00\x01").pack_uid(Uid("obj", 9))
+    out = ObjectState.from_bytes(state.to_bytes())
+    assert out.unpack_int() == -42
+    assert out.unpack_string() == "héllo"
+    assert out.unpack_bool() is True
+    assert out.unpack_float() == 3.5
+    assert out.unpack_bytes() == b"\x00\x01"
+    assert out.unpack_uid() == Uid("obj", 9)
+    assert out.exhausted
+
+
+def test_big_integers_roundtrip():
+    value = -(10 ** 40) + 7
+    state = ObjectState().pack_int(value)
+    assert ObjectState.from_bytes(state.to_bytes()).unpack_int() == value
+
+
+def test_tag_mismatch_raises_corrupt_state():
+    state = ObjectState().pack_int(1)
+    out = ObjectState.from_bytes(state.to_bytes())
+    with pytest.raises(CorruptState):
+        out.unpack_string()
+
+
+def test_truncated_buffer_raises_corrupt_state():
+    payload = ObjectState().pack_string("abcdef").to_bytes()
+    with pytest.raises(CorruptState):
+        ObjectState.from_bytes(payload[:-3]).unpack_string()
+
+
+def test_unpack_past_end_raises():
+    out = ObjectState.from_bytes(ObjectState().pack_bool(False).to_bytes())
+    out.unpack_bool()
+    with pytest.raises(CorruptState):
+        out.unpack_bool()
+
+
+def test_pack_int_rejects_bool_and_other_types():
+    with pytest.raises(TypeError):
+        ObjectState().pack_int(True)
+    with pytest.raises(TypeError):
+        ObjectState().pack_int("12")
+
+
+def test_pack_value_rejects_unsupported_types():
+    with pytest.raises(TypeError):
+        ObjectState().pack_value(object())
+
+
+def test_nested_containers_roundtrip():
+    value = {"names": ["a", "b"], "point": (1, 2.5), "flags": {"on": True, "n": None}}
+    state = ObjectState().pack_value(value)
+    assert ObjectState.from_bytes(state.to_bytes()).unpack_value() == value
+
+
+_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(),
+    st.floats(allow_nan=False),
+    st.text(max_size=50),
+    st.binary(max_size=50),
+    st.builds(Uid, st.text(min_size=1, max_size=10), st.integers(0, 2 ** 40)),
+)
+
+_values = st.recursive(
+    _scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=5),
+        st.dictionaries(st.text(max_size=8), children, max_size=5),
+    ),
+    max_leaves=20,
+)
+
+
+@settings(max_examples=150, deadline=None)
+@given(_values)
+def test_pack_value_roundtrip_property(value):
+    state = ObjectState().pack_value(value)
+    restored = ObjectState.from_bytes(state.to_bytes()).unpack_value()
+    assert restored == value
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(_values, max_size=6))
+def test_sequential_values_preserve_order_property(values):
+    state = ObjectState()
+    for value in values:
+        state.pack_value(value)
+    out = ObjectState.from_bytes(state.to_bytes())
+    assert [out.unpack_value() for _ in values] == values
+    assert out.exhausted

@@ -1,0 +1,63 @@
+"""Fuzzing ObjectState against malformed buffers.
+
+Whatever bytes arrive (bit rot, truncation, adversarial input), unpacking
+must either produce a value or raise :class:`CorruptState` — never hang,
+never leak another exception type.  This is the property the commit
+protocols rely on when activating states from logs and stores.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CorruptState
+from repro.objects.state import ObjectState
+
+
+@settings(max_examples=300, deadline=None)
+@given(st.binary(max_size=200))
+def test_random_bytes_unpack_value_or_corrupt(payload):
+    state = ObjectState.from_bytes(payload)
+    try:
+        while not state.exhausted:
+            state.unpack_value()
+    except CorruptState:
+        pass
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.binary(max_size=120), st.integers(0, 119), st.integers(0, 255))
+def test_bit_flipped_valid_buffer_never_escapes(payload, position, new_byte):
+    """Start from a VALID buffer, corrupt one byte: same guarantee."""
+    state = ObjectState()
+    state.pack_value({"xs": [1, 2.5, "three"], "flag": True, "blob": payload})
+    buffer = bytearray(state.to_bytes())
+    index = position % len(buffer)
+    buffer[index] = new_byte
+    corrupted = ObjectState.from_bytes(bytes(buffer))
+    try:
+        while not corrupted.exhausted:
+            corrupted.unpack_value()
+    except CorruptState:
+        pass
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.binary(max_size=80), st.integers(1, 79))
+def test_truncation_never_escapes(payload, cut):
+    state = ObjectState()
+    state.pack_value([payload.decode("latin-1"), len(payload), None])
+    buffer = state.to_bytes()
+    truncated = ObjectState.from_bytes(buffer[:max(0, len(buffer) - cut)])
+    try:
+        while not truncated.exhausted:
+            truncated.unpack_value()
+    except CorruptState:
+        pass
+
+
+def test_typed_unpack_wrong_tag_is_corrupt_not_type_error():
+    buffer = ObjectState().pack_string("hello").to_bytes()
+    reader = ObjectState.from_bytes(buffer)
+    with pytest.raises(CorruptState):
+        reader.unpack_uid()

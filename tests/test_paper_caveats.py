@@ -1,0 +1,70 @@
+"""The paper's own caveats, demonstrated.
+
+§5.1 states coloured serializability holds "given that no information is
+communicated between actions of the same colour using nested actions with
+a different colour".  That conditional is real: a differently-coloured
+nested action CAN observe its ancestor's uncommitted state (that is what
+makes fig. 13(b) deadlock-free) and publish it — creating exactly the
+anomaly the caveat warns about.  These tests construct the anomaly, so
+the implementation is demonstrably faithful to the *conditional* claim,
+not to a stronger one the paper does not make.
+"""
+
+import pytest
+
+from repro.stdobjects import Counter
+from repro.structures import independent_top_level
+
+
+def test_independent_action_can_leak_uncommitted_state(runtime):
+    """The anomaly: B (fresh colour, nested in A) reads A's uncommitted
+    write and publishes it to an outside object; A then aborts.  The
+    published value reflects a state that never committed — permitted by
+    the caveat, impossible in a single-colour (conventional) system."""
+    source = Counter(runtime, value=0)
+    board = Counter(runtime, value=0)
+    with pytest.raises(RuntimeError):
+        with runtime.top_level(name="A"):
+            source.increment(42)                    # uncommitted write
+            with independent_top_level(runtime, name="B") as b:
+                seen = source.get(action=b)        # reads past A's WRITE lock
+                board.increment(seen, action=b)    # ... and publishes it
+            raise RuntimeError("A aborts")
+    assert source.value == 0       # A's write was undone...
+    assert board.value == 42       # ... but B published the phantom value
+
+
+def test_no_leak_without_cross_colour_nesting(runtime):
+    """Control: an outside action (not nested in A) cannot observe the
+    uncommitted write — plain two-phase locking protects same-colour
+    serializability when the caveat's precondition holds."""
+    from repro.errors import LockTimeout
+    from repro.locking.modes import LockMode
+    source = Counter(runtime, value=0)
+    scope = runtime.top_level(name="A")
+    with scope as a:
+        source.increment(42, action=a)
+        with runtime.top_level(name="outsider") as outsider:
+            with pytest.raises(LockTimeout):
+                runtime.acquire(outsider, source, LockMode.READ, timeout=0.05)
+            runtime.abort_action(outsider)
+        runtime.abort_action(a)
+    assert source.value == 0
+
+
+def test_same_colour_actions_cannot_communicate_uncommitted_state(runtime):
+    """Within one colour the conventional guarantees are intact: a nested
+    action shares its ancestor's view (by design — it IS part of the same
+    computation), but an unrelated same-colour top-level action is fully
+    isolated."""
+    source = Counter(runtime, value=0)
+    observed = {}
+    with pytest.raises(RuntimeError):
+        with runtime.top_level(name="A"):
+            source.increment(7)
+            with runtime.atomic(name="child") as child:
+                observed["child"] = source.get(action=child)  # same computation
+            raise RuntimeError("A aborts")
+    assert observed["child"] == 7   # the child is part of A, this is fine
+    with runtime.top_level(name="later"):
+        assert source.get() == 0    # nobody outside ever saw the 7

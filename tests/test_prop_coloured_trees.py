@@ -1,0 +1,156 @@
+"""Property: random multi-coloured action trees never leak.
+
+Hypothesis drives random stack-disciplined programs against a
+LocalRuntime: open children with random colour subsets (or fresh colours),
+write objects in randomly chosen owned colours (try-lock semantics —
+refused writes are skipped), and commit/abort randomly until the whole
+tree has unwound.  Afterwards:
+
+- no lock table holds any record (no lock leaks through any combination
+  of per-colour inheritance and release);
+- every object's live value equals its stable-store value (no undo leaks,
+  no missed permanence);
+- the runtime can run a fresh ordinary action over every object (the
+  system is still live).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.actions.action import Action
+from repro.actions.status import ActionStatus
+from repro.locking.modes import LockMode
+from repro.runtime.runtime import LocalRuntime
+from repro.stdobjects import Counter
+
+N_OBJECTS = 3
+COLOUR_POOL = 3
+
+ops = st.lists(
+    st.tuples(
+        st.sampled_from(["push", "write", "commit", "abort"]),
+        st.integers(0, 7),    # colour-subset selector / object selector
+        st.integers(0, N_OBJECTS - 1),
+    ),
+    min_size=1, max_size=60,
+)
+
+
+def try_write(runtime, action, obj, colour):
+    outcome = {}
+
+    def complete(request):
+        outcome["granted"] = request.status.value == "granted"
+
+    request = runtime.locks.request(action, obj.uid, LockMode.WRITE,
+                                    colour, complete)
+    if not request.settled:
+        runtime.locks.cancel_request(request, "try-lock")
+        return False
+    if outcome.get("granted"):
+        action.record_write(obj, colour)
+        return True
+    return False
+
+
+@settings(max_examples=150, deadline=None)
+@given(ops)
+def test_random_coloured_trees_never_leak(operations):
+    runtime = LocalRuntime(deadlock_detection=False)
+    pool = [runtime.colours.fresh(f"p{i}") for i in range(COLOUR_POOL)]
+    counters = [Counter(runtime, value=0) for _ in range(N_OBJECTS)]
+    stack = []
+
+    def colours_for(selector, parent):
+        """A colour set: subset of the pool bits, else a fresh colour."""
+        chosen = [pool[i] for i in range(COLOUR_POOL) if selector & (1 << i)]
+        if not chosen:
+            chosen = [runtime.colours.fresh()]
+        return chosen
+
+    for op, selector, obj_index in operations:
+        if op == "push" and len(stack) < 6:
+            parent = stack[-1] if stack else None
+            action = Action(runtime, colours_for(selector, parent),
+                            parent=parent)
+            stack.append(action)
+        elif op == "write" and stack:
+            action = stack[-1]
+            colour = sorted(action.colours, key=lambda c: c.uid)[
+                selector % len(action.colours)
+            ]
+            counter = counters[obj_index]
+            if try_write(runtime, action, counter, colour):
+                counter.value += 1
+        elif op == "commit" and stack:
+            stack.pop().commit()
+        elif op == "abort" and stack:
+            stack.pop().abort()
+
+    # unwind whatever remains (alternate commit/abort deterministically)
+    while stack:
+        action = stack.pop()
+        if not action.status.terminated:
+            if action.uid.sequence % 2 == 0:
+                action.commit()
+            else:
+                action.abort()
+
+    # 1. no lock leaks
+    assert list(runtime.locks.tables()) == []
+    # 2. live state agrees with stable state
+    for counter in counters:
+        stored = runtime.store.read_committed(counter.uid)
+        assert stored.payload == counter.snapshot()
+    # 3. still live
+    with runtime.top_level():
+        for counter in counters:
+            counter.increment(1)
+
+
+@settings(max_examples=80, deadline=None)
+@given(ops)
+def test_random_trees_with_detached_independents(operations):
+    """Same harness, but aborts may detach colour-disjoint children; the
+    leak-freedom invariants must still hold after everything unwinds."""
+    runtime = LocalRuntime(deadlock_detection=False)
+    pool = [runtime.colours.fresh(f"p{i}") for i in range(COLOUR_POOL)]
+    counters = [Counter(runtime, value=0) for _ in range(N_OBJECTS)]
+    live = []   # all actions ever created, for final unwinding
+    stack = []
+
+    for op, selector, obj_index in operations:
+        if op == "push" and len(stack) < 6:
+            chosen = [pool[i] for i in range(COLOUR_POOL) if selector & (1 << i)]
+            if not chosen:
+                chosen = [runtime.colours.fresh()]
+            parent = stack[-1] if stack else None
+            action = Action(runtime, chosen, parent=parent)
+            stack.append(action)
+            live.append(action)
+        elif op == "write" and stack:
+            action = stack[-1]
+            colour = sorted(action.colours, key=lambda c: c.uid)[
+                selector % len(action.colours)
+            ]
+            if try_write(runtime, action, counters[obj_index], colour):
+                counters[obj_index].value += 1
+        elif op == "commit" and stack:
+            stack.pop().commit()
+        elif op == "abort" and stack:
+            # aborting mid-stack detaches disjoint descendants: drop the
+            # whole suffix from our stack; detached ones stay in `live`.
+            victim = stack.pop()
+            while stack and victim.status.terminated:
+                break
+            victim.abort()
+            stack = [a for a in stack if not a.status.terminated]
+
+    for action in reversed(live):
+        if not action.status.terminated:
+            action.abort()
+
+    assert list(runtime.locks.tables()) == []
+    for counter in counters:
+        stored = runtime.store.read_committed(counter.uid)
+        assert stored.payload == counter.snapshot()

@@ -1,0 +1,93 @@
+"""§5.1's reduction property, tested exhaustively:
+
+"If all the actions in a coloured system possess the same single colour
+then the system reverts to being just a normal atomic action system."
+
+Hypothesis drives identical random schedules against a conventional-rules
+registry and a coloured-rules registry (everyone one colour); every grant,
+queueing decision, refusal, wake-up and final holder set must coincide.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.colours.colour import Colour
+from repro.locking.modes import LockMode
+from repro.locking.owner import StubOwner
+from repro.locking.registry import LockRegistry
+from repro.locking.rules import ColouredRules, ConventionalRules
+from repro.util.uid import UidGenerator
+
+
+def build_world():
+    auids = UidGenerator("a")
+    colour = Colour(UidGenerator("c").fresh(), "only")
+
+    def make(parent=None):
+        uid = auids.fresh()
+        path = (parent.path if parent else ()) + (uid,)
+        return StubOwner(uid=uid, path=path, colours=frozenset((colour,)))
+
+    owners = []
+    for _ in range(2):
+        root = make()
+        mid = make(parent=root)
+        owners.extend([root, mid, make(parent=mid)])
+    return owners, colour
+
+
+OWNERS, ONLY = build_world()
+
+ops = st.lists(
+    st.tuples(
+        st.sampled_from(["request", "abort", "commit"]),
+        st.integers(0, len(OWNERS) - 1),
+        st.sampled_from(list(LockMode)),
+        st.integers(0, 2),   # object index
+    ),
+    min_size=1, max_size=80,
+)
+
+
+def run_schedule(rules, operations):
+    registry = LockRegistry(rules)
+    object_uids = [UidGenerator(f"o{i}").fresh() for i in range(3)]
+    trace = []
+    for op, owner_index, mode, obj_index in operations:
+        owner = OWNERS[owner_index]
+        obj_uid = object_uids[obj_index]
+        if op == "request":
+            registry.request(
+                owner, obj_uid, mode, ONLY,
+                on_complete=lambda r, o=owner_index: trace.append(
+                    ("settle", o, r.status.value)
+                ),
+            )
+        elif op == "abort":
+            registry.release_action(owner.uid)
+            trace.append(("abort", owner_index))
+        elif op == "commit":
+            parent_uid = owner.path[-2] if len(owner.path) > 1 else None
+            parent = next((o for o in OWNERS if o.uid == parent_uid), None)
+            registry.transfer_on_commit(owner.uid, lambda c: parent)
+            trace.append(("commit", owner_index))
+    # final holder fingerprint
+    fingerprint = []
+    for obj_uid in object_uids:
+        table = registry._tables.get(obj_uid)
+        if table is None:
+            continue
+        fingerprint.append((
+            str(obj_uid),
+            sorted((str(r.owner.uid), r.mode.value) for r in table.holders),
+            [str(q.owner.uid) for q in table.queue],
+        ))
+    return trace, fingerprint
+
+
+@settings(max_examples=200, deadline=None)
+@given(ops)
+def test_single_colour_system_equals_conventional(operations):
+    coloured = run_schedule(ColouredRules(), operations)
+    conventional = run_schedule(ConventionalRules(), operations)
+    assert coloured == conventional

@@ -1,0 +1,192 @@
+"""Read-one/write-all replication and the replicated name server."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.errors import NameNotBound, RpcTimeout
+from repro.objects.state import ObjectState
+from repro.replication.group import ReplicaGroup
+from repro.replication.nameserver import ReplicatedNameServer
+
+
+def make_cluster(n=3, seed=0):
+    cluster = Cluster(seed=seed)
+    names = [f"n{i}" for i in range(n)]
+    for name in names:
+        cluster.add_node(name)
+    return cluster, names
+
+
+def committed_value(cluster, ref):
+    stored = cluster.nodes[ref.node].stable_store.read_committed(ref.uid)
+    return ObjectState.from_bytes(stored.payload).unpack_value()
+
+
+def test_write_all_updates_every_replica():
+    cluster, names = make_cluster()
+    client = cluster.client("n0")
+    holder = {}
+
+    def app():
+        group = yield from ReplicaGroup.create(
+            client, names, "register", value=0
+        )
+        holder["group"] = group
+        action = client.top_level("w")
+        yield from group.invoke(action, "set", 7)
+        yield from client.commit(action)
+
+    cluster.run_process("n0", app())
+    for ref in holder["group"].replicas:
+        assert committed_value(cluster, ref) == 7
+
+
+def test_read_one_uses_first_available_replica():
+    cluster, names = make_cluster()
+    client = cluster.client("n0")
+
+    def app():
+        group = yield from ReplicaGroup.create(client, names, "register", value=3)
+        action = client.top_level("r")
+        value = yield from group.invoke(action, "get")
+        yield from client.commit(action)
+        return value
+
+    assert cluster.run_process("n0", app()) == 3
+
+
+def test_read_survives_replica_crash():
+    """Availability: with the first replica down, reads fail over."""
+    cluster, names = make_cluster(n=4)
+    client = cluster.client("n0")  # the client's node stays up
+
+    def app():
+        group = yield from ReplicaGroup.create(
+            client, ["n1", "n2", "n3"], "register", value=9
+        )
+        cluster.crash("n1")
+        action = client.top_level("r")
+        value = yield from group.invoke(action, "get")
+        yield from client.commit(action)
+        return value, len(group.available_replicas())
+
+    value, available = cluster.run_process("n0", app())
+    assert value == 9
+    assert available == 2
+
+
+def test_write_all_fails_when_replica_down_and_action_aborts():
+    """Strict ROWA: a write with a dead replica cannot succeed; aborting
+    leaves the surviving replicas unchanged (mutual consistency)."""
+    cluster, names = make_cluster()
+    client = cluster.client("n0")
+    holder = {}
+
+    def app():
+        group = yield from ReplicaGroup.create(client, names, "register", value=1)
+        holder["group"] = group
+        cluster.crash(group.replicas[-1].node)
+        action = client.top_level("w")
+        try:
+            yield from group.invoke(action, "set", 2)
+            yield from client.commit(action)
+            return "committed"
+        except RpcTimeout:
+            return action.status.value
+
+    assert cluster.run_process("n0", app()) == "aborted"
+    for ref in holder["group"].replicas[:-1]:
+        assert committed_value(cluster, ref) == 1
+
+
+def test_mismatched_replica_types_rejected():
+    from repro.errors import ClusterError
+    cluster, names = make_cluster()
+    client = cluster.client("n0")
+
+    def app():
+        a = yield from client.create("n0", "register", value=0)
+        b = yield from client.create("n1", "counter", value=0)
+        try:
+            ReplicaGroup(client, [a, b])
+            return "accepted"
+        except ClusterError:
+            return "rejected"
+        yield  # pragma: no cover - keep it a generator
+
+    assert cluster.run_process("n0", app()) == "rejected"
+
+
+# -- name server -------------------------------------------------------------------
+
+def test_nameserver_bind_lookup_unbind():
+    cluster, names = make_cluster()
+    client = cluster.client("n0")
+
+    def app():
+        ns = yield from ReplicatedNameServer.create(client, names)
+        yield from ns.bind("printer", {"node": "n2", "port": 9100})
+        value = yield from ns.lookup("printer")
+        listing = yield from ns.names()
+        removed = yield from ns.unbind("printer")
+        return value, listing, removed
+
+    value, listing, removed = cluster.run_process("n0", app())
+    assert value == {"node": "n2", "port": 9100}
+    assert listing == ["printer"]
+    assert removed is True
+
+
+def test_nameserver_lookup_missing_raises():
+    cluster, names = make_cluster()
+    client = cluster.client("n0")
+
+    def app():
+        ns = yield from ReplicatedNameServer.create(client, names)
+        try:
+            yield from ns.lookup("ghost")
+            return "found"
+        except NameNotBound:
+            return "missing"
+
+    assert cluster.run_process("n0", app()) == "missing"
+
+
+def test_nameserver_survives_replica_crash_for_lookups():
+    cluster, names = make_cluster(n=4)
+    client = cluster.client("n0")
+
+    def app():
+        ns = yield from ReplicatedNameServer.create(client, ["n1", "n2", "n3"])
+        yield from ns.bind("svc", "addr-1")
+        cluster.crash("n1")
+        value = yield from ns.lookup("svc")
+        return value
+
+    assert cluster.run_process("n0", app()) == "addr-1"
+
+
+def test_nameserver_update_independent_of_invoking_action(  ):
+    """§4(ii): 'There is no reason to undo the name server updates should
+    the invoking action abort.'"""
+    cluster, names = make_cluster()
+    client = cluster.client("n0")
+
+    def app():
+        ns = yield from ReplicatedNameServer.create(client, names)
+        app_action = client.top_level("app")
+        ref = yield from client.create("n1", "counter", value=0)
+        yield from client.invoke(app_action, ref, "increment", 1)
+        # the application discovers a dead object and re-binds it, as a
+        # top-level independent action of app_action
+        yield from ns.bind("obj", "moved-to-n2", invoker=app_action)
+        yield from client.abort(app_action)
+        value = yield from ns.lookup("obj")
+        reader = client.top_level("r")
+        counter = yield from client.invoke(reader, ref, "get")
+        yield from client.commit(reader)
+        return value, counter
+
+    value, counter = cluster.run_process("n0", app())
+    assert value == "moved-to-n2"   # name-server update survived
+    assert counter == 0             # the application's own work was undone

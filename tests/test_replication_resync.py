@@ -1,0 +1,150 @@
+"""Available-copies replication: writes past down replicas + resync."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.errors import ClusterError
+from repro.objects.state import ObjectState
+from repro.replication.group import ReplicaGroup
+
+
+def make_cluster():
+    cluster = Cluster(seed=0)
+    for name in ("client-node", "r1", "r2", "r3"):
+        cluster.add_node(name)
+    return cluster
+
+
+def committed_value(cluster, ref):
+    stored = cluster.nodes[ref.node].stable_store.read_committed(ref.uid)
+    return ObjectState.from_bytes(stored.payload).unpack_value()
+
+
+def build_group(cluster, client):
+    holder = {}
+
+    def setup():
+        group = yield from ReplicaGroup.create(
+            client, ["r1", "r2", "r3"], "register", value=0
+        )
+        holder["group"] = group
+
+    cluster.run_process("client-node", setup())
+    return holder["group"]
+
+
+def test_write_available_skips_down_replica():
+    cluster = make_cluster()
+    client = cluster.client("client-node")
+    group = build_group(cluster, client)
+    cluster.crash("r2")
+
+    def app():
+        action = client.top_level("w")
+        result, missed = yield from group.write_available(action, "set", 7)
+        yield from client.commit(action)
+        return result, [ref.node for ref in missed]
+
+    result, missed = cluster.run_process("client-node", app())
+    assert missed == ["r2"]
+    assert committed_value(cluster, group.replicas[0]) == 7
+    assert committed_value(cluster, group.replicas[2]) == 7
+    # the stale copy really is stale
+    cluster.restart("r2")
+    assert committed_value(cluster, group.replicas[1]) == 0
+
+
+def test_resync_brings_stale_replica_current():
+    cluster = make_cluster()
+    client = cluster.client("client-node")
+    group = build_group(cluster, client)
+    cluster.crash("r2")
+
+    def write():
+        action = client.top_level("w")
+        yield from group.write_available(action, "set", 42)
+        yield from client.commit(action)
+
+    cluster.run_process("client-node", write())
+    cluster.restart("r2")
+
+    def recover():
+        value = yield from group.resync(group.replicas[1])
+        return value
+
+    assert cluster.run_process("client-node", recover()) == 42
+    assert committed_value(cluster, group.replicas[1]) == 42
+
+
+def test_resync_fails_over_dead_donor():
+    cluster = make_cluster()
+    client = cluster.client("client-node")
+    group = build_group(cluster, client)
+    cluster.crash("r3")
+
+    def write():
+        action = client.top_level("w")
+        yield from group.write_available(action, "set", 9)
+        yield from client.commit(action)
+
+    cluster.run_process("client-node", write())
+    cluster.restart("r3")
+    cluster.crash("r1")  # first donor candidate now dead
+
+    def recover():
+        return (yield from group.resync(group.replicas[2]))
+
+    assert cluster.run_process("client-node", recover()) == 9
+    assert committed_value(cluster, group.replicas[2]) == 9
+
+
+def test_resync_rejects_foreign_ref():
+    cluster = make_cluster()
+    client = cluster.client("client-node")
+    group = build_group(cluster, client)
+
+    def app():
+        other = yield from client.create("r1", "register", value=0)
+        try:
+            yield from group.resync(other)
+            return "accepted"
+        except ClusterError:
+            return "rejected"
+
+    assert cluster.run_process("client-node", app()) == "rejected"
+
+
+def test_write_available_with_all_replicas_down_fails():
+    cluster = make_cluster()
+    client = cluster.client("client-node")
+    group = build_group(cluster, client)
+    for name in ("r1", "r2", "r3"):
+        cluster.crash(name)
+
+    def app():
+        action = client.top_level("w")
+        try:
+            yield from group.write_available(action, "set", 1)
+            return "wrote"
+        except ClusterError:
+            yield from client.abort(action)
+            return "failed"
+
+    assert cluster.run_process("client-node", app()) == "failed"
+
+
+def test_write_available_rejects_read_operations():
+    cluster = make_cluster()
+    client = cluster.client("client-node")
+    group = build_group(cluster, client)
+
+    def app():
+        action = client.top_level("r")
+        try:
+            yield from group.write_available(action, "get")
+            return "ran"
+        except ClusterError:
+            yield from client.abort(action)
+            return "rejected"
+
+    assert cluster.run_process("client-node", app()) == "rejected"

@@ -1,0 +1,32 @@
+"""Splittable seeded randomness."""
+
+from repro.util.rng import SplitRandom
+
+
+def test_same_seed_same_stream():
+    a, b = SplitRandom(7), SplitRandom(7)
+    assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+
+def test_different_seeds_differ():
+    a, b = SplitRandom(1), SplitRandom(2)
+    assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+
+def test_split_is_deterministic_by_label():
+    root_a, root_b = SplitRandom(99), SplitRandom(99)
+    child_a = root_a.split("network")
+    child_b = root_b.split("network")
+    assert [child_a.random() for _ in range(5)] == [child_b.random() for _ in range(5)]
+
+
+def test_split_children_are_independent_of_parent_consumption():
+    root_a, root_b = SplitRandom(5), SplitRandom(5)
+    root_a.random()  # consume from one parent only
+    assert root_a.split("x").random() == root_b.split("x").random()
+
+
+def test_split_labels_give_distinct_streams():
+    root = SplitRandom(3)
+    xs = [root.split("a").random(), root.split("b").random(), root.split("c").random()]
+    assert len(set(xs)) == 3

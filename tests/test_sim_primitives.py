@@ -1,0 +1,137 @@
+"""Gate, Semaphore, Channel primitives."""
+
+from repro.sim.kernel import Kernel, Timeout
+from repro.sim.primitives import Channel, Gate, Semaphore
+
+
+def test_gate_releases_current_waiters_only():
+    kernel = Kernel()
+    gate = Gate(kernel)
+    woken = []
+
+    def waiter(label):
+        yield gate.wait()
+        woken.append((kernel.now, label))
+
+    kernel.spawn(waiter("a"))
+    kernel.spawn(waiter("b"))
+    kernel.schedule(5, lambda: gate.open())
+    kernel.run()
+    assert woken == [(5, "a"), (5, "b")]
+    # a late waiter needs the *next* open
+    kernel.spawn(waiter("late"))
+    kernel.run()
+    assert len(woken) == 2
+    gate.open()
+    kernel.run()
+    assert woken[-1][1] == "late"
+
+
+def test_semaphore_limits_concurrency():
+    kernel = Kernel()
+    sem = Semaphore(kernel, permits=2)
+    active = {"now": 0, "max": 0}
+
+    def worker():
+        yield sem.acquire()
+        active["now"] += 1
+        active["max"] = max(active["max"], active["now"])
+        yield Timeout(10)
+        active["now"] -= 1
+        sem.release()
+
+    for _ in range(6):
+        kernel.spawn(worker())
+    kernel.run()
+    assert active["max"] == 2
+    assert sem.available == 2
+
+
+def test_semaphore_fifo_order():
+    kernel = Kernel()
+    sem = Semaphore(kernel, permits=1)
+    order = []
+
+    def worker(label):
+        yield sem.acquire()
+        order.append(label)
+        yield Timeout(1)
+        sem.release()
+
+    for label in "abcd":
+        kernel.spawn(worker(label))
+    kernel.run()
+    assert order == ["a", "b", "c", "d"]
+
+
+def test_semaphore_holding_releases_on_exception():
+    kernel = Kernel()
+    sem = Semaphore(kernel, permits=1)
+
+    def failing_body():
+        yield Timeout(1)
+        raise ValueError("inner")
+
+    def holder():
+        try:
+            yield from sem.holding(failing_body())
+        except ValueError:
+            pass
+        return sem.available
+
+    handle = kernel.spawn(holder())
+    kernel.run()
+    assert handle.result == 1  # permit restored despite the exception
+
+
+def test_channel_put_before_get():
+    kernel = Kernel()
+    chan = Channel(kernel)
+    chan.put("x")
+
+    def getter():
+        item = yield chan.get()
+        return item
+
+    handle = kernel.spawn(getter())
+    kernel.run()
+    assert handle.result == "x"
+
+
+def test_channel_get_before_put_blocks_until_put():
+    kernel = Kernel()
+    chan = Channel(kernel)
+
+    def getter():
+        item = yield chan.get()
+        return (kernel.now, item)
+
+    handle = kernel.spawn(getter())
+    kernel.schedule(7, lambda: chan.put("late"))
+    kernel.run()
+    assert handle.result == (7, "late")
+
+
+def test_channel_fifo_across_getters():
+    kernel = Kernel()
+    chan = Channel(kernel)
+    results = []
+
+    def getter(label):
+        item = yield chan.get()
+        results.append((label, item))
+
+    kernel.spawn(getter("g1"))
+    kernel.spawn(getter("g2"))
+    kernel.schedule(1, lambda: (chan.put("first"), chan.put("second")))
+    kernel.run()
+    assert results == [("g1", "first"), ("g2", "second")]
+
+
+def test_channel_drain():
+    kernel = Kernel()
+    chan = Channel(kernel)
+    chan.put(1)
+    chan.put(2)
+    assert chan.drain() == [1, 2]
+    assert len(chan) == 0

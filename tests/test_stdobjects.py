@@ -1,0 +1,101 @@
+"""Standard object types: state round-trips and transactional behaviour."""
+
+import pytest
+
+from repro.stdobjects import Account, Counter, FifoQueue, FileObject, Register
+from repro.stdobjects.account import InsufficientFunds
+
+
+def test_counter_roundtrip_through_store(runtime):
+    counter = Counter(runtime, value=41)
+    with runtime.top_level():
+        counter.increment()
+    fresh = Counter(runtime, value=0, uid=counter.uid, persist=False)
+    fresh.activate_from(runtime.store)
+    assert fresh.value == 42
+
+
+def test_counter_abort_restores(runtime):
+    counter = Counter(runtime, value=5)
+    with pytest.raises(RuntimeError):
+        with runtime.top_level():
+            counter.set(99)
+            raise RuntimeError
+    assert counter.value == 5
+
+
+def test_register_holds_structured_values(runtime):
+    register = Register(runtime, value=None)
+    payload = {"xs": [1, 2, 3], "label": "hi"}
+    with runtime.top_level():
+        register.set(payload)
+    fresh = Register(runtime, uid=register.uid, persist=False)
+    fresh.activate_from(runtime.store)
+    assert fresh.value == payload
+
+
+def test_account_deposit_withdraw_and_statement(runtime):
+    account = Account(runtime, owner="ann", balance=100)
+    with runtime.top_level():
+        account.deposit(50, "salary")
+        account.withdraw(30, "rent")
+    assert account.balance == 120
+    assert account.statement == [("salary", 50), ("rent", -30)]
+
+
+def test_account_insufficient_funds_aborts_action(runtime):
+    account = Account(runtime, owner="bob", balance=10)
+    with pytest.raises(InsufficientFunds):
+        with runtime.top_level():
+            account.deposit(5)
+            account.withdraw(100)
+    assert account.balance == 10
+    assert account.statement == []
+
+
+def test_account_charge_may_overdraw(runtime):
+    account = Account(runtime, owner="carol", balance=5)
+    with runtime.top_level():
+        account.charge(20, "service fee")
+    assert account.balance == -15
+
+
+def test_fifo_queue_order_and_abort(runtime):
+    queue = FifoQueue(runtime)
+    with runtime.top_level():
+        queue.enqueue("a")
+        queue.enqueue("b")
+    with pytest.raises(RuntimeError):
+        with runtime.top_level():
+            assert queue.dequeue() == "a"
+            raise RuntimeError
+    assert queue.peek_all_unlocked() if hasattr(queue, "peek_all_unlocked") else True
+    with runtime.top_level():
+        assert queue.dequeue() == "a"  # the aborted dequeue was undone
+        assert queue.dequeue() == "b"
+        assert queue.dequeue() is None
+        assert queue.length() == 0
+
+
+def test_file_write_updates_timestamp(runtime):
+    source = FileObject(runtime, "test0.c", content="int main;", timestamp=1.0)
+    with runtime.top_level():
+        assert source.stat() == 1.0
+        source.write("int main(void);", timestamp=7.5)
+        assert source.read() == "int main(void);"
+    assert source.timestamp == 7.5
+
+
+def test_file_touch_bumps_only_timestamp(runtime):
+    source = FileObject(runtime, "a.h", content="x", timestamp=1.0)
+    with runtime.top_level():
+        source.touch(9.0)
+    assert source.content == "x"
+    assert source.timestamp == 9.0
+
+
+def test_file_state_roundtrip(runtime):
+    source = FileObject(runtime, "m.c", content="body", timestamp=3.25)
+    clone = FileObject(runtime, "", persist=False)
+    clone.restore_snapshot(source.snapshot())
+    assert (clone.name, clone.content, clone.timestamp) == ("m.c", "body", 3.25)

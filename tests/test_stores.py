@@ -1,0 +1,100 @@
+"""Object stores: committed states, shadows, crash behaviour."""
+
+import pytest
+
+from repro.errors import ObjectNotFound
+from repro.store.interface import StoredState
+from repro.store.memory import VolatileStore
+from repro.store.stable import StableStore
+from repro.util.uid import UidGenerator
+
+uids = UidGenerator("obj")
+
+
+def _state(uid, payload=b"x", type_name="t"):
+    return StoredState(uid, type_name, payload)
+
+
+@pytest.mark.parametrize("store_cls", [VolatileStore, StableStore])
+def test_write_then_read_committed(store_cls):
+    store = store_cls()
+    uid = uids.fresh()
+    store.write_committed(_state(uid, b"hello"))
+    assert store.read_committed(uid).payload == b"hello"
+    assert store.contains(uid)
+
+
+@pytest.mark.parametrize("store_cls", [VolatileStore, StableStore])
+def test_read_missing_raises(store_cls):
+    with pytest.raises(ObjectNotFound):
+        store_cls().read_committed(uids.fresh())
+
+
+@pytest.mark.parametrize("store_cls", [VolatileStore, StableStore])
+def test_overwrite_replaces(store_cls):
+    store = store_cls()
+    uid = uids.fresh()
+    store.write_committed(_state(uid, b"v1"))
+    store.write_committed(_state(uid, b"v2"))
+    assert store.read_committed(uid).payload == b"v2"
+
+
+@pytest.mark.parametrize("store_cls", [VolatileStore, StableStore])
+def test_remove(store_cls):
+    store = store_cls()
+    uid = uids.fresh()
+    store.write_committed(_state(uid))
+    assert store.remove(uid)
+    assert not store.contains(uid)
+    assert not store.remove(uid)
+
+
+@pytest.mark.parametrize("store_cls", [VolatileStore, StableStore])
+def test_shadow_commit_promotes(store_cls):
+    store = store_cls()
+    uid = uids.fresh()
+    store.write_committed(_state(uid, b"old"))
+    store.write_shadow(_state(uid, b"new"))
+    assert store.read_committed(uid).payload == b"old"  # not yet visible
+    assert store.commit_shadow(uid)
+    assert store.read_committed(uid).payload == b"new"
+    assert store.read_shadow(uid) is None
+
+
+@pytest.mark.parametrize("store_cls", [VolatileStore, StableStore])
+def test_shadow_discard(store_cls):
+    store = store_cls()
+    uid = uids.fresh()
+    store.write_committed(_state(uid, b"old"))
+    store.write_shadow(_state(uid, b"new"))
+    assert store.discard_shadow(uid)
+    assert store.read_committed(uid).payload == b"old"
+    assert not store.commit_shadow(uid)  # nothing left to promote
+
+
+def test_volatile_store_loses_everything_on_crash():
+    store = VolatileStore()
+    uid = uids.fresh()
+    store.write_committed(_state(uid))
+    store.write_shadow(_state(uid, b"s"))
+    store.crash()
+    assert not store.contains(uid)
+    assert store.read_shadow(uid) is None
+
+
+def test_stable_store_survives_crash():
+    store = StableStore()
+    uid = uids.fresh()
+    store.write_committed(_state(uid, b"durable"))
+    store.write_shadow(_state(uid, b"prepared"))
+    store.crash()
+    assert store.read_committed(uid).payload == b"durable"
+    assert store.read_shadow(uid).payload == b"prepared"  # shadows are on disk too
+
+
+def test_uids_listing_is_sorted():
+    store = StableStore()
+    created = [uids.fresh() for _ in range(5)]
+    for uid in reversed(created):
+        store.write_committed(_state(uid))
+    assert list(store.uids()) == sorted(created)

@@ -1,0 +1,109 @@
+"""N-level independent actions through the structures API (figs. 14/15)."""
+
+import pytest
+
+from repro.errors import ColourError
+from repro.structures import independence_markers, independent_relative_to
+from repro.stdobjects import Counter
+
+
+def test_second_level_independent_full_fig14(runtime):
+    """E survives B's abort; A's abort undoes E (automatic marker choice)."""
+    (marker,) = independence_markers(runtime, 1, name="blue")
+    red = runtime.colours.fresh("red")
+    oe = Counter(runtime, value=0)
+    with pytest.raises(RuntimeError):
+        with runtime.coloured([red, marker], name="A") as a:
+            with pytest.raises(ValueError):
+                with runtime.coloured([red], parent=a, name="B") as b:
+                    with independent_relative_to(runtime, a, parent=b, name="E") as e:
+                        oe.increment(1, action=e)
+                    raise ValueError("B aborts")
+            assert oe.value == 1   # E survived B
+            raise RuntimeError("A aborts")
+    assert oe.value == 0           # ... but fell with A
+
+
+def test_anchor_commit_makes_effects_permanent(runtime):
+    (marker,) = independence_markers(runtime, 1)
+    red = runtime.colours.fresh("red")
+    oe = Counter(runtime, value=0)
+    with runtime.coloured([red, marker], name="A") as a:
+        with runtime.coloured([red], parent=a, name="B") as b:
+            with independent_relative_to(runtime, a, parent=b, name="E") as e:
+                oe.increment(1, action=e)
+    assert oe.value == 1
+    assert runtime.store.read_committed(oe.uid).payload == oe.snapshot()
+
+
+def test_explicit_marker_selection(runtime):
+    markers = independence_markers(runtime, 2)
+    red = runtime.colours.fresh("red")
+    counter = Counter(runtime, value=0)
+    with runtime.coloured([red] + markers, name="A") as a:
+        with runtime.coloured([red], parent=a, name="B") as b:
+            scope = independent_relative_to(runtime, a, parent=b, marker=markers[1])
+            with scope as e:
+                assert e.colours == frozenset((markers[1],))
+                counter.increment(1, action=e)
+    assert counter.value == 1
+
+
+def test_marker_not_possessed_by_anchor_rejected(runtime):
+    red = runtime.colours.fresh("red")
+    stray = runtime.colours.fresh("stray")
+    with runtime.coloured([red], name="A") as a:
+        with runtime.coloured([red], parent=a, name="B") as b:
+            with pytest.raises(ColourError):
+                independent_relative_to(runtime, a, parent=b, marker=stray)
+            runtime.abort_action(b)
+            runtime.abort_action(a)
+
+
+def test_marker_held_by_intermediate_rejected(runtime):
+    """A colour the intermediate also holds would stop the routing there."""
+    red = runtime.colours.fresh("red")
+    with runtime.coloured([red], name="A") as a:
+        with runtime.coloured([red], parent=a, name="B") as b:
+            with pytest.raises(ColourError):
+                independent_relative_to(runtime, a, parent=b, marker=red)
+            runtime.abort_action(b)
+            runtime.abort_action(a)
+
+
+def test_no_usable_marker_raises_with_guidance(runtime):
+    red = runtime.colours.fresh("red")
+    with runtime.coloured([red], name="A") as a:
+        with runtime.coloured([red], parent=a, name="B") as b:
+            with pytest.raises(ColourError):
+                independent_relative_to(runtime, a, parent=b)
+            runtime.abort_action(b)
+            runtime.abort_action(a)
+
+
+def test_anchor_must_be_ancestor(runtime):
+    (marker,) = independence_markers(runtime, 1)
+    red = runtime.colours.fresh("red")
+    with runtime.coloured([red, marker], name="A") as a:
+        pass
+    with runtime.coloured([red], name="unrelated") as other:
+        with pytest.raises(ColourError):
+            independent_relative_to(runtime, a, parent=other)
+        runtime.abort_action(other)
+
+
+def test_three_level_chain(runtime):
+    """Independence anchored two levels up a three-deep chain."""
+    (marker,) = independence_markers(runtime, 1)
+    red = runtime.colours.fresh("red")
+    green = runtime.colours.fresh("green")
+    counter = Counter(runtime, value=0)
+    with pytest.raises(RuntimeError):
+        with runtime.coloured([red, marker], name="A") as a:
+            with runtime.coloured([red], parent=a, name="B") as b:
+                with runtime.coloured([green], parent=b, name="C") as c:
+                    with independent_relative_to(runtime, a, parent=c, name="E") as e:
+                        counter.increment(1, action=e)
+                # C commits; E's work is anchored at A
+            raise RuntimeError("A aborts")
+    assert counter.value == 0

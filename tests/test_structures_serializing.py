@@ -1,0 +1,134 @@
+"""Serializing actions: §3.1's three outcomes and lock retention (figs. 3/11)."""
+
+import pytest
+
+from repro.errors import LockTimeout
+from repro.locking.modes import LockMode
+from repro.structures import SerializingAction
+from repro.stdobjects import Counter
+
+
+def test_outcome_ii_both_commit(runtime):
+    """(ii) Effects from B and C become permanent."""
+    b_objects = Counter(runtime, value=0)
+    shared = Counter(runtime, value=0)
+    with SerializingAction(runtime, name="ser") as ser:
+        with ser.constituent(name="B"):
+            b_objects.increment(10)
+            shared.increment(1)
+        with ser.constituent(name="C"):
+            shared.increment(100)
+    assert b_objects.value == 10
+    assert shared.value == 101
+
+
+def test_outcome_i_b_aborts_no_effects(runtime):
+    """(i) No effects are produced (because B aborts)."""
+    counter = Counter(runtime, value=0)
+    ser = SerializingAction(runtime, name="ser")
+    with pytest.raises(RuntimeError):
+        with ser.constituent(name="B"):
+            counter.increment(10)
+            raise RuntimeError("B fails")
+    ser.cancel()
+    assert counter.value == 0
+
+
+def test_outcome_iii_b_survives_c_abort(runtime):
+    """(iii) Effects of B only become permanent (B commits, C aborts)."""
+    counter = Counter(runtime, value=0)
+    with SerializingAction(runtime, name="ser") as ser:
+        with ser.constituent(name="B"):
+            counter.increment(10)
+        with pytest.raises(RuntimeError):
+            with ser.constituent(name="C"):
+                counter.increment(100)
+                raise RuntimeError("C fails")
+    assert counter.value == 10
+
+
+def test_b_effects_survive_serializing_action_abort(runtime):
+    """The §3 requirement nesting cannot give: A aborts after B completed,
+    yet B's effects survive (relaxed failure atomicity)."""
+    counter = Counter(runtime, value=0)
+    ser = SerializingAction(runtime, name="ser")
+    with ser.constituent(name="B"):
+        counter.increment(10)
+    ser.cancel()   # A aborts
+    assert counter.value == 10
+    assert runtime.store.read_committed(counter.uid).payload == counter.snapshot()
+
+
+def test_b_updates_permanent_at_b_commit_not_a_commit(runtime):
+    """Constituents are top-level w.r.t. permanence: the store is updated at
+    B's commit, before A ends."""
+    counter = Counter(runtime, value=0)
+    with SerializingAction(runtime, name="ser") as ser:
+        with ser.constituent(name="B"):
+            counter.increment(10)
+        assert runtime.store.read_committed(counter.uid).payload == counter.snapshot()
+
+
+def test_control_retains_locks_between_constituents(runtime):
+    """Objects touched by B stay inaccessible to outsiders until A ends."""
+    written = Counter(runtime, value=0)
+    read_only = Counter(runtime, value=0)
+    ser = SerializingAction(runtime, name="ser")
+    with ser.constituent(name="B") as b:
+        written.increment(10)
+        read_only.get(action=b)
+    # written: retained as EXCLUSIVE_READ -> outsiders cannot even read
+    with runtime.top_level(name="outsider") as out:
+        with pytest.raises(LockTimeout):
+            runtime.acquire(out, written, LockMode.READ, timeout=0.05)
+        # read_only: retained as READ -> outsiders may read but not write
+        runtime.acquire(out, read_only, LockMode.READ, timeout=0.05)
+        with pytest.raises(LockTimeout):
+            runtime.acquire(out, read_only, LockMode.WRITE, timeout=0.05)
+        runtime.abort_action(out)
+    ser.close()
+    # after A ends everything is free
+    with runtime.top_level(name="later") as later:
+        runtime.acquire(later, written, LockMode.WRITE, timeout=0.05)
+
+
+def test_later_constituent_acquires_earlier_ones_objects(runtime):
+    """C picks up the locks A retained from B (fig. 3's hand-off)."""
+    counter = Counter(runtime, value=0)
+    with SerializingAction(runtime, name="ser") as ser:
+        with ser.constituent(name="B"):
+            counter.increment(1)
+        with ser.constituent(name="C") as c:
+            # no outsider could have intervened; C sees B's value
+            assert counter.get(action=c) == 1
+            counter.increment(1, action=c)
+    assert counter.value == 2
+
+
+def test_control_action_performs_no_writes_abort_undoes_nothing(runtime):
+    counter = Counter(runtime, value=0)
+    ser = SerializingAction(runtime, name="ser")
+    with ser.constituent(name="B"):
+        counter.increment(5)
+    before = counter.value
+    ser.cancel()
+    assert counter.value == before
+    assert ser.control.written_objects() == {}
+
+
+def test_constituents_refused_after_close(runtime):
+    ser = SerializingAction(runtime, name="ser")
+    ser.close()
+    from repro.errors import InvalidActionState
+    with pytest.raises(InvalidActionState):
+        ser.constituent()
+
+
+def test_nested_serializing_inside_top_level(runtime):
+    """A serializing action may itself be nested inside an atomic action."""
+    counter = Counter(runtime, value=0)
+    with runtime.top_level(name="outer") as outer:
+        with SerializingAction(runtime, parent=outer, name="ser") as ser:
+            with ser.constituent(name="B"):
+                counter.increment(4)
+    assert counter.value == 4

@@ -1,0 +1,129 @@
+"""The two-phase RPC protocol: acks, long operations, reply polling."""
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.network import NetworkConfig
+from repro.errors import RpcTimeout
+
+
+def pair(config=None, seed=0, **cluster_kwargs):
+    cluster = Cluster(seed=seed, config=config, **cluster_kwargs)
+    cluster.add_node("a")
+    cluster.add_node("b")
+    return cluster, cluster.transports["a"], cluster.transports["b"]
+
+
+def test_long_operation_outlives_short_attempt_timeout():
+    """A handler that takes 50 units must not be failed by the 5-unit
+    per-attempt timeout: the ACK switches the client to patient waiting."""
+    cluster, ta, tb = pair()
+
+    def slow(msg, respond):
+        cluster.kernel.schedule(50.0, lambda: respond(True, "done"))
+
+    tb.register("slow", slow)
+
+    def app():
+        value = yield from ta.call("b", "slow", {}, timeout=5.0, retries=2,
+                                   completion_timeout=200.0)
+        return (value, cluster.kernel.now)
+
+    value, when = cluster.run_process("a", app())
+    assert value == "done"
+    assert when >= 50.0
+
+
+def test_unacknowledged_fails_fast():
+    """A dead server never ACKs: failure within attempts*timeout, without
+    waiting out the long completion bound."""
+    cluster, ta, tb = pair()
+    cluster.crash("b")
+
+    def app():
+        try:
+            yield from ta.call("b", "x", {}, timeout=2.0, retries=2,
+                               completion_timeout=500.0)
+        except RpcTimeout as error:
+            return (str(error), cluster.kernel.now)
+
+    message, when = cluster.run_process("a", app())
+    assert "unacknowledged" in message
+    assert when < 20.0
+
+
+def test_lost_reply_recovered_by_polling():
+    """The request arrives (ACKed, executed once); the reply is lost; the
+    client's completion-phase poll fetches it from the reply cache."""
+    cluster, ta, tb = pair()
+    executions = {"n": 0}
+
+    def handler(msg, respond):
+        executions["n"] += 1
+        respond(True, "value")
+
+    tb.register("op", handler)
+    # surgically lose the first reply: wrap the network delivery
+    network = cluster.network
+    original_send = network.send
+    dropped = {"done": False}
+
+    def lossy_send(message):
+        if message.kind == "rpc_reply" and not dropped["done"]:
+            dropped["done"] = True
+            network.dropped_count += 1
+            return  # lost
+        original_send(message)
+
+    network.send = lossy_send
+
+    def app():
+        value = yield from ta.call("b", "op", {}, timeout=5.0, retries=3,
+                                   completion_timeout=100.0)
+        return value
+
+    assert cluster.run_process("a", app()) == "value"
+    assert executions["n"] == 1      # the poll hit the cache, no re-execution
+    assert dropped["done"]
+
+
+def test_acked_but_crashed_server_times_out_at_completion_bound():
+    cluster, ta, tb = pair()
+
+    def never(msg, respond):
+        pass  # acked (dispatch acks first) but never answers
+
+    tb.register("void", never)
+
+    def app():
+        try:
+            yield from ta.call("b", "void", {}, timeout=2.0, retries=1,
+                               completion_timeout=30.0)
+        except RpcTimeout as error:
+            return (str(error), cluster.kernel.now)
+
+    message, when = cluster.run_process("a", app())
+    assert "no reply within" in message
+    assert 30.0 <= when < 60.0
+
+
+def test_duplicate_request_reacked_not_reexecuted():
+    cluster, ta, tb = pair(
+        config=NetworkConfig(duplicate_probability=0.5), seed=13
+    )
+    executions = {"n": 0}
+
+    def handler(msg, respond):
+        executions["n"] += 1
+        cluster.kernel.schedule(20.0, lambda: respond(True, executions["n"]))
+
+    tb.register("op", handler)
+
+    def app():
+        results = []
+        for _ in range(5):
+            value = yield from ta.call("b", "op", {}, timeout=3.0, retries=5,
+                                       completion_timeout=100.0)
+            results.append(value)
+        return results
+
+    assert cluster.run_process("a", app()) == [1, 2, 3, 4, 5]
+    assert executions["n"] == 5

@@ -1,0 +1,38 @@
+"""Uid and UidGenerator behaviour."""
+
+from repro.util.uid import Uid, UidGenerator
+
+
+def test_fresh_uids_are_unique():
+    gen = UidGenerator("x")
+    uids = [gen.fresh() for _ in range(100)]
+    assert len(set(uids)) == 100
+
+
+def test_uid_ordering_matches_creation_order():
+    gen = UidGenerator("x")
+    first, second, third = gen.fresh(), gen.fresh(), gen.fresh()
+    assert first < second < third
+
+
+def test_uids_are_namespaced():
+    a = UidGenerator("alpha").fresh()
+    b = UidGenerator("beta").fresh()
+    assert a != b
+    assert a.namespace == "alpha" and b.namespace == "beta"
+
+
+def test_uid_is_hashable_and_usable_as_dict_key():
+    gen = UidGenerator("x")
+    uid = gen.fresh()
+    table = {uid: "value"}
+    assert table[Uid("x", uid.sequence)] == "value"
+
+
+def test_uid_str_includes_namespace_and_sequence():
+    assert str(Uid("obj", 42)) == "obj:42"
+
+
+def test_generators_are_independent():
+    gen_a, gen_b = UidGenerator("n"), UidGenerator("n")
+    assert gen_a.fresh() == gen_b.fresh()  # same namespace, same sequence start

@@ -1,0 +1,49 @@
+"""Write-ahead log behaviour."""
+
+from repro.store.wal import WriteAheadLog
+
+
+def test_append_assigns_increasing_lsns():
+    wal = WriteAheadLog()
+    records = [wal.append("prepare", txn=i) for i in range(3)]
+    assert [r.lsn for r in records] == [1, 2, 3]
+
+
+def test_records_scan_in_order_and_filter_by_kind():
+    wal = WriteAheadLog()
+    wal.append("prepare", txn=1)
+    wal.append("commit", txn=1)
+    wal.append("prepare", txn=2)
+    assert [r.payload["txn"] for r in wal.records("prepare")] == [1, 2]
+    assert [r.kind for r in wal.records()] == ["prepare", "commit", "prepare"]
+
+
+def test_last_with_predicate():
+    wal = WriteAheadLog()
+    wal.append("decision", txn=1, outcome="commit")
+    wal.append("decision", txn=2, outcome="abort")
+    found = wal.last("decision", where=lambda r: r.payload["txn"] == 1)
+    assert found is not None and found.payload["outcome"] == "commit"
+    assert wal.last("decision", where=lambda r: r.payload["txn"] == 3) is None
+
+
+def test_last_without_match_is_none():
+    assert WriteAheadLog().last("anything") is None
+
+
+def test_truncate_before_drops_old_records():
+    wal = WriteAheadLog()
+    for i in range(5):
+        wal.append("r", i=i)
+    dropped = wal.truncate_before(4)
+    assert dropped == 3
+    assert [r.payload["i"] for r in wal.records()] == [3, 4]
+    assert len(wal) == 2
+
+
+def test_payload_is_copied_at_append():
+    wal = WriteAheadLog()
+    payload = {"a": 1}
+    record = wal.append("r", **payload)
+    payload["a"] = 2
+    assert record.payload["a"] == 1
