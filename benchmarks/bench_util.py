@@ -8,7 +8,27 @@ regenerates the figure data.
 
 from __future__ import annotations
 
+import json
+import os
+import re
 from typing import Any, Dict, Iterable, List, Sequence
+
+
+def emit_metrics_dump(name: str, cluster) -> None:
+    """Write the cluster's metrics registry next to the figure output.
+
+    Opt-in: set ``REPRO_OBS_DUMP`` to a directory and each benchmark that
+    calls this drops a ``<name>.metrics.json`` there for offline analysis
+    with ``python -m repro.obs.report``.
+    """
+    out_dir = os.environ.get("REPRO_OBS_DUMP")
+    if not out_dir:
+        return
+    os.makedirs(out_dir, exist_ok=True)
+    slug = re.sub(r"[^A-Za-z0-9._-]+", "_", name)
+    path = os.path.join(out_dir, f"{slug}.metrics.json")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(cluster.metrics_dump(), fh, indent=2, sort_keys=True)
 
 
 def print_figure(title: str, rows: Iterable[Sequence[Any]],

@@ -6,7 +6,7 @@ prepare and decision resolves correctly from the logs.  The benchmark
 sweeps network loss rates and reports commit latency and message cost.
 """
 
-from bench_util import print_figure
+from bench_util import emit_metrics_dump, print_figure
 
 from repro.cluster.cluster import Cluster
 from repro.cluster.network import NetworkConfig
@@ -47,6 +47,7 @@ def run_at_drop_rate(drop):
         return src, dst
 
     src, dst = cluster.run_process("coord", app())
+    emit_metrics_dump(f"ablation_2pc_drop{drop:.2f}", cluster)
     total = committed_int(cluster, src) + committed_int(cluster, dst)
     return {
         "drop": drop,

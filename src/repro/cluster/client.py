@@ -137,11 +137,13 @@ class ClusterClient:
 
     def __init__(self, node: Node, transport: RpcTransport,
                  action_uids: UidGenerator, colour_allocator,
-                 class_registry: Dict[str, type], name: str = "client"):
+                 class_registry: Dict[str, type], name: str = "client",
+                 observability=None):
         self.node = node
         self.kernel = node.kernel
         self.transport = transport
         self.name = name
+        self.obs = observability
         self._action_uids = action_uids
         self._colours = colour_allocator
         self._classes = class_registry
@@ -152,6 +154,13 @@ class ClusterClient:
 
     def add_observer(self, observer) -> None:
         self.observers.append(observer)
+
+    def _op_span(self, action: "ClusterAction", name: str, **attrs):
+        """A client-side span parented on the action's span (or None)."""
+        if self.obs is None:
+            return None
+        return self.obs.span(name, parent=getattr(action, "_obs_span", None),
+                             kind="client", node=self.node.name, **attrs)
 
     def _notify_created(self, action: ClusterAction) -> ClusterAction:
         for observer in self.observers:
@@ -215,6 +224,8 @@ class ClusterClient:
         _lock_key, is_update, is_semantic = self._operation_kind(
             ref.type_name, method
         )
+        span = self._op_span(action, f"invoke:{method}", dst=ref.node,
+                             object=str(ref.uid), colour=str(chosen))
         mark_waiting(self.node, action.uid, ref.node)
         try:
             reply = yield from self.transport.call(ref.node, "invoke", {
@@ -223,12 +234,14 @@ class ClusterClient:
                 "method": method,
                 "args": list(args),
                 "colour": encode_colour(chosen),
-            })
+            }, trace_parent=span)
         except (RpcTimeout, ActionAborted):
             yield from self.abort(action)
             raise
         finally:
             clear_waiting(self.node, action.uid)
+            if span is not None:
+                span.finish()
         action.note_lock(chosen, ref.node)
         if is_update:
             action.note_write(chosen, ref.node, ref.uid)
@@ -260,19 +273,24 @@ class ClusterClient:
         self._require_active(action)
         chosen = action.lock_colour(colour)
         self._check_colour(action, chosen)
+        mode_label = mode.value if hasattr(mode, "value") else str(mode)
+        span = self._op_span(action, f"lock:{mode_label}", dst=ref.node,
+                             object=str(ref.uid), colour=str(chosen))
         mark_waiting(self.node, action.uid, ref.node)
         try:
             reply = yield from self.transport.call(ref.node, "lock", {
                 "action": encode_action_context(action),
                 "object_uid": encode_uid(ref.uid),
-                "mode": mode.value if hasattr(mode, "value") else str(mode),
+                "mode": mode_label,
                 "colour": encode_colour(chosen),
-            })
+            }, trace_parent=span)
         except (RpcTimeout, ActionAborted):
             yield from self.abort(action)
             raise
         finally:
             clear_waiting(self.node, action.uid)
+            if span is not None:
+                span.finish()
         action.note_lock(chosen, ref.node)
         if mode is LockMode.WRITE:
             action.note_write(chosen, ref.node, ref.uid)
@@ -290,6 +308,7 @@ class ClusterClient:
         self._require_active(action)
         yield from self._settle_children(action)
         action.status = ActionStatus.COMMITTING
+        span = self._op_span(action, "commit")
         routes: Dict[Colour, Optional[ClusterAction]] = {}
         ordered = sorted(action.colours, key=lambda c: c.uid)
         for colour in ordered:
@@ -297,18 +316,30 @@ class ClusterClient:
             routes[colour] = destination
             if destination is not None:
                 self._bequeath(action, colour, destination)
+                if self.obs is not None:
+                    # §5.2: locks and undo responsibility are inherited by
+                    # the closest same-coloured ancestor, not made permanent
+                    self.obs.count("colour_inherited_total",
+                                   colour=str(colour))
                 continue
             write_map = action.written.get(colour, {})
             if not write_map:
                 continue
-            committed = yield from self._two_phase_commit(action, colour, write_map)
+            committed = yield from self._two_phase_commit(
+                action, colour, write_map, parent_span=span)
             if not committed:
                 action.status = ActionStatus.ACTIVE  # let abort run normally
+                if span is not None:
+                    span.set(outcome="2pc-failed").finish()
                 yield from self.abort(action)
                 raise CommitError(
                     f"{action.name}: two-phase commit of colour {colour} failed"
                 )
-        yield from self._finish_commit(action, routes)
+            if self.obs is not None:
+                self.obs.count("colour_permanent_total", colour=str(colour))
+        yield from self._finish_commit(action, routes, parent_span=span)
+        if span is not None:
+            span.set(outcome="committed").finish()
         action.status = ActionStatus.COMMITTED
         if action.parent is not None and action in action.parent.children:
             action.parent.children.remove(action)
@@ -323,11 +354,12 @@ class ClusterClient:
             raise InvalidActionState(f"{action.name} already committed")
         action.status = ActionStatus.ABORTING
         yield from self._settle_children(action)
+        span = self._op_span(action, "abort")
         for node_name in sorted(action.all_nodes()):
             try:
                 yield from self.transport.call(node_name, "abort_action", {
                     "action_uid": encode_uid(action.uid),
-                })
+                }, trace_parent=span)
             except RpcTimeout:
                 # Either the server is down (its volatile locks died with
                 # it) or we are partitioned from a *live* server that still
@@ -338,6 +370,8 @@ class ClusterClient:
                     self._reap_abort(node_name, action.uid),
                     name=f"reap-abort:{action.uid}@{node_name}",
                 )
+        if span is not None:
+            span.set(outcome="aborted").finish()
         action.status = ActionStatus.ABORTED
         if action.parent is not None and action in action.parent.children:
             action.parent.children.remove(action)
@@ -453,7 +487,8 @@ class ClusterClient:
             destination.server_epochs.setdefault(node_name, epoch)
 
     def _finish_commit(self, action: ClusterAction,
-                       routes: Dict[Colour, Optional[ClusterAction]]):
+                       routes: Dict[Colour, Optional[ClusterAction]],
+                       parent_span=None):
         encoded_routes = [
             {
                 "colour": encode_colour(colour),
@@ -466,17 +501,22 @@ class ClusterClient:
                 yield from self.transport.call(node_name, "finish_commit", {
                     "action_uid": encode_uid(action.uid),
                     "routes": encoded_routes,
-                })
+                }, trace_parent=parent_span)
             except RpcTimeout:
                 continue  # crashed server: its locks are already gone
 
     # -- two-phase commit (coordinator) --------------------------------------------------------
 
     def _two_phase_commit(self, action: ClusterAction, colour: Colour,
-                          write_map: Dict[str, Set[Uid]]):
+                          write_map: Dict[str, Set[Uid]], parent_span=None):
         """Presumed-abort 2PC for one colour's write set; returns success."""
         txn_id = f"txn:{self.node.name}:{action.uid.sequence}:{colour.uid.sequence}:{next(self._txn_seq)}"
         participants = sorted(write_map)
+        span = None
+        if self.obs is not None:
+            span = self.obs.span(f"2pc:{colour}", parent=parent_span,
+                                 kind="client", node=self.node.name,
+                                 txn=txn_id, participants=len(participants))
 
         def prepare_one(node_name: str):
             reply = yield from self.transport.call(node_name, "txn_prepare", {
@@ -485,9 +525,10 @@ class ClusterClient:
                 "colour": encode_colour(colour),
                 "object_uids": [encode_uid(u) for u in sorted(write_map[node_name])],
                 "expected_epoch": action.server_epochs.get(node_name),
-            })
+            }, trace_parent=span)
             return reply["vote"]
 
+        prepare_started = self.kernel.now
         handles = [
             self.kernel.spawn(prepare_one(n), name=f"prepare:{txn_id}:{n}")
             for n in participants
@@ -500,7 +541,17 @@ class ClusterClient:
             prepared_ok = all(v == "commit" for v in votes)
         except (PrepareFailed, RpcTimeout, ActionAborted, ClusterError):
             prepared_ok = False
+        if self.obs is not None:
+            # coordinator-observed latency of the whole prepare round
+            self.obs.observe("twopc_prepare_time",
+                             self.kernel.now - prepare_started,
+                             colour=str(colour))
         if not prepared_ok:
+            if self.obs is not None:
+                self.obs.count("twopc_rounds_total", colour=str(colour),
+                               outcome="aborted")
+            if span is not None:
+                span.set(outcome="aborted").finish()
             # presumed abort: no decision record needed; tell whoever may
             # have prepared.
             for node_name in participants:
@@ -513,13 +564,14 @@ class ClusterClient:
             return False
         # decision: commit — logged before any participant is told.
         self.node.wal.append("coord_commit", txn_id=txn_id)
+        commit_started = self.kernel.now
         for node_name in participants:
             acked = False
             for _ in range(20):  # commit is blocking: retry until applied
                 try:
                     yield from self.transport.call(node_name, "txn_commit", {
                         "txn_id": txn_id,
-                    })
+                    }, trace_parent=span)
                     acked = True
                     break
                 except RpcTimeout:
@@ -529,4 +581,12 @@ class ClusterClient:
                 # (txn_decision_query against our log).
                 continue
         self.node.wal.append("coord_end", txn_id=txn_id)
+        if self.obs is not None:
+            self.obs.observe("twopc_commit_time",
+                             self.kernel.now - commit_started,
+                             colour=str(colour))
+            self.obs.count("twopc_rounds_total", colour=str(colour),
+                           outcome="committed")
+        if span is not None:
+            span.set(outcome="committed").finish()
         return True

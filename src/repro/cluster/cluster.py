@@ -11,6 +11,7 @@ from repro.cluster.server import ObjectServer
 from repro.cluster.transport import RpcTransport
 from repro.colours.colour import ColourAllocator
 from repro.errors import ClusterError
+from repro.obs import Observability, ObservabilityBridge
 from repro.sim.kernel import Kernel
 from repro.stdobjects import (
     Account,
@@ -60,10 +61,18 @@ class Cluster:
                  classes: Optional[Dict[str, type]] = None,
                  lock_wait_timeout: float = 60.0,
                  rpc_timeout: float = 10.0, rpc_retries: int = 3,
-                 edge_chasing: bool = True, probe_interval: float = 5.0):
+                 edge_chasing: bool = True, probe_interval: float = 5.0,
+                 observability: Optional[Observability] = None):
         self.kernel = Kernel()
+        #: the cluster-wide observability hub, on simulated time.  Every
+        #: layer (network, transport, servers, clients, deadlock chasers)
+        #: reports into it; see ``metrics_dump()`` and ``obs.span_tree()``.
+        self.obs = observability if observability is not None else (
+            Observability(tick_source=lambda: self.kernel.now)
+        )
         self.rng = SplitRandom(seed)
-        self.network = Network(self.kernel, self.rng, config)
+        self.network = Network(self.kernel, self.rng, config,
+                               observability=self.obs)
         self.classes = dict(classes if classes is not None else DEFAULT_CLASSES)
         self.lock_wait_timeout = lock_wait_timeout
         self.rpc_timeout = rpc_timeout
@@ -75,6 +84,7 @@ class Cluster:
         self.servers: Dict[str, ObjectServer] = {}
         self._action_uids = UidGenerator("caction")
         self.colours = ColourAllocator("ccolour")
+        self._observers: list = []
 
     # -- topology ------------------------------------------------------------
 
@@ -88,11 +98,15 @@ class Cluster:
             # lock waits happen inside acknowledged rpcs: let the reply
             # phase outlive the server's lock-wait bound
             default_completion_timeout=self.lock_wait_timeout + 3 * self.rpc_timeout,
+            observability=self.obs,
         )
         server = ObjectServer(node, transport, self.classes,
                               lock_wait_timeout=self.lock_wait_timeout,
                               edge_chasing=self.edge_chasing,
-                              probe_interval=self.probe_interval)
+                              probe_interval=self.probe_interval,
+                              observability=self.obs)
+        for observer in self._observers:
+            server.add_observer(observer)
         self.nodes[name] = node
         self.transports[name] = transport
         self.servers[name] = server
@@ -103,11 +117,41 @@ class Cluster:
 
     def client(self, node_name: str, name: str = "") -> ClusterClient:
         node = self.nodes[node_name]
-        return ClusterClient(
+        client = ClusterClient(
             node, self.transports[node_name],
             self._action_uids, self.colours, self.classes,
             name=name or f"client@{node_name}",
+            observability=self.obs,
         )
+        # the bridge gives every action a span (and per-colour outcome
+        # counters) so the client's RPC spans have a parent to stitch to.
+        client.add_observer(ObservabilityBridge(self.obs, node=node_name))
+        for observer in self._observers:
+            client.add_observer(observer)
+        return client
+
+    def add_observer(self, observer) -> None:
+        """Attach a trace/metrics observer cluster-wide.
+
+        The observer (e.g. a :class:`~repro.trace.TraceRecorder`) is wired
+        into every existing and future server — so distributed lock grants
+        fire ``on_lock_granted`` — and into every client created after the
+        call (action begin/commit/abort events).
+        """
+        self._observers.append(observer)
+        for server in self.servers.values():
+            server.add_observer(observer)
+
+    # -- observability ---------------------------------------------------------
+
+    def metrics_dump(self) -> Dict:
+        """One JSON-able snapshot of every metric, kernel and network stat."""
+        stats = self.kernel.stats
+        for key, value in stats.items():
+            self.obs.metrics.gauge(f"kernel_{key}").set(value)
+        for key, value in self.network.stats().items():
+            self.obs.metrics.gauge(f"network_{key}_total").set(value)
+        return self.obs.dump()
 
     # -- execution -------------------------------------------------------------
 

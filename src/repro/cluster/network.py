@@ -44,7 +44,8 @@ class Network:
     """Message delivery between named endpoints."""
 
     def __init__(self, kernel: Kernel, rng: SplitRandom,
-                 config: Optional[NetworkConfig] = None):
+                 config: Optional[NetworkConfig] = None,
+                 observability=None):
         self.kernel = kernel
         self.rng = rng.split("network")
         self.config = config or NetworkConfig()
@@ -53,7 +54,9 @@ class Network:
         self._up: Dict[str, bool] = {}
         self._partitions: Set[frozenset] = set()
         self._msg_ids = itertools.count(1)
-        # observability
+        # observability: aggregate counts plus (when a hub is attached)
+        # per-message-kind labelled counters in the metrics registry.
+        self.obs = observability
         self.sent_count = 0
         self.delivered_count = 0
         self.dropped_count = 0
@@ -96,6 +99,8 @@ class Network:
     def send(self, message: Message) -> None:
         """Fire-and-forget: schedule delivery, subject to the fault model."""
         self.sent_count += 1
+        if self.obs is not None:
+            self.obs.count("messages_sent_total", kind=message.kind)
         if message.dst not in self._endpoints:
             raise ClusterError(f"message to unknown endpoint {message.dst}")
         copies = 1
@@ -106,6 +111,8 @@ class Network:
             self.duplicated_count += 1
         if copies == 0:
             self.dropped_count += 1
+            if self.obs is not None:
+                self.obs.count("messages_dropped_total", kind=message.kind)
             return
         for _ in range(copies):
             delay = self.rng.uniform(self.config.min_delay, self.config.max_delay)
@@ -123,8 +130,12 @@ class Network:
         # to a node that crashes meanwhile is lost, as on a real network.
         if not self.is_reachable(message.src, message.dst):
             self.dropped_count += 1
+            if self.obs is not None:
+                self.obs.count("messages_dropped_total", kind=message.kind)
             return
         self.delivered_count += 1
+        if self.obs is not None:
+            self.obs.count("messages_delivered_total", kind=message.kind)
         self._endpoints[message.dst](message)
 
     # -- metrics -------------------------------------------------------------------

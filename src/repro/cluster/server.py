@@ -33,6 +33,7 @@ from repro.cluster.transport import Responder, RpcTransport
 from repro.colours.colour import Colour
 from repro.errors import (
     ClusterError,
+    DeadlockDetected,
     LockTimeout,
     ObjectNotFound,
     PrepareFailed,
@@ -56,6 +57,9 @@ class ActionMirror:
     path: Tuple[Uid, ...]
     colours: FrozenSet[Colour]
     home: str = ""
+    #: sim time the mirror was built — first involvement of the action at
+    #: this node; lock hold time is measured from here to retirement.
+    created_tick: float = 0.0
     undo: Dict[Colour, Dict[Uid, UndoRecord]] = field(default_factory=dict)
     #: type-specific recovery: one compensation per applied operation
     op_undo: Dict[Colour, List[OperationUndo]] = field(default_factory=dict)
@@ -103,6 +107,31 @@ class ActionMirror:
         return records
 
 
+class MirrorView:
+    """Action-shaped adapter over an :class:`ActionMirror` for observers.
+
+    Observers (``on_lock_granted``) expect the local-runtime action shape:
+    ``uid``, ``name``, ``parent`` (with a ``uid``), ``colours``.  The
+    mirror knows its ancestry path, so the view reconstructs just enough
+    of it.
+    """
+
+    __slots__ = ("uid", "name", "colours", "parent")
+
+    def __init__(self, mirror: ActionMirror):
+        self.uid = mirror.uid
+        self.name = f"caction-{mirror.uid.sequence}"
+        self.colours = mirror.colours
+        self.parent = None
+        if len(mirror.path) > 1:
+            parent = MirrorView.__new__(MirrorView)
+            parent.uid = mirror.path[-2]
+            parent.name = f"caction-{mirror.path[-2].sequence}"
+            parent.colours = mirror.colours
+            parent.parent = None
+            self.parent = parent
+
+
 class ServerObjectHost:
     """The minimal 'runtime' server-hosted objects are constructed against.
 
@@ -142,12 +171,17 @@ class ObjectServer:
                  classes: Dict[str, type],
                  lock_wait_timeout: float = 60.0,
                  edge_chasing: bool = True,
-                 probe_interval: float = 5.0):
+                 probe_interval: float = 5.0,
+                 observability=None):
         self.node = node
         self.kernel = node.kernel
         self.transport = transport
         self.classes = dict(classes)
         self.lock_wait_timeout = lock_wait_timeout
+        self.obs = observability
+        #: trace/metrics observers fired on server-side lock grants (the
+        #: distributed counterpart of LocalRuntime.add_observer)
+        self.observers: list = []
         self.host = ServerObjectHost(self)
         # volatile state (rebuilt empty after a crash)
         self.objects: Dict[Uid, StateManager] = {}
@@ -182,6 +216,10 @@ class ObjectServer:
 
     # -- plumbing ------------------------------------------------------------
 
+    def add_observer(self, observer) -> None:
+        """Attach an observer notified of lock grants at this server."""
+        self.observers.append(observer)
+
     def _next_undo_seq(self) -> int:
         self._undo_seq += 1
         return self._undo_seq
@@ -209,7 +247,8 @@ class ObjectServer:
             mirror = self.mirrors.get(uid)
             if mirror is None:
                 mirror = ActionMirror(uid=uid, path=path, colours=colours,
-                                      home=home)
+                                      home=home,
+                                      created_tick=self.kernel.now)
                 self.mirrors[uid] = mirror
         assert mirror is not None
         return mirror
@@ -272,6 +311,10 @@ class ObjectServer:
         colour = decode_colour(payload["colour"])
         args = payload.get("args", [])
         self.invocations += 1
+        if self.obs is not None:
+            self.obs.count("invocations_total", node=self.node.name,
+                           method=f"{obj.type_name}.{payload['method']}",
+                           colour=str(colour))
         lock_key = mode_name if mode_name is not None else group
 
         def completed(request: LockRequest) -> None:
@@ -343,7 +386,32 @@ class ObjectServer:
                         completed: Callable[[LockRequest], None]) -> None:
         """``mode`` is a LockMode for plain objects or a group name (str)
         for semantic objects; the registry routes to the right table."""
-        request = self.registry.request(mirror, object_uid, mode, colour, completed)
+        wait_started = self.kernel.now
+        mode_name = mode.value if hasattr(mode, "value") else str(mode)
+
+        def settled(request: LockRequest) -> None:
+            if request.status is RequestStatus.GRANTED:
+                if self.obs is not None:
+                    self.obs.observe("lock_wait_time",
+                                     self.kernel.now - wait_started,
+                                     node=self.node.name, colour=str(colour))
+                    self.obs.count("lock_grants_total", node=self.node.name,
+                                   mode=mode_name)
+                if self.observers:
+                    view = MirrorView(mirror)
+                    for observer in self.observers:
+                        on_grant = getattr(observer, "on_lock_granted", None)
+                        if on_grant is not None:
+                            on_grant(view, object_uid, mode, colour)
+            elif self.obs is not None:
+                if isinstance(request.error, DeadlockDetected):
+                    self.obs.count("deadlock_detections_total",
+                                   node=self.node.name)
+                else:
+                    self.obs.count("lock_refusals_total", node=self.node.name)
+            completed(request)
+
+        request = self.registry.request(mirror, object_uid, mode, colour, settled)
         if request.settled:
             return
         self.lock_waits += 1
@@ -406,6 +474,7 @@ class ObjectServer:
             mirror.uid, lambda colour: destinations.get(colour)
         )
         self.mirrors.pop(action_uid, None)
+        self._retire_mirror(mirror, "committed")
         respond(True, self._ok({"known": True}))
 
     def _h_abort_action(self, message: Message, respond: Responder) -> None:
@@ -416,8 +485,20 @@ class ObjectServer:
             for record in sorted(mirror.all_undo_records(),
                                  key=lambda r: r.seq, reverse=True):
                 record.restore()
+            self._retire_mirror(mirror, "aborted")
         self.registry.release_action(action_uid)
         respond(True, self._ok({"known": mirror is not None}))
+
+    def _retire_mirror(self, mirror: ActionMirror, outcome: str) -> None:
+        """Metrics for one action leaving this node: how long it pinned
+        objects here (glued hand-offs show up as long holds)."""
+        if self.obs is None:
+            return
+        self.obs.observe("lock_hold_time",
+                         self.kernel.now - mirror.created_tick,
+                         node=self.node.name)
+        self.obs.count("mirrors_retired_total", node=self.node.name,
+                       outcome=outcome)
 
     # -- handlers: two-phase commit participant ----------------------------------------
 
@@ -456,6 +537,9 @@ class ObjectServer:
             "colour": colour,
             "object_uids": sorted(wanted),
         }
+        if self.obs is not None:
+            self.obs.count("twopc_prepared_total", node=self.node.name,
+                           colour=str(colour))
         respond(True, self._ok({"vote": "commit"}))
 
     def _h_txn_commit(self, message: Message, respond: Responder) -> None:
@@ -487,6 +571,8 @@ class ObjectServer:
             for object_uid in info["object_uids"]:
                 self.node.stable_store.discard_shadow(object_uid)
             self.node.wal.append("aborted", txn_id=txn_id)
+            if self.obs is not None:
+                self.obs.count("twopc_aborted_total", node=self.node.name)
             for object_uid in info["object_uids"]:
                 self.in_doubt_objects.discard(object_uid)
         respond(True, self._ok())
@@ -512,6 +598,8 @@ class ObjectServer:
                 stored = self.node.stable_store.read_committed(object_uid)
                 obj.restore_snapshot(stored.payload)
         self.node.wal.append("committed", txn_id=txn_id)
+        if self.obs is not None:
+            self.obs.count("twopc_committed_total", node=self.node.name)
         mirror = self.mirrors.get(info["action_uid"]) if info.get("action_uid") else None
         colour = info.get("colour")
         if mirror is not None and colour is not None:
@@ -586,6 +674,11 @@ class ObjectServer:
                 continue
             object_uids = [decode_uid(raw) for raw in record.payload["object_uids"]]
             pending.append((txn_id, record.payload["coordinator"], object_uids))
+        if self.obs is not None:
+            self.obs.count("recovery_replays_total", node=self.node.name)
+            if pending:
+                self.obs.count("recovery_in_doubt_total", len(pending),
+                               node=self.node.name)
         for txn_id, coordinator, object_uids in pending:
             self.in_doubt_objects.update(object_uids)
             self.node.spawn(

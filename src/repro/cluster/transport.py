@@ -31,6 +31,7 @@ from repro.errors import (
     ReproError,
     RpcTimeout,
 )
+from repro.obs.tracing import TRACE_KEY, Tracer
 from repro.sim.kernel import SimEvent, any_of
 
 #: handler(message, respond) — respond(ok, value) completes the rpc.
@@ -81,9 +82,11 @@ class RpcTransport:
 
     def __init__(self, node: Node, default_timeout: float = 10.0,
                  default_retries: int = 3,
-                 default_completion_timeout: float = 120.0):
+                 default_completion_timeout: float = 120.0,
+                 observability=None):
         self.node = node
         self.kernel = node.kernel
+        self.obs = observability
         self.default_timeout = default_timeout
         self.default_retries = default_retries
         #: how long to wait for the reply once the server has ACKed the
@@ -128,6 +131,15 @@ class RpcTransport:
         inflight.add(rpc_id)
         self.node.send(message.src, _ACK_KIND, {"rpc_id": rpc_id},
                        reply_to=message.msg_id)
+        # server-side span: covers receipt to response (lock waits and all),
+        # parented on the caller's span carried in the payload.
+        span = None
+        if self.obs is not None:
+            span = self.obs.span(
+                f"serve:{message.kind}",
+                parent=Tracer.extract(message.payload),
+                kind="server", node=self.node.name, src=message.src,
+            )
 
         def respond(ok: bool, value: Any = None) -> None:
             if not self.node.alive:
@@ -148,6 +160,8 @@ class RpcTransport:
                          "error_kind": "cluster", "error": str(value)}
             live_cache[rpc_id] = reply
             live_inflight.discard(rpc_id)
+            if span is not None:
+                span.set(ok=ok).finish()
             self.node.send(message.src, _REPLY_KIND, reply, reply_to=message.msg_id)
 
         try:
@@ -176,7 +190,8 @@ class RpcTransport:
     def call(self, dst: str, kind: str, payload: Dict[str, Any],
              timeout: Optional[float] = None,
              retries: Optional[int] = None,
-             completion_timeout: Optional[float] = None
+             completion_timeout: Optional[float] = None,
+             trace_parent: Any = None
              ) -> Generator[Any, Any, Any]:
         """Generator: perform one RPC; returns the reply value.
 
@@ -187,6 +202,10 @@ class RpcTransport:
         operations (lock waits, prepares) sit here without retransmission
         storms.  Raises :class:`RpcTimeout` on either phase's exhaustion,
         or the reconstructed remote error for an unsuccessful reply.
+
+        ``trace_parent`` (a Span or SpanContext) parents the call's client
+        span; the span's context rides in the request payload so the
+        server-side handler span stitches underneath it.
         """
         timeout = timeout if timeout is not None else self.default_timeout
         retries = retries if retries is not None else self.default_retries
@@ -201,16 +220,35 @@ class RpcTransport:
         self._acks[rpc_id] = ack
         request = dict(payload)
         request["rpc_id"] = rpc_id
+        span = None
+        started = 0.0
+        if self.obs is not None:
+            span = self.obs.span(f"rpc:{kind}", parent=trace_parent,
+                                 kind="client", node=self.node.name, dst=dst)
+            request[TRACE_KEY] = span.context.to_wire()
+            started = self.kernel.now
 
         def finish(reply: Dict[str, Any]):
+            if span is not None:
+                self.obs.observe("rpc_latency", self.kernel.now - started,
+                                 kind=kind)
+                span.set(ok=reply["ok"]).finish()
             if reply["ok"]:
                 return reply.get("value")
             raise _rebuild_error(reply.get("error_kind", "cluster"),
                                  reply.get("error", ""))
 
+        def timed_out(phase: str, text: str) -> RpcTimeout:
+            if span is not None:
+                self.obs.count("rpc_timeouts_total", kind=kind, phase=phase)
+                span.set(ok=False, error="timeout").finish()
+            return RpcTimeout(text)
+
         try:
             acked = False
             for _attempt in range(retries + 1):
+                if _attempt and span is not None:
+                    span.event("retransmit", attempt=_attempt)
                 self.node.send(dst, kind, request)
                 deadline = self.kernel.timeout_event(timeout)
                 index, value = yield any_of(self.kernel, [event, ack, deadline])
@@ -220,10 +258,10 @@ class RpcTransport:
                     acked = True
                     break
             if not acked:
-                raise RpcTimeout(
+                raise timed_out("ack", (
                     f"{self.node.name}: rpc {kind} to {dst} unacknowledged "
                     f"after {retries + 1} attempts"
-                )
+                ))
             if event.settled:
                 return finish(event.value)
             # completion phase: poll periodically — a lost reply is re-sent
@@ -238,10 +276,12 @@ class RpcTransport:
                 remaining -= wait
                 if remaining > 0:
                     self.node.send(dst, kind, request)
-            raise RpcTimeout(
+            raise timed_out("completion", (
                 f"{self.node.name}: rpc {kind} to {dst} acknowledged but "
                 f"no reply within {completion_timeout}"
-            )
+            ))
         finally:
+            if span is not None:
+                span.finish()  # idempotent; closes the span on kill/error paths
             self._pending.pop(rpc_id, None)
             self._acks.pop(rpc_id, None)

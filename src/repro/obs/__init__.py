@@ -1,0 +1,70 @@
+"""Observability for multi-coloured actions: metrics, tracing, exporters.
+
+The paper's claims are per colour — failure atomicity, serializability and
+permanence each hold colour-by-colour — so the instruments here are
+labelled per colour (and per node, per action structure) too:
+
+- :class:`MetricsRegistry` — counters, gauges, histograms (p50/p95/max):
+  commits/aborts per colour, lock wait and hold time, lock-inheritance vs.
+  permanent-commit counts, 2PC round latency, messages by kind, deadlock
+  detections, recovery replays.
+- :class:`Tracer` / :class:`Span` — distributed tracing with context
+  propagation piggybacked on cluster message payloads, so one action's
+  spans stitch across client → transport → server → 2PC participants.
+- exporters — Chrome ``trace_event`` JSON (``chrome://tracing`` /
+  Perfetto), plain-text reports, ASCII span trees/timelines, and a JSON
+  dump consumed by ``benchmarks/`` and ``python -m repro.obs.report``.
+
+Attach an :class:`Observability` hub::
+
+    from repro.obs import Observability
+    from repro.cluster import Cluster
+
+    cluster = Cluster(seed=7)          # a hub on simulated time, built in
+    ... run a workload ...
+    print(cluster.obs.report())        # metrics
+    print(cluster.obs.span_tree())     # distributed traces
+    cluster.obs.save("run.trace.json") # for `python -m repro.obs.report`
+
+For the local (threaded) runtime::
+
+    hub = Observability()
+    runtime = LocalRuntime()
+    runtime.attach_observability(hub)
+"""
+
+from repro.obs.bridge import ObservabilityBridge
+from repro.obs.bus import EventBus, ObsEvent
+from repro.obs.export import (
+    chrome_trace,
+    load_trace,
+    save_trace,
+    span_timeline,
+    span_tree,
+    text_report,
+)
+from repro.obs.hub import Observability, colour_names
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.tracing import Span, SpanContext, Tracer, TRACE_KEY
+
+__all__ = [
+    "Counter",
+    "EventBus",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ObsEvent",
+    "Observability",
+    "ObservabilityBridge",
+    "Span",
+    "SpanContext",
+    "TRACE_KEY",
+    "Tracer",
+    "chrome_trace",
+    "colour_names",
+    "load_trace",
+    "save_trace",
+    "span_timeline",
+    "span_tree",
+    "text_report",
+]

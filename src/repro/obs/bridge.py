@@ -1,0 +1,67 @@
+"""Bridge from the runtime observer interface onto an Observability hub.
+
+Works against anything with the observer contract of
+:meth:`repro.runtime.runtime.LocalRuntime.add_observer` — the local runtime
+and the cluster client both fire ``on_action_created`` /
+``on_action_terminated`` / ``on_lock_granted``, and both hand over objects
+carrying ``uid``, ``name``, ``parent``, ``colours`` and ``status``.
+
+The bridge turns those callbacks into per-colour commit/abort counters,
+lock-grant counters, and one span per action (parent/child structure
+mirrors action nesting).  The span of a live action is published on the
+action object as ``_obs_span`` so deeper instrumentation (RPC spans in the
+cluster client) can parent onto it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.actions.status import ActionStatus
+from repro.obs.hub import Observability, colour_names
+
+
+class ObservabilityBridge:
+    """A runtime/cluster-client observer feeding an Observability hub."""
+
+    def __init__(self, hub: Observability, node: str = "local"):
+        self.hub = hub
+        self.node = node
+
+    # -- observer interface ---------------------------------------------------
+
+    def on_action_created(self, action) -> None:
+        parent_span = getattr(action.parent, "_obs_span", None) \
+            if action.parent is not None else None
+        span = self.hub.span(
+            f"action:{action.name}", parent=parent_span, kind="action",
+            node=getattr(action, "home", "") or self.node,
+            colours=colour_names(action.colours),
+        )
+        action._obs_span = span
+        self.hub.count("actions_started_total", node=self.node)
+        self.hub.emit("action.begin", action=str(action.uid), name=action.name)
+
+    def on_action_terminated(self, action) -> None:
+        outcome = ("committed" if action.status is ActionStatus.COMMITTED
+                   else "aborted")
+        for colour in action.colours:
+            self.hub.count(f"actions_{outcome}_total",
+                           colour=str(colour), node=self.node)
+        span = getattr(action, "_obs_span", None)
+        if span is not None:
+            span.set(outcome=outcome)
+            span.finish()
+        self.hub.emit("action.end", action=str(action.uid),
+                      name=action.name, outcome=outcome)
+
+    def on_lock_granted(self, action, object_uid, mode, colour) -> None:
+        mode_label = getattr(mode, "value", None) or str(mode)
+        self.hub.count("lock_grants_total", mode=mode_label, node=self.node)
+        span: Optional[object] = getattr(action, "_obs_span", None)
+        if span is not None:
+            span.event("lock.granted", object=str(object_uid),
+                       mode=mode_label, colour=str(colour))
+        self.hub.emit("lock.granted", action=str(action.uid),
+                      object=str(object_uid), mode=mode_label,
+                      colour=str(colour))

@@ -1,0 +1,85 @@
+"""The Observability hub: one metrics registry + tracer + event bus.
+
+A hub is attached to a :class:`~repro.cluster.cluster.Cluster` (created
+automatically, on simulated time) or to a
+:class:`~repro.runtime.runtime.LocalRuntime` via
+``runtime.attach_observability(hub)``.  Instrumentation points throughout
+the codebase accept a hub of ``None`` and degrade to no-ops, so observation
+is always optional and never load-bearing.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from repro.obs.bus import EventBus
+from repro.obs.export import (
+    chrome_trace,
+    save_trace,
+    span_timeline,
+    span_tree,
+    text_report,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Span, Tracer
+
+
+def colour_names(colours) -> str:
+    """Canonical label value for a colour set (sorted, comma-joined)."""
+    return ",".join(sorted(str(colour) for colour in colours))
+
+
+class Observability:
+    """Bundles the three observation primitives behind one attach point."""
+
+    def __init__(self, tick_source: Optional[Callable[[], float]] = None):
+        self.metrics = MetricsRegistry(tick_source)
+        self.tracer = Tracer(tick_source)
+        self.bus = EventBus()
+        self._tick_source = tick_source
+
+    def now(self) -> float:
+        if self._tick_source is not None:
+            return self._tick_source()
+        return 0.0
+
+    # -- recording shorthands ------------------------------------------------
+
+    def count(self, name: str, amount: float = 1.0, **labels: Any) -> None:
+        self.metrics.counter(name, **labels).inc(amount)
+
+    def observe(self, name: str, value: float, **labels: Any) -> None:
+        self.metrics.histogram(name, **labels).observe(value)
+
+    def span(self, name: str, parent: Optional[Any] = None,
+             kind: str = "internal", node: str = "", **attrs: Any) -> Span:
+        span = self.tracer.start_span(name, parent=parent, kind=kind,
+                                      node=node, **attrs)
+        self.bus.emit(span.start, "span.start", name=name, node=node,
+                      span_kind=kind)
+        return span
+
+    def emit(self, kind: str, **labels: Any) -> None:
+        self.bus.emit(self.now(), kind, **labels)
+
+    # -- export shorthands -----------------------------------------------------
+
+    def dump(self) -> Dict[str, Any]:
+        return self.metrics.dump()
+
+    def report(self) -> str:
+        return text_report(self.metrics)
+
+    def chrome_trace(self) -> Dict[str, Any]:
+        return chrome_trace(self.tracer)
+
+    def span_tree(self, trace_id: Optional[str] = None) -> str:
+        return span_tree(self.tracer, trace_id=trace_id)
+
+    def span_timeline(self, width: int = 60,
+                      trace_id: Optional[str] = None) -> str:
+        return span_timeline(self.tracer, width=width, trace_id=trace_id)
+
+    def save(self, path: str, extra: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        return save_trace(path, tracer=self.tracer, metrics=self.metrics,
+                          extra=extra)

@@ -1,0 +1,205 @@
+"""Labelled metrics: counters, gauges, and histograms.
+
+A :class:`MetricsRegistry` owns every instrument of one observed system
+(a runtime, a cluster, a benchmark run).  Instruments are identified by a
+name plus a label set — ``registry.counter("actions_committed_total",
+colour="c1")`` — so the same logical metric fans out per colour, node,
+message kind or action structure without pre-registration.
+
+Everything is thread-safe (the local runtime is multi-threaded); in the
+simulated cluster the registry is also deterministic: nothing here reads
+wall-clock time or randomness, timestamps come from the owner's
+``tick_source`` (usually ``lambda: kernel.now``).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+#: labels are carried as a sorted tuple of (key, value) pairs — hashable,
+#: deterministic, JSON-friendly.
+LabelSet = Tuple[Tuple[str, str], ...]
+
+
+def _labelset(labels: Dict[str, Any]) -> LabelSet:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter decrement ({amount}) not allowed")
+        self.value += amount
+
+    def summary(self) -> Dict[str, Any]:
+        return {"value": self.value}
+
+
+class Gauge:
+    """A value that can go up and down (queue depths, live objects)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def summary(self) -> Dict[str, Any]:
+        return {"value": self.value}
+
+
+class Histogram:
+    """Sampled distribution with exact count/sum/min/max and percentiles.
+
+    Retains up to ``max_samples`` raw samples for percentile queries; the
+    aggregate statistics stay exact beyond that, percentiles then describe
+    the retained prefix (``truncated`` flags it in the summary).
+    """
+
+    __slots__ = ("count", "total", "min", "max", "samples", "max_samples")
+
+    def __init__(self, max_samples: int = 4096):
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self.samples: List[float] = []
+        self.max_samples = max_samples
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+        if len(self.samples) < self.max_samples:
+            self.samples.append(value)
+
+    def percentile(self, p: float) -> Optional[float]:
+        """Linear-interpolated percentile over the retained samples."""
+        if not self.samples:
+            return None
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile {p} outside [0, 100]")
+        ordered = sorted(self.samples)
+        if len(ordered) == 1:
+            return ordered[0]
+        rank = (p / 100.0) * (len(ordered) - 1)
+        low = int(rank)
+        high = min(low + 1, len(ordered) - 1)
+        fraction = rank - low
+        return ordered[low] + (ordered[high] - ordered[low]) * fraction
+
+    @property
+    def mean(self) -> Optional[float]:
+        return (self.total / self.count) if self.count else None
+
+    def summary(self) -> Dict[str, Any]:
+        summary = {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+        }
+        if self.count > len(self.samples):
+            summary["truncated"] = True
+        return summary
+
+
+class MetricsRegistry:
+    """All instruments of one observed system, keyed by (name, labels)."""
+
+    _KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+    def __init__(self, tick_source: Optional[Callable[[], float]] = None):
+        self._tick_source = tick_source
+        self._mutex = threading.Lock()
+        #: kind -> name -> labelset -> instrument
+        self._instruments: Dict[str, Dict[str, Dict[LabelSet, Any]]] = {
+            kind: {} for kind in self._KINDS
+        }
+
+    def now(self) -> float:
+        """The registry's clock (simulated time when given a tick source)."""
+        if self._tick_source is not None:
+            return self._tick_source()
+        return 0.0
+
+    # -- instrument access ---------------------------------------------------
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return self._get("counter", name, labels)
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return self._get("gauge", name, labels)
+
+    def histogram(self, name: str, **labels: Any) -> Histogram:
+        return self._get("histogram", name, labels)
+
+    def _get(self, kind: str, name: str, labels: Dict[str, Any]):
+        key = _labelset(labels)
+        with self._mutex:
+            per_name = self._instruments[kind].setdefault(name, {})
+            instrument = per_name.get(key)
+            if instrument is None:
+                instrument = self._KINDS[kind]()
+                per_name[key] = instrument
+            return instrument
+
+    # -- queries ---------------------------------------------------------------
+
+    def value(self, name: str, **labels: Any) -> float:
+        """Current value of a counter or gauge (0.0 if never touched)."""
+        key = _labelset(labels)
+        with self._mutex:
+            for kind in ("counter", "gauge"):
+                instrument = self._instruments[kind].get(name, {}).get(key)
+                if instrument is not None:
+                    return instrument.value
+        return 0.0
+
+    def series(self, name: str) -> List[Tuple[Dict[str, str], Any]]:
+        """Every (labels, instrument) pair recorded under ``name``."""
+        with self._mutex:
+            found: List[Tuple[Dict[str, str], Any]] = []
+            for per_kind in self._instruments.values():
+                for key, instrument in per_kind.get(name, {}).items():
+                    found.append((dict(key), instrument))
+            return found
+
+    def dump(self) -> Dict[str, List[Dict[str, Any]]]:
+        """JSON-able snapshot of every instrument, deterministically ordered."""
+        with self._mutex:
+            out: Dict[str, List[Dict[str, Any]]] = {}
+            for kind, per_kind in self._instruments.items():
+                rows: List[Dict[str, Any]] = []
+                for name in sorted(per_kind):
+                    for key in sorted(per_kind[name]):
+                        entry = {"name": name, "labels": dict(key)}
+                        entry.update(per_kind[name][key].summary())
+                        rows.append(entry)
+                out[f"{kind}s"] = rows
+            return out
+
+    def clear(self) -> None:
+        with self._mutex:
+            for per_kind in self._instruments.values():
+                per_kind.clear()

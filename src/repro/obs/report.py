@@ -1,0 +1,81 @@
+"""CLI: pretty-print saved observability dumps.
+
+Usage::
+
+    python -m repro.obs.report run.trace.json            # metrics + span tree
+    python -m repro.obs.report run.trace.json --timeline # ASCII timeline
+    python -m repro.obs.report metrics.json --metrics-only
+
+The input is either a full trace document written by
+:func:`repro.obs.export.save_trace` / ``Observability.save`` (``spans`` +
+``metrics`` keys) or a bare metrics dump as emitted by
+``benchmarks/bench_util.emit_metrics_dump``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List, Optional
+
+from repro.obs.export import load_trace, span_timeline, span_tree, text_report
+
+
+def _as_document(raw: Dict[str, Any]) -> Dict[str, Any]:
+    """Accept both full trace documents and bare metrics dumps."""
+    if "spans" in raw or "metrics" in raw:
+        return raw
+    if any(key in raw for key in ("counters", "gauges", "histograms")):
+        return {"metrics": raw}
+    return raw
+
+
+def render(document: Dict[str, Any], timeline: bool = False,
+           metrics_only: bool = False, trace_id: Optional[str] = None,
+           width: int = 72) -> str:
+    sections: List[str] = []
+    metrics = document.get("metrics")
+    if metrics is not None:
+        sections.append("# Metrics\n" + text_report(metrics))
+    spans = document.get("spans")
+    if spans is not None and not metrics_only:
+        sections.append("# Spans\n" + span_tree(spans, trace_id=trace_id))
+        if timeline:
+            sections.append("# Timeline\n"
+                            + span_timeline(spans, width=width,
+                                            trace_id=trace_id))
+    if not sections:
+        return "(nothing to report: no metrics or spans in the input)"
+    return "\n\n".join(sections)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.report",
+        description="Pretty-print a saved repro observability dump.",
+    )
+    parser.add_argument("path", help="trace/metrics JSON file "
+                                     "(Observability.save or a metrics dump)")
+    parser.add_argument("--timeline", action="store_true",
+                        help="also render the ASCII span timeline")
+    parser.add_argument("--metrics-only", action="store_true",
+                        help="print only the metrics section")
+    parser.add_argument("--trace", metavar="TRACE_ID", default=None,
+                        help="restrict span output to one trace id")
+    parser.add_argument("--width", type=int, default=72,
+                        help="timeline width in columns (default 72)")
+    args = parser.parse_args(argv)
+    try:
+        raw = load_trace(args.path)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"error: cannot read {args.path}: {error}", file=sys.stderr)
+        return 1
+    print(render(_as_document(raw), timeline=args.timeline,
+                 metrics_only=args.metrics_only, trace_id=args.trace,
+                 width=args.width))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI tests
+    sys.exit(main())

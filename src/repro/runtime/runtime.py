@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import itertools
 import threading
+import time
 from typing import Dict, Iterable, Optional
 
 from repro.actions.action import Action
@@ -58,6 +59,9 @@ class LocalRuntime(ActionRuntime):
         self._mutex = threading.RLock()
         self._detector = DeadlockDetector(self._registry)
         self._observers: list = []
+        #: optional Observability hub (see repro.obs); None = dark.
+        self.obs = None
+        self._obs_node = "local"
 
     # -- ActionRuntime contract ------------------------------------------------
 
@@ -98,6 +102,20 @@ class LocalRuntime(ActionRuntime):
         object_uid, mode, colour)`` — see :mod:`repro.trace`.
         """
         self._observers.append(observer)
+
+    def attach_observability(self, hub, node: str = "local") -> None:
+        """Wire an :class:`repro.obs.Observability` hub into this runtime.
+
+        Installs an :class:`~repro.obs.bridge.ObservabilityBridge` observer
+        (per-colour commit/abort counters, lock-grant counters, one span
+        per action) and enables the runtime's own lock-wait/deadlock
+        instrumentation.
+        """
+        from repro.obs.bridge import ObservabilityBridge
+
+        self.obs = hub
+        self._obs_node = node
+        self.add_observer(ObservabilityBridge(hub, node=node))
 
     # -- object management ------------------------------------------------------
 
@@ -178,6 +196,7 @@ class LocalRuntime(ActionRuntime):
         """
         chosen = action.lock_colour(colour)
         settled = threading.Event()
+        wait_started = time.monotonic() if self.obs is not None else 0.0
 
         def completed(_request: LockRequest) -> None:
             settled.set()
@@ -196,6 +215,15 @@ class LocalRuntime(ActionRuntime):
                     f"{action.name}: {mode.value} lock on {obj.uid} timed out"
                 )
 
+        if self.obs is not None:
+            self.obs.observe("lock_wait_seconds",
+                             time.monotonic() - wait_started,
+                             node=self._obs_node, colour=str(chosen))
+            if request.error is not None:
+                from repro.errors import DeadlockDetected
+                if isinstance(request.error, DeadlockDetected):
+                    self.obs.count("deadlock_detections_total",
+                                   node=self._obs_node)
         if request.status is RequestStatus.GRANTED:
             if mode is LockMode.WRITE:
                 with self._mutex:

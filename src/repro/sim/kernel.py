@@ -272,6 +272,11 @@ class Kernel:
         self._queue: List[Tuple[float, int, Callable[[], None]]] = []
         self._sequence = itertools.count()
         self._event_names = itertools.count(1)
+        #: run statistics, exported by cluster observability dumps; the
+        #: kernel is also the tick source (``lambda: kernel.now``) for
+        #: every simulated-time metric and span.
+        self.stats: dict = {"callbacks_run": 0, "processes_spawned": 0,
+                            "events_created": 0}
 
     @property
     def now(self) -> float:
@@ -282,6 +287,7 @@ class Kernel:
 
     def event(self, name: str = "") -> SimEvent:
         """Create a fresh pending event."""
+        self.stats["events_created"] += 1
         return SimEvent(self, name=name or f"ev{next(self._event_names)}")
 
     def spawn(self, body: ProcessBody, name: str = "") -> Process:
@@ -291,6 +297,7 @@ class Kernel:
                 "spawn() takes a generator; did you forget to call the function?"
             )
         process = Process(self, body, name=name)
+        self.stats["processes_spawned"] += 1
         self._post(process._step)
         return process
 
@@ -320,6 +327,7 @@ class Kernel:
                 return self._now
             heapq.heappop(self._queue)
             self._now = when
+            self.stats["callbacks_run"] += 1
             fn()
         if until is not None:
             self._now = max(self._now, until)
@@ -334,6 +342,7 @@ class Kernel:
                 raise SimulationError(f"exceeded time limit waiting for {event!r}")
             when, _seq, fn = heapq.heappop(self._queue)
             self._now = when
+            self.stats["callbacks_run"] += 1
             fn()
         if event.failed:
             raise event.value

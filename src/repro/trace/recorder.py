@@ -1,4 +1,11 @@
-"""Recording action lifecycle events from a runtime."""
+"""Recording action lifecycle events from a runtime.
+
+Since the observability layer landed (:mod:`repro.obs`), the recorder is a
+backwards-compatible front-end over its event bus: every recorded event is
+also published as an :class:`~repro.obs.bus.ObsEvent` on the recorder's
+bus, so metrics registries and tracers can subscribe to the same stream
+the timelines are rendered from.
+"""
 
 from __future__ import annotations
 
@@ -10,6 +17,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.actions.status import ActionStatus
 from repro.colours.colour import Colour
 from repro.locking.modes import LockMode
+from repro.obs.bus import EventBus
 from repro.util.uid import Uid
 
 
@@ -34,10 +42,15 @@ class TraceRecorder:
     axis; pass ``tick_source`` (e.g. ``lambda: kernel.now``) to put events
     on simulated time instead — cluster traces do this, so a rendered
     timeline's x-axis is real simulated duration.
+
+    ``bus`` (optional) receives every event as an ObsEvent of kind
+    ``trace.<kind>``; a fresh private bus is created when none is given, so
+    subscribers can always attach via :attr:`bus`.
     """
 
-    def __init__(self, tick_source=None):
+    def __init__(self, tick_source=None, bus: Optional[EventBus] = None):
         self.events: List[TraceEvent] = []
+        self.bus = bus if bus is not None else EventBus()
         self._ticks = itertools.count(1)
         self._tick_source = tick_source
         self._mutex = threading.Lock()
@@ -51,20 +64,28 @@ class TraceRecorder:
         kind = "commit" if action.status is ActionStatus.COMMITTED else "abort"
         self._record(kind, action)
 
-    def on_lock_granted(self, action, object_uid: Uid, mode: LockMode,
+    def on_lock_granted(self, action, object_uid: Uid, mode,
                         colour: Colour) -> None:
+        # ``mode`` is a LockMode for plain objects or an operation-group
+        # name (str) for semantic objects — both occur on server paths.
+        label = mode.value if isinstance(mode, LockMode) else str(mode)
         self._record("lock", action,
-                     detail=f"{mode.value}:{object_uid}:{colour}")
+                     detail=f"{label}:{object_uid}:{colour}")
 
     # -- queries ----------------------------------------------------------------
 
+    def snapshot(self) -> List[TraceEvent]:
+        """A consistent copy of the event list (safe while recording)."""
+        with self._mutex:
+            return list(self.events)
+
     def events_of(self, kind: str) -> List[TraceEvent]:
-        return [event for event in self.events if event.kind == kind]
+        return [event for event in self.snapshot() if event.kind == kind]
 
     def spans(self) -> Dict[Uid, Dict]:
         """Per-action summary: begin/end ticks, outcome, names, ancestry."""
         summary: Dict[Uid, Dict] = {}
-        for event in self.events:
+        for event in self.snapshot():
             entry = summary.setdefault(event.action_uid, {
                 "name": event.action_name,
                 "parent": event.parent_uid,
@@ -93,7 +114,7 @@ class TraceRecorder:
                 tick = self._tick_source()
             else:
                 tick = next(self._ticks)
-            self.events.append(TraceEvent(
+            event = TraceEvent(
                 tick=tick,
                 kind=kind,
                 action_uid=action.uid,
@@ -101,4 +122,9 @@ class TraceRecorder:
                 parent_uid=action.parent.uid if action.parent else None,
                 colours=tuple(sorted(str(c) for c in action.colours)),
                 detail=detail,
-            ))
+            )
+            self.events.append(event)
+        # publish outside the mutex: subscribers may be arbitrarily slow.
+        self.bus.emit(event.tick, f"trace.{kind}",
+                      action=str(event.action_uid), name=event.action_name,
+                      colours=event.colours, detail=detail)

@@ -16,11 +16,12 @@ def render_timeline(recorder: TraceRecorder, title: str = "",
     span runs from the begin tick to the end tick (or the last tick for
     still-active actions); the outcome is printed after the span.
     """
+    events = recorder.snapshot()
     spans = recorder.spans()
-    if not spans:
+    if not spans or not events:
         return f"{title}\n(empty trace)" if title else "(empty trace)"
-    first_tick = min(event.tick for event in recorder.events)
-    last_tick = max(event.tick for event in recorder.events)
+    first_tick = min(event.tick for event in events)
+    last_tick = max(event.tick for event in events)
     span = max(last_tick - first_tick, 1e-9)
     scale = span / max(1, width - 1)
 
