@@ -1,0 +1,107 @@
+"""A11 — Commit latency vs participant count with the parallel fan-out.
+
+Termination used to walk the involved servers one RPC at a time, so a
+commit over N servers cost ~N round trips of decision/finish traffic.
+With the parallel, batched fan-out (one ``rpc_batch`` message per server,
+all servers concurrently) the simulated commit latency should be bounded
+by the slowest server — near-flat in N — while the per-server message
+count stays constant.
+
+The sweep runs on a fixed-delay network so the latency figure isolates
+fan-out structure from delay jitter.  Results are checked in as
+``BENCH_commit_fanout.json`` (regenerate with
+``REPRO_BENCH_JSON=BENCH_commit_fanout.json pytest
+benchmarks/test_fanout_commit.py --benchmark-only -s``).
+"""
+
+import json
+import os
+
+from bench_util import emit_metrics_dump, print_figure
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.network import NetworkConfig
+from repro.objects.state import ObjectState
+
+PARTICIPANTS = (1, 2, 4, 8)
+COMMITS = 5
+DELAY = 1.0
+
+
+def committed_int(cluster, ref):
+    stored = cluster.nodes[ref.node].stable_store.read_committed(ref.uid)
+    return ObjectState.from_bytes(stored.payload).unpack_int()
+
+
+def run_at_width(participants):
+    names = ["coord"] + [f"p{i}" for i in range(participants)]
+    cluster = Cluster(
+        seed=23,
+        config=NetworkConfig(min_delay=DELAY, max_delay=DELAY),
+    )
+    for name in names:
+        cluster.add_node(name)
+    client = cluster.client("coord")
+    result = {}
+
+    def app():
+        refs = []
+        for name in names[1:]:
+            ref = yield from client.create(name, "counter", value=0)
+            refs.append(ref)
+        start = cluster.kernel.now
+        messages_before = cluster.network.sent_count
+        for index in range(COMMITS):
+            action = client.top_level(f"wide{index}")
+            for ref in refs:
+                yield from client.invoke(action, ref, "increment", 1)
+            commit_start = cluster.kernel.now
+            yield from client.commit(action)
+            result.setdefault("commit_latencies", []).append(
+                cluster.kernel.now - commit_start)
+        result["elapsed"] = cluster.kernel.now - start
+        result["messages"] = cluster.network.sent_count - messages_before
+        return refs
+
+    refs = cluster.run_process("coord", app())
+    emit_metrics_dump(f"fanout_commit_n{participants}", cluster)
+    for ref in refs:
+        assert committed_int(cluster, ref) == COMMITS
+    latencies = result["commit_latencies"]
+    return {
+        "participants": participants,
+        "commit_latency": sum(latencies) / len(latencies),
+        "messages_per_commit_per_node": (
+            result["messages"] / COMMITS / participants),
+    }
+
+
+def sweep():
+    return [run_at_width(n) for n in PARTICIPANTS]
+
+
+def test_commit_latency_near_flat_in_participants(benchmark):
+    rows = benchmark.pedantic(sweep, rounds=2, iterations=1)
+    base = rows[0]["commit_latency"]
+    widest = rows[-1]["commit_latency"]
+    # the claim: 8-way termination costs well under 2x the 1-way commit
+    # (a sequential fan-out would put this ratio near 8)
+    assert widest < base * 2.0, (base, widest)
+    # batching keeps the per-server message bill flat too
+    assert (rows[-1]["messages_per_commit_per_node"]
+            <= rows[0]["messages_per_commit_per_node"] * 1.5)
+    print_figure(
+        "A11 — commit latency vs participant count (fixed 1.0 delay)",
+        [(row["participants"], f"{row['commit_latency']:.1f}",
+          f"{row['commit_latency'] / base:.2f}x",
+          f"{row['messages_per_commit_per_node']:.1f}") for row in rows],
+        headers=("participants", "commit latency", "vs 1 participant",
+                 "msgs/commit/node"),
+    )
+    out = os.environ.get("REPRO_BENCH_JSON")
+    if out:
+        with open(out, "w", encoding="utf-8") as fh:
+            json.dump({"figure": "commit_fanout",
+                       "delay": DELAY, "commits": COMMITS,
+                       "rows": rows}, fh, indent=2, sort_keys=True)
+            fh.write("\n")

@@ -45,7 +45,7 @@ from repro.errors import (
     RpcTimeout,
 )
 from repro.locking.modes import LockMode
-from repro.sim.kernel import all_of
+from repro.sim.kernel import Timeout, all_of, settle_all
 from repro.util.uid import Uid, UidGenerator
 
 
@@ -304,12 +304,22 @@ class ClusterClient:
     # -- termination ---------------------------------------------------------------
 
     def commit(self, action: ClusterAction):
-        """Commit: per-colour 2PC or transfer, then one finish per server."""
+        """Commit: per-colour 2PC or transfer, then one batched finish per
+        server.
+
+        Prepare rounds run per colour (in colour order); the decision
+        broadcasts and the finish/transfer routing are merged into a single
+        parallel fan-out — one network message per involved server —
+        so termination cost is bounded by the slowest server, not the sum
+        over servers (see :meth:`_finish_commit`).
+        """
         self._require_active(action)
         yield from self._settle_children(action)
         action.status = ActionStatus.COMMITTING
         span = self._op_span(action, "commit")
         routes: Dict[Colour, Optional[ClusterAction]] = {}
+        #: commit decisions logged but not yet delivered: (txn_id, nodes)
+        decided: List[Tuple[str, Set[str]]] = []
         ordered = sorted(action.colours, key=lambda c: c.uid)
         for colour in ordered:
             destination = action.closest_ancestor_with(colour)
@@ -325,19 +335,27 @@ class ClusterClient:
             write_map = action.written.get(colour, {})
             if not write_map:
                 continue
-            committed = yield from self._two_phase_commit(
+            txn_id = yield from self._two_phase_commit(
                 action, colour, write_map, parent_span=span)
-            if not committed:
+            if txn_id is None:
                 action.status = ActionStatus.ACTIVE  # let abort run normally
                 if span is not None:
                     span.set(outcome="2pc-failed").finish()
+                if decided:
+                    # Earlier colours already decided commit; per-colour
+                    # permanence means their updates survive the abort of
+                    # the remaining colours — deliver those decisions
+                    # before abort_action undoes anything.
+                    yield from self._broadcast_decisions(action, decided)
                 yield from self.abort(action)
                 raise CommitError(
                     f"{action.name}: two-phase commit of colour {colour} failed"
                 )
+            decided.append((txn_id, set(write_map)))
             if self.obs is not None:
                 self.obs.count("colour_permanent_total", colour=str(colour))
-        yield from self._finish_commit(action, routes, parent_span=span)
+        yield from self._finish_commit(action, routes, decided,
+                                       parent_span=span)
         if span is not None:
             span.set(outcome="committed").finish()
         action.status = ActionStatus.COMMITTED
@@ -355,21 +373,31 @@ class ClusterClient:
         action.status = ActionStatus.ABORTING
         yield from self._settle_children(action)
         span = self._op_span(action, "abort")
-        for node_name in sorted(action.all_nodes()):
-            try:
-                yield from self.transport.call(node_name, "abort_action", {
-                    "action_uid": encode_uid(action.uid),
-                }, trace_parent=span)
-            except RpcTimeout:
-                # Either the server is down (its volatile locks died with
-                # it) or we are partitioned from a *live* server that still
-                # holds the action's locks.  A background reaper keeps
-                # retrying until the abort lands — abort_action is
-                # idempotent, so over-delivery is harmless.
-                self.kernel.spawn(
-                    self._reap_abort(node_name, action.uid),
-                    name=f"reap-abort:{action.uid}@{node_name}",
-                )
+        nodes = sorted(action.all_nodes())
+        payload = {"action_uid": encode_uid(action.uid)}
+
+        def abort_one(node_name: str):
+            yield from self.transport.call(node_name, "abort_action",
+                                           dict(payload), trace_parent=span)
+
+        if self.obs is not None and nodes:
+            self.obs.observe("termination_fanout_width", len(nodes),
+                             kind="abort")
+        handles = [
+            self.kernel.spawn(abort_one(n), name=f"abort:{action.uid}@{n}")
+            for n in nodes
+        ]
+        outcomes = yield settle_all(self.kernel, [h.join() for h in handles])
+        for node_name, (ok, _value) in zip(nodes, outcomes):
+            if ok:
+                continue
+            # Either the server is down (its volatile locks died with
+            # it) or we are partitioned from a *live* server that still
+            # holds the action's locks.  A background reaper keeps
+            # retrying until the abort lands — abort_action is
+            # idempotent, so over-delivery is harmless.
+            self._spawn_reaper(node_name, [("abort_action", dict(payload))],
+                               label=f"abort:{action.uid}")
         if span is not None:
             span.set(outcome="aborted").finish()
         action.status = ActionStatus.ABORTED
@@ -378,19 +406,33 @@ class ClusterClient:
         self._notify_terminated(action)
         return Outcome.ABORTED
 
-    def _reap_abort(self, node_name: str, action_uid: Uid, attempts: int = 30,
-                    pause: float = 15.0):
-        """Keep delivering an abort that a partition or crash swallowed."""
-        from repro.sim.kernel import Timeout
+    def _spawn_reaper(self, node_name: str, calls, label: str) -> None:
+        self.kernel.spawn(
+            self._reap_termination(node_name, calls),
+            name=f"reap-{label}@{node_name}",
+        )
+        if self.obs is not None:
+            self.obs.count("termination_reapers_total", node=node_name)
+
+    def _reap_termination(self, node_name: str, calls,
+                          attempts: int = 30, pause: float = 15.0):
+        """Keep delivering termination calls a partition or crash swallowed.
+
+        ``calls`` is a ``(kind, payload)`` batch — abort_action, txn_abort,
+        or txn_commit+finish_commit — every one of which is idempotent
+        server-side, so retrying under fresh rpc ids until the batch lands
+        (or the budget runs out: a crashed server's volatile locks died
+        with it, and its log-driven recovery resolves the rest) is safe.
+        """
         for _attempt in range(attempts):
             yield Timeout(pause)
             try:
-                yield from self.transport.call(node_name, "abort_action", {
-                    "action_uid": encode_uid(action_uid),
-                }, timeout=5.0, retries=1)
-                return True
+                outcomes = yield from self.transport.call_many(
+                    node_name, calls, timeout=5.0, retries=1)
             except RpcTimeout:
                 continue
+            if all(ok for ok, _ in outcomes):
+                return True
         return False
 
     def run_scope(self, action: ClusterAction, body):
@@ -488,7 +530,20 @@ class ClusterClient:
 
     def _finish_commit(self, action: ClusterAction,
                        routes: Dict[Colour, Optional[ClusterAction]],
+                       decided: List[Tuple[str, Set[str]]],
                        parent_span=None):
+        """Deliver every commit decision and the finish/transfer routing in
+        one parallel fan-out: a single batched message per involved server.
+
+        Each server's batch carries its ``txn_commit`` sub-calls *before*
+        the ``finish_commit`` sub-call and the server dispatches sub-calls
+        in order, so shadow promotion always precedes lock release on that
+        server.  A server that cannot be reached gets a background reaper
+        (both sub-calls are idempotent); its decisions are also resolvable
+        from our coordinator log via recovery, so we only log ``coord_end``
+        — the record that lets checkpointing forget a transaction — for
+        transactions whose *entire* participant set acked here.
+        """
         encoded_routes = [
             {
                 "colour": encode_colour(colour),
@@ -496,20 +551,99 @@ class ClusterClient:
             }
             for colour, dest in sorted(routes.items(), key=lambda kv: kv[0].uid)
         ]
-        for node_name in sorted(action.all_nodes()):
-            try:
-                yield from self.transport.call(node_name, "finish_commit", {
-                    "action_uid": encode_uid(action.uid),
-                    "routes": encoded_routes,
-                }, trace_parent=parent_span)
-            except RpcTimeout:
-                continue  # crashed server: its locks are already gone
+        nodes = sorted(action.all_nodes())
+        calls_for: Dict[str, List[Tuple[str, Dict[str, Any]]]] = {}
+        for node_name in nodes:
+            calls = [("txn_commit", {"txn_id": txn_id})
+                     for txn_id, parts in decided if node_name in parts]
+            calls.append(("finish_commit", {
+                "action_uid": encode_uid(action.uid),
+                "routes": encoded_routes,
+            }))
+            calls_for[node_name] = calls
+
+        def finish_one(node_name: str):
+            outcomes = yield from self.transport.call_many(
+                node_name, calls_for[node_name], trace_parent=parent_span)
+            for ok, value in outcomes:
+                if not ok:
+                    raise value
+            return True
+
+        started = self.kernel.now
+        if self.obs is not None and nodes:
+            self.obs.observe("termination_fanout_width", len(nodes),
+                             kind="commit")
+        handles = [
+            self.kernel.spawn(finish_one(n), name=f"finish:{action.uid}@{n}")
+            for n in nodes
+        ]
+        outcomes = yield settle_all(self.kernel, [h.join() for h in handles])
+        acked: Set[str] = set()
+        for node_name, (ok, _value) in zip(nodes, outcomes):
+            if ok:
+                acked.add(node_name)
+            else:
+                self._spawn_reaper(node_name, calls_for[node_name],
+                                   label=f"finish:{action.uid}")
+        for txn_id, parts in decided:
+            if parts <= acked:
+                self.node.wal.append("coord_end", txn_id=txn_id)
+        if self.obs is not None and nodes:
+            self.obs.observe("commit_fanout_time",
+                             self.kernel.now - started, width=len(nodes))
+
+    def _broadcast_decisions(self, action: ClusterAction,
+                             decided: List[Tuple[str, Set[str]]],
+                             parent_span=None):
+        """Deliver already-logged commit decisions to their participants.
+
+        Used on commit's failure path: colours decided *before* the failing
+        colour are permanent (their ``coord_commit`` records exist), so
+        their participants must promote shadows before ``abort_action``
+        undoes anything on the same servers.
+        """
+        involved: Dict[str, List[Tuple[str, Dict[str, Any]]]] = {}
+        for txn_id, parts in decided:
+            for node_name in parts:
+                involved.setdefault(node_name, []).append(
+                    ("txn_commit", {"txn_id": txn_id}))
+        nodes = sorted(involved)
+
+        def deliver_one(node_name: str):
+            outcomes = yield from self.transport.call_many(
+                node_name, involved[node_name], trace_parent=parent_span)
+            for ok, value in outcomes:
+                if not ok:
+                    raise value
+            return True
+
+        handles = [
+            self.kernel.spawn(deliver_one(n), name=f"decide:{action.uid}@{n}")
+            for n in nodes
+        ]
+        outcomes = yield settle_all(self.kernel, [h.join() for h in handles])
+        acked: Set[str] = set()
+        for node_name, (ok, _value) in zip(nodes, outcomes):
+            if ok:
+                acked.add(node_name)
+            else:
+                self._spawn_reaper(node_name, involved[node_name],
+                                   label=f"decide:{action.uid}")
+        for txn_id, parts in decided:
+            if parts <= acked:
+                self.node.wal.append("coord_end", txn_id=txn_id)
 
     # -- two-phase commit (coordinator) --------------------------------------------------------
 
     def _two_phase_commit(self, action: ClusterAction, colour: Colour,
                           write_map: Dict[str, Set[Uid]], parent_span=None):
-        """Presumed-abort 2PC for one colour's write set; returns success."""
+        """Presumed-abort 2PC prepare round for one colour's write set.
+
+        Returns the txn_id once the commit decision is *logged* (delivery
+        is the caller's merged fan-out, :meth:`_finish_commit`), or ``None``
+        when any participant voted rollback, timed out, or restarted.
+        """
         txn_id = f"txn:{self.node.name}:{action.uid.sequence}:{colour.uid.sequence}:{next(self._txn_seq)}"
         participants = sorted(write_map)
         span = None
@@ -547,46 +681,45 @@ class ClusterClient:
                              self.kernel.now - prepare_started,
                              colour=str(colour))
         if not prepared_ok:
+            # Cancel prepares still in flight *before* announcing the
+            # abort: a killed task's transport cleanup runs immediately
+            # (finally blocks), and any prepare already on the wire races
+            # the txn_abort — the server resolves that race by treating a
+            # prepare for an already-aborted txn_id as a rollback vote
+            # (presumed abort), so no straggler can park itself in-doubt.
+            for handle in handles:
+                handle.kill()
             if self.obs is not None:
                 self.obs.count("twopc_rounds_total", colour=str(colour),
                                outcome="aborted")
             if span is not None:
                 span.set(outcome="aborted").finish()
             # presumed abort: no decision record needed; tell whoever may
-            # have prepared.
-            for node_name in participants:
-                try:
-                    yield from self.transport.call(node_name, "txn_abort", {
-                        "txn_id": txn_id,
-                    })
-                except RpcTimeout:
-                    continue
-            return False
-        # decision: commit — logged before any participant is told.
+            # have prepared — in parallel, reaping nodes we cannot reach.
+            abort_payload = {"txn_id": txn_id}
+
+            def abort_one(node_name: str):
+                yield from self.transport.call(node_name, "txn_abort",
+                                               dict(abort_payload))
+
+            abort_handles = [
+                self.kernel.spawn(abort_one(n), name=f"txn-abort:{txn_id}:{n}")
+                for n in participants
+            ]
+            outcomes = yield settle_all(
+                self.kernel, [h.join() for h in abort_handles])
+            for node_name, (ok, _value) in zip(participants, outcomes):
+                if not ok:
+                    self._spawn_reaper(
+                        node_name, [("txn_abort", dict(abort_payload))],
+                        label=f"txn-abort:{txn_id}")
+            return None
+        # decision: commit — logged before any participant is told.  The
+        # caller delivers it inside the merged per-server finish batch.
         self.node.wal.append("coord_commit", txn_id=txn_id)
-        commit_started = self.kernel.now
-        for node_name in participants:
-            acked = False
-            for _ in range(20):  # commit is blocking: retry until applied
-                try:
-                    yield from self.transport.call(node_name, "txn_commit", {
-                        "txn_id": txn_id,
-                    }, trace_parent=span)
-                    acked = True
-                    break
-                except RpcTimeout:
-                    continue
-            if not acked:
-                # The participant will learn the decision from recovery
-                # (txn_decision_query against our log).
-                continue
-        self.node.wal.append("coord_end", txn_id=txn_id)
         if self.obs is not None:
-            self.obs.observe("twopc_commit_time",
-                             self.kernel.now - commit_started,
-                             colour=str(colour))
             self.obs.count("twopc_rounds_total", colour=str(colour),
                            outcome="committed")
         if span is not None:
             span.set(outcome="committed").finish()
-        return True
+        return txn_id

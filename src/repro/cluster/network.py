@@ -47,7 +47,13 @@ class Network:
                  config: Optional[NetworkConfig] = None,
                  observability=None):
         self.kernel = kernel
+        #: delay draws (one per delivered copy)
         self.rng = rng.split("network")
+        #: drop/duplicate decision draws — a *separate* stream consuming
+        #: exactly two draws per send, so the Nth message's fate depends
+        #: only on (seed, N), never on how many copies earlier messages
+        #: produced or on the other probability's setting.
+        self.fault_rng = rng.split("network.faults")
         self.config = config or NetworkConfig()
         self.config.validate()
         self._endpoints: Dict[str, Callable[[Message], None]] = {}
@@ -103,10 +109,18 @@ class Network:
             self.obs.count("messages_sent_total", kind=message.kind)
         if message.dst not in self._endpoints:
             raise ClusterError(f"message to unknown endpoint {message.dst}")
+        # Both draws happen unconditionally: the old ``elif`` consumed the
+        # duplicate draw only when the drop draw failed, which entangled
+        # the two probabilities' RNG streams (changing one config knob
+        # reshuffled the other's outcomes under the same seed).  A dropped
+        # message still cannot be duplicated — the drop decision wins —
+        # but its duplicate draw is consumed regardless.
+        drop_roll = self.fault_rng.random()
+        duplicate_roll = self.fault_rng.random()
         copies = 1
-        if self.rng.random() < self.config.drop_probability:
+        if drop_roll < self.config.drop_probability:
             copies = 0
-        elif self.rng.random() < self.config.duplicate_probability:
+        elif duplicate_roll < self.config.duplicate_probability:
             copies = 2
             self.duplicated_count += 1
         if copies == 0:

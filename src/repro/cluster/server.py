@@ -446,6 +446,10 @@ class ObjectServer:
         routed to an ancestor have their locks, undo records and write sets
         moved to that ancestor's mirror; colours routed to None are released
         (their permanence, if any, was already handled by 2PC).
+
+        Idempotent: re-delivery (a client-side reaper retrying a partition-
+        swallowed finish under a fresh rpc id) finds the mirror gone and
+        acks without re-applying, so over-delivery is always safe.
         """
         payload = message.payload
         action_uid = decode_uid(payload["action_uid"])
@@ -515,6 +519,15 @@ class ObjectServer:
                 f"{expected_epoch}); uncommitted state was lost"
             ))
             return
+        if self.node.wal.last(
+            "aborted", where=lambda r: r.payload["txn_id"] == txn_id
+        ) is not None:
+            # Presumed abort: the coordinator's txn_abort already landed
+            # here — this prepare is a straggler (its spawn raced the
+            # abort decision).  Voting rollback instead of preparing keeps
+            # it from sitting in doubt with stabilised shadows forever.
+            respond(True, self._ok({"vote": "rollback"}))
+            return
         mirror = self.mirrors.get(action_uid)
         written = mirror.written.get(colour, {}) if mirror is not None else {}
         wanted = {decode_uid(raw) for raw in payload["object_uids"]}
@@ -562,7 +575,13 @@ class ObjectServer:
 
     def _h_txn_abort(self, message: Message, respond: Responder) -> None:
         """Decision = abort: discard shadows (undo restore comes with
-        abort_action, which the coordinator sends separately)."""
+        abort_action, which the coordinator sends separately).
+
+        The ABORTED record is logged even when nothing was prepared here:
+        a straggler prepare that arrives *after* this decision must find
+        it and vote rollback (see :meth:`_h_txn_prepare`), not stabilise
+        shadows for a transaction that is already dead.
+        """
         txn_id = message.payload["txn_id"]
         info = self.prepared.pop(txn_id, None)
         if info is None:
@@ -570,11 +589,14 @@ class ObjectServer:
         if info is not None:
             for object_uid in info["object_uids"]:
                 self.node.stable_store.discard_shadow(object_uid)
-            self.node.wal.append("aborted", txn_id=txn_id)
             if self.obs is not None:
                 self.obs.count("twopc_aborted_total", node=self.node.name)
             for object_uid in info["object_uids"]:
                 self.in_doubt_objects.discard(object_uid)
+        if self.node.wal.last(
+            "aborted", where=lambda r: r.payload["txn_id"] == txn_id
+        ) is None:  # reaper retries use fresh rpc ids; log once
+            self.node.wal.append("aborted", txn_id=txn_id)
         respond(True, self._ok())
 
     def _h_txn_decision_query(self, message: Message, respond: Responder) -> None:

@@ -15,7 +15,7 @@ flight are dropped.
 from __future__ import annotations
 
 import itertools
-from typing import Any, Callable, Dict, Generator, Optional
+from typing import Any, Callable, Dict, Generator, List, Optional, Sequence, Tuple
 
 from repro.cluster.message import Message
 from repro.cluster.node import Node
@@ -40,6 +40,9 @@ Handler = Callable[[Message, Responder], None]
 
 _REPLY_KIND = "rpc_reply"
 _ACK_KIND = "rpc_ack"
+#: one network message carrying several sub-requests for the same node;
+#: dispatched server-side in list order with per-sub-request dedup.
+BATCH_KIND = "rpc_batch"
 
 #: error kinds a server can return and the exception raised client-side.
 #: Ordered most-specific-first: error_kind_for picks the first isinstance.
@@ -110,6 +113,8 @@ class RpcTransport:
             return self._accept_reply(message)
         if message.kind == _ACK_KIND:
             return self._accept_ack(message)
+        if message.kind == BATCH_KIND:
+            return self._dispatch_batch(message)
         handler = self._handlers.get(message.kind)
         if handler is None:
             return False
@@ -168,6 +173,139 @@ class RpcTransport:
             handler(message, respond)
         except ReproError as error:
             respond(False, error)
+        except Exception as error:
+            # A buggy handler must not wedge the rpc id: if the exception
+            # escaped here the inflight entry would stay forever, every
+            # retransmit would be ACKed but never answered, and the client
+            # would burn its whole completion timeout.  Answer with a
+            # cluster error instead (respond() also clears the inflight
+            # entry).
+            respond(False, ClusterError(
+                f"handler for {message.kind!r} crashed: {error!r}"
+            ))
+        return True
+
+    def _dispatch_batch(self, message: Message) -> bool:
+        """Serve a :data:`BATCH_KIND` message: several sub-requests in one
+        network message.
+
+        Sub-requests are dispatched to their registered handlers in list
+        order (effects of synchronous handlers are therefore ordered), each
+        under its own rpc id so dedup works per sub-request; the batch
+        replies once with the list of sub-replies when every sub-handler
+        has responded.  Handlers that respond later (lock waits) simply
+        delay the combined reply.
+        """
+        rpc_id = message.payload.get("rpc_id")
+        if rpc_id is None:
+            return False
+        cache: Dict[str, Dict[str, Any]] = self.node.volatile.setdefault("rpc_cache", {})
+        if rpc_id in cache:
+            self.node.send(message.src, _REPLY_KIND, cache[rpc_id],
+                           reply_to=message.msg_id)
+            return True
+        inflight = self.node.volatile.setdefault("rpc_inflight", set())
+        if rpc_id in inflight:
+            self.node.send(message.src, _ACK_KIND, {"rpc_id": rpc_id},
+                           reply_to=message.msg_id)
+            return True
+        inflight.add(rpc_id)
+        self.node.send(message.src, _ACK_KIND, {"rpc_id": rpc_id},
+                       reply_to=message.msg_id)
+        calls = message.payload.get("calls", [])
+        span = None
+        if self.obs is not None:
+            self.obs.observe("rpc_batch_size", len(calls), node=self.node.name)
+            span = self.obs.span(
+                f"serve:{BATCH_KIND}",
+                parent=Tracer.extract(message.payload),
+                kind="server", node=self.node.name, src=message.src,
+                calls=len(calls),
+            )
+        sub_replies: List[Optional[Dict[str, Any]]] = [None] * len(calls)
+        outstanding = {"n": len(calls)}
+
+        def maybe_finish() -> None:
+            if outstanding["n"] > 0:
+                return
+            if not self.node.alive:
+                return
+            live_cache = self.node.volatile.setdefault("rpc_cache", {})
+            live_inflight = self.node.volatile.setdefault("rpc_inflight", set())
+            if rpc_id in live_cache:
+                return
+            reply = {"rpc_id": rpc_id, "ok": True, "value": list(sub_replies)}
+            live_cache[rpc_id] = reply
+            live_inflight.discard(rpc_id)
+            if span is not None:
+                span.finish()
+            self.node.send(message.src, _REPLY_KIND, reply,
+                           reply_to=message.msg_id)
+
+        def serve_sub(index: int, sub: Dict[str, Any]) -> None:
+            sub_id = sub["payload"].get("rpc_id", f"{rpc_id}/{index}")
+            sub_cache = self.node.volatile.setdefault("rpc_cache", {})
+            if sub_id in sub_cache:  # per-sub-request dedup
+                sub_replies[index] = sub_cache[sub_id]
+                outstanding["n"] -= 1
+                return
+            sub_span = None
+            if self.obs is not None:
+                sub_span = self.obs.span(
+                    f"serve:{sub['kind']}", parent=span, kind="server",
+                    node=self.node.name, src=message.src,
+                )
+
+            def sub_respond(ok: bool, value: Any = None) -> None:
+                if not self.node.alive:
+                    return
+                live_cache = self.node.volatile.setdefault("rpc_cache", {})
+                if sub_id in live_cache:
+                    return
+                if ok:
+                    reply = {"rpc_id": sub_id, "ok": True, "value": value}
+                elif isinstance(value, BaseException):
+                    reply = {
+                        "rpc_id": sub_id, "ok": False,
+                        "error_kind": error_kind_for(value),
+                        "error": str(value),
+                    }
+                else:
+                    reply = {"rpc_id": sub_id, "ok": False,
+                             "error_kind": "cluster", "error": str(value)}
+                live_cache[sub_id] = reply
+                sub_replies[index] = reply
+                outstanding["n"] -= 1
+                if sub_span is not None:
+                    sub_span.set(ok=ok).finish()
+                maybe_finish()
+
+            handler = self._handlers.get(sub["kind"])
+            if handler is None:
+                sub_respond(False, ClusterError(
+                    f"no handler for batched {sub['kind']!r}"
+                ))
+                return
+            sub_message = Message(
+                src=message.src, dst=message.dst, kind=sub["kind"],
+                payload=sub["payload"], msg_id=message.msg_id,
+                reply_to=message.reply_to,
+            )
+            try:
+                handler(sub_message, sub_respond)
+            except ReproError as error:
+                sub_respond(False, error)
+            except Exception as error:
+                sub_respond(False, ClusterError(
+                    f"handler for {sub['kind']!r} crashed: {error!r}"
+                ))
+
+        if not calls:
+            maybe_finish()
+            return True
+        for index, sub in enumerate(calls):
+            serve_sub(index, sub)
+        maybe_finish()
         return True
 
     # -- client side -----------------------------------------------------------------
@@ -186,6 +324,9 @@ class RpcTransport:
         if event is not None and not event.settled:
             event.trigger()
         return True
+
+    def _fresh_rpc_id(self) -> str:
+        return f"{self.node.name}:{self.node.epoch}:{next(self._rpc_seq)}"
 
     def call(self, dst: str, kind: str, payload: Dict[str, Any],
              timeout: Optional[float] = None,
@@ -207,19 +348,81 @@ class RpcTransport:
         span; the span's context rides in the request payload so the
         server-side handler span stitches underneath it.
         """
+        rpc_id = self._fresh_rpc_id()
+        request = dict(payload)
+        request["rpc_id"] = rpc_id
+        reply = yield from self._perform(
+            dst, kind, request, rpc_id, timeout=timeout, retries=retries,
+            completion_timeout=completion_timeout, trace_parent=trace_parent,
+        )
+        if reply["ok"]:
+            return reply.get("value")
+        raise _rebuild_error(reply.get("error_kind", "cluster"),
+                             reply.get("error", ""))
+
+    def call_many(self, dst: str, calls: Sequence[Tuple[str, Dict[str, Any]]],
+                  timeout: Optional[float] = None,
+                  retries: Optional[int] = None,
+                  completion_timeout: Optional[float] = None,
+                  trace_parent: Any = None
+                  ) -> Generator[Any, Any, List[Tuple[bool, Any]]]:
+        """Generator: send several sub-requests to one node in a single
+        network message (see :data:`BATCH_KIND`).
+
+        ``calls`` is a sequence of ``(kind, payload)`` pairs; the server
+        dispatches them in order, each with its own rpc id for dedup, and
+        answers once with all sub-replies.  Returns a list aligned with
+        ``calls`` of ``(ok, value)`` pairs — ``(True, value)`` for a
+        successful sub-call, ``(False, error)`` with the reconstructed
+        remote error otherwise — so one failing sub-call never masks the
+        outcome of its batch-mates.  Raises :class:`RpcTimeout` only when
+        the batch itself could not be delivered/answered.
+        """
+        rpc_id = self._fresh_rpc_id()
+        request = {
+            "rpc_id": rpc_id,
+            "calls": [
+                {"kind": kind,
+                 "payload": dict(payload, rpc_id=f"{rpc_id}/{index}")}
+                for index, (kind, payload) in enumerate(calls)
+            ],
+        }
+        reply = yield from self._perform(
+            dst, BATCH_KIND, request, rpc_id, timeout=timeout,
+            retries=retries, completion_timeout=completion_timeout,
+            trace_parent=trace_parent,
+        )
+        if not reply["ok"]:  # pragma: no cover - batches carry errors inline
+            raise _rebuild_error(reply.get("error_kind", "cluster"),
+                                 reply.get("error", ""))
+        outcomes: List[Tuple[bool, Any]] = []
+        for sub in reply.get("value", []):
+            if sub.get("ok"):
+                outcomes.append((True, sub.get("value")))
+            else:
+                outcomes.append((False, _rebuild_error(
+                    sub.get("error_kind", "cluster"), sub.get("error", ""))))
+        return outcomes
+
+    def _perform(self, dst: str, kind: str, request: Dict[str, Any],
+                 rpc_id: str,
+                 timeout: Optional[float] = None,
+                 retries: Optional[int] = None,
+                 completion_timeout: Optional[float] = None,
+                 trace_parent: Any = None
+                 ) -> Generator[Any, Any, Dict[str, Any]]:
+        """Shared retransmit/ack/poll machinery; returns the raw reply
+        payload (``{"ok": ..., ...}``) or raises :class:`RpcTimeout`."""
         timeout = timeout if timeout is not None else self.default_timeout
         retries = retries if retries is not None else self.default_retries
         completion_timeout = (
             completion_timeout if completion_timeout is not None
             else self.default_completion_timeout
         )
-        rpc_id = f"{self.node.name}:{self.node.epoch}:{next(self._rpc_seq)}"
         event = self.kernel.event(name=f"rpc:{kind}:{rpc_id}")
         ack = self.kernel.event(name=f"ack:{kind}:{rpc_id}")
         self._pending[rpc_id] = event
         self._acks[rpc_id] = ack
-        request = dict(payload)
-        request["rpc_id"] = rpc_id
         span = None
         started = 0.0
         if self.obs is not None:
@@ -228,15 +431,12 @@ class RpcTransport:
             request[TRACE_KEY] = span.context.to_wire()
             started = self.kernel.now
 
-        def finish(reply: Dict[str, Any]):
+        def finish(reply: Dict[str, Any]) -> Dict[str, Any]:
             if span is not None:
                 self.obs.observe("rpc_latency", self.kernel.now - started,
                                  kind=kind)
                 span.set(ok=reply["ok"]).finish()
-            if reply["ok"]:
-                return reply.get("value")
-            raise _rebuild_error(reply.get("error_kind", "cluster"),
-                                 reply.get("error", ""))
+            return reply
 
         def timed_out(phase: str, text: str) -> RpcTimeout:
             if span is not None:

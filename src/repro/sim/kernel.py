@@ -392,6 +392,37 @@ def any_of(kernel: Kernel, events: List[SimEvent]) -> SimEvent:
     return combined
 
 
+def settle_all(kernel: Kernel, events: List[SimEvent]) -> SimEvent:
+    """An event that settles once *all* of ``events`` have settled, capturing
+    each outcome instead of failing fast.
+
+    Triggers with a list of ``(ok, value)`` pairs aligned with ``events``:
+    ``(True, value)`` for a triggered event, ``(False, error)`` for a failed
+    one.  Unlike :func:`all_of` the combined event never fails, so a fan-out
+    joiner always learns every task's fate — the pattern for termination
+    broadcasts where one unreachable peer must not mask the others.
+    """
+    combined = kernel.event(name="settle_all")
+    if not events:
+        kernel._post(lambda: combined.trigger([]))
+        return combined
+    remaining = {"count": len(events)}
+    outcomes: List[Any] = [None] * len(events)
+
+    def make_callback(index: int) -> Callable[[SimEvent], None]:
+        def callback(settled: SimEvent) -> None:
+            outcomes[index] = (not settled.failed, settled.value)
+            remaining["count"] -= 1
+            if remaining["count"] == 0:
+                combined.trigger(list(outcomes))
+
+        return callback
+
+    for i, event in enumerate(events):
+        event.on_settle(make_callback(i))
+    return combined
+
+
 def all_of(kernel: Kernel, events: List[SimEvent]) -> SimEvent:
     """An event that settles once *all* of ``events`` have settled.
 

@@ -101,3 +101,34 @@ def test_chaos_with_heavier_loss():
     assert balance_b == outcomes["committed"] * AMOUNT
     # under this much adversity some transfers must still get through
     assert outcomes["committed"] >= 1
+
+
+@pytest.mark.parametrize("seed", [2, 5])
+def test_spans_agree_with_client_outcomes_under_chaos(seed):
+    """Span-based invariants: the trace must tell the same story as the
+    client — one finished action span per transfer, with outcomes matching
+    what the client saw, and exactly one committed 2PC round per committed
+    transfer (a decided round never ends in a client-visible failure)."""
+    cluster, refs, outcomes, schedule = run_chaos(seed)
+    spans = cluster.obs.tracer.snapshot()
+
+    action_spans = [s for s in spans if s.name.startswith("action:xfer")]
+    assert len(action_spans) == TRANSFERS
+    assert all(s.finished for s in action_spans)
+    span_outcomes = {"committed": 0, "aborted": 0}
+    for span in action_spans:
+        span_outcomes[span.attrs["outcome"]] += 1
+    assert span_outcomes["committed"] == outcomes["committed"]
+    assert span_outcomes["aborted"] == outcomes["failed"]
+
+    committed_rounds = [s for s in spans if s.name.startswith("2pc:")
+                        and s.attrs.get("outcome") == "committed"]
+    assert len(committed_rounds) == outcomes["committed"]
+    assert all(s.finished for s in committed_rounds)
+
+    # client-side termination spans always close, even when servers were
+    # crashed or partitioned at the time (reapers carry on in background)
+    for name in ("commit", "abort"):
+        terminal = [s for s in spans
+                    if s.name == name and s.kind == "client"]
+        assert all(s.finished for s in terminal)

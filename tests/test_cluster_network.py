@@ -129,3 +129,39 @@ def test_invalid_config_rejected():
         NetworkConfig(min_delay=2.0, max_delay=1.0).validate()
     with pytest.raises(ClusterError):
         NetworkConfig(drop_probability=1.5).validate()
+
+
+def run_fault_pattern(config, seed=7, count=150):
+    """Deliver ``count`` messages; return (dropped, duplicated) index sets."""
+    kernel, network = make_network(config, seed=seed)
+    inbox = attach_sink(network, "b")
+    network.attach("a", lambda m: None)
+    for i in range(count):
+        network.send(Message("a", "b", "ping", {"i": i}))
+    kernel.run()
+    seen = {}
+    for m in inbox:
+        seen[m.payload["i"]] = seen.get(m.payload["i"], 0) + 1
+    dropped = {i for i in range(count) if i not in seen}
+    duplicated = {i for i, n in seen.items() if n == 2}
+    return dropped, duplicated
+
+
+def test_drop_decisions_independent_of_duplicate_knob():
+    """The Nth message's drop fate depends only on (seed, N): turning
+    duplication on must not reshuffle which messages get dropped."""
+    dropped_plain, _ = run_fault_pattern(NetworkConfig(drop_probability=0.3))
+    dropped_dup, _ = run_fault_pattern(
+        NetworkConfig(drop_probability=0.3, duplicate_probability=0.5))
+    assert dropped_plain == dropped_dup
+
+
+def test_duplicate_decisions_independent_of_drop_knob():
+    """Duplicate draws are consumed for every send — dropped or not — so
+    the per-index duplicate pattern is fixed: under loss, the surviving
+    duplicated messages are exactly the fixed pattern minus the drops."""
+    _, dup_baseline = run_fault_pattern(
+        NetworkConfig(duplicate_probability=0.4))
+    dropped, dup_lossy = run_fault_pattern(
+        NetworkConfig(drop_probability=0.3, duplicate_probability=0.4))
+    assert dup_lossy == dup_baseline - dropped

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cluster.network import Network
+from repro.cluster.network import Network, NetworkConfig
 from repro.cluster.node import Node
 from repro.errors import NodeDown
 from repro.sim.kernel import Kernel, Timeout
@@ -95,7 +95,12 @@ def test_messages_to_dead_node_not_dispatched():
 
 
 def test_dispatcher_chain_first_consumer_wins():
-    kernel, network, node = make_node()
+    # Fixed delay: delivery order matches send order regardless of how the
+    # network's RNG streams are laid out.
+    kernel = Kernel()
+    network = Network(kernel, SplitRandom(0),
+                      NetworkConfig(min_delay=1.0, max_delay=1.0))
+    node = Node("n1", kernel, network)
     order = []
     node.add_dispatcher(lambda m: order.append("first") or m.kind == "a")
     node.add_dispatcher(lambda m: order.append("second") or True)

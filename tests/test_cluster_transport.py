@@ -151,3 +151,110 @@ def test_duplicate_handler_registration_rejected():
     tb.register("x", lambda m, r: r(True))
     with pytest.raises(ClusterError):
         tb.register("x", lambda m, r: r(True))
+
+
+def test_handler_crash_answers_promptly_and_clears_inflight():
+    """A handler raising a non-Repro error must still answer (as a cluster
+    error) — not strand the rpc_id in rpc_inflight until the completion
+    timeout while retransmits are ACKed but never answered."""
+    from repro.errors import ClusterError
+    cluster, ta, tb = pair()
+
+    def broken(msg, respond):
+        raise ValueError("boom")
+
+    tb.register("broken", broken)
+
+    def app():
+        try:
+            yield from ta.call("b", "broken", {})
+        except ClusterError as error:
+            return (str(error), cluster.kernel.now)
+
+    text, when = cluster.run_process("a", app())
+    assert "boom" in text
+    assert when < 30.0  # one round trip, nowhere near the 90s completion cap
+    assert cluster.nodes["b"].volatile.get("rpc_inflight", set()) == set()
+
+
+def test_call_many_returns_aligned_outcomes():
+    """One failing sub-call must not mask its batch-mates."""
+    cluster, ta, tb = pair()
+    tb.register("echo", lambda m, r: r(True, m.payload["text"]))
+    tb.register("deny", lambda m, r: r(False, LockRefused("nope")))
+
+    def app():
+        outcomes = yield from ta.call_many("b", [
+            ("echo", {"text": "x"}),
+            ("deny", {}),
+            ("echo", {"text": "y"}),
+        ])
+        return outcomes
+
+    outcomes = cluster.run_process("a", app())
+    assert [ok for ok, _ in outcomes] == [True, False, True]
+    assert outcomes[0][1] == "x" and outcomes[2][1] == "y"
+    assert isinstance(outcomes[1][1], LockRefused)
+
+
+def test_call_many_dispatches_sub_calls_in_order():
+    cluster, ta, tb = pair()
+    order = []
+    tb.register("mark", lambda m, r: (order.append(m.payload["tag"]),
+                                      r(True, m.payload["tag"])))
+
+    def app():
+        outcomes = yield from ta.call_many(
+            "b", [("mark", {"tag": i}) for i in range(5)])
+        return [value for _, value in outcomes]
+
+    assert cluster.run_process("a", app()) == [0, 1, 2, 3, 4]
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_call_many_at_most_once_under_duplication_and_loss():
+    """Retransmitted batches must not re-execute sub-handlers."""
+    cluster, ta, tb = pair(
+        config=NetworkConfig(drop_probability=0.3, duplicate_probability=0.3),
+        seed=13,
+    )
+    executions = {"n": 0}
+
+    def handler(msg, respond):
+        executions["n"] += 1
+        respond(True, executions["n"])
+
+    tb.register("bump", handler)
+
+    def app():
+        values = []
+        for _ in range(10):
+            outcomes = yield from ta.call_many(
+                "b", [("bump", {}), ("bump", {})], timeout=4.0, retries=12)
+            values.extend(value for ok, value in outcomes if ok)
+        return values
+
+    values = cluster.run_process("a", app())
+    assert values == list(range(1, 21))
+    assert executions["n"] == 20
+
+
+def test_call_many_delayed_sub_replies_supported():
+    """Sub-handlers may respond asynchronously (lock waits do); the batch
+    answers once the last sub-reply lands."""
+    cluster, ta, tb = pair()
+
+    def slow(msg, respond):
+        cluster.kernel.schedule(6.0, lambda: respond(True, "late"))
+
+    tb.register("slow", slow)
+    tb.register("fast", lambda m, r: r(True, "now"))
+
+    def app():
+        outcomes = yield from ta.call_many(
+            "b", [("slow", {}), ("fast", {})], completion_timeout=30.0)
+        return ([value for _, value in outcomes], cluster.kernel.now)
+
+    values, when = cluster.run_process("a", app())
+    assert values == ["late", "now"]
+    assert when >= 6.0
