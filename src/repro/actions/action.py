@@ -205,6 +205,7 @@ class Action:
         for index, colour in enumerate(ordered):
             destination = self.closest_ancestor_with(colour)
             routes[colour] = destination
+            self.runtime.note_commit_route(self, colour, destination)
             if destination is not None:
                 self._bequeath(colour, destination)
                 continue

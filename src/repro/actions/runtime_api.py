@@ -55,3 +55,12 @@ class ActionRuntime(ABC):
         Default: nothing.  Runtimes with observers (tracing, metrics)
         override this.
         """
+
+    def note_commit_route(self, action: "object", colour: Colour,
+                          destination: "object") -> None:
+        """Hook: ``action`` is committing and routes ``colour`` to
+        ``destination`` (an ancestor action, or None for "make permanent").
+
+        Default: nothing.  Observable runtimes publish this on their event
+        bus so the online auditor can verify §5.3 commit routing.
+        """

@@ -324,6 +324,14 @@ class ClusterClient:
         for colour in ordered:
             destination = action.closest_ancestor_with(colour)
             routes[colour] = destination
+            if self.obs is not None:
+                self.obs.emit(
+                    "commit.route", action=str(action.uid),
+                    colour=str(colour),
+                    dest=(str(destination.uid) if destination is not None
+                          else ""),
+                    node=self.node.name,
+                )
             if destination is not None:
                 self._bequeath(action, colour, destination)
                 if self.obs is not None:
@@ -589,6 +597,9 @@ class ClusterClient:
         for txn_id, parts in decided:
             if parts <= acked:
                 self.node.wal.append("coord_end", txn_id=txn_id)
+                if self.obs is not None:
+                    self.obs.emit("twopc.end", txn=txn_id,
+                                  node=self.node.name)
         if self.obs is not None and nodes:
             self.obs.observe("commit_fanout_time",
                              self.kernel.now - started, width=len(nodes))
@@ -633,6 +644,9 @@ class ClusterClient:
         for txn_id, parts in decided:
             if parts <= acked:
                 self.node.wal.append("coord_end", txn_id=txn_id)
+                if self.obs is not None:
+                    self.obs.emit("twopc.end", txn=txn_id,
+                                  node=self.node.name)
 
     # -- two-phase commit (coordinator) --------------------------------------------------------
 
@@ -651,6 +665,10 @@ class ClusterClient:
             span = self.obs.span(f"2pc:{colour}", parent=parent_span,
                                  kind="client", node=self.node.name,
                                  txn=txn_id, participants=len(participants))
+            self.obs.emit("twopc.begin", txn=txn_id,
+                          action=str(action.uid), colour=str(colour),
+                          participants=",".join(participants),
+                          node=self.node.name)
 
         def prepare_one(node_name: str):
             reply = yield from self.transport.call(node_name, "txn_prepare", {
@@ -692,6 +710,8 @@ class ClusterClient:
             if self.obs is not None:
                 self.obs.count("twopc_rounds_total", colour=str(colour),
                                outcome="aborted")
+                self.obs.emit("twopc.decision", txn=txn_id,
+                              decision="abort", node=self.node.name)
             if span is not None:
                 span.set(outcome="aborted").finish()
             # presumed abort: no decision record needed; tell whoever may
@@ -720,6 +740,8 @@ class ClusterClient:
         if self.obs is not None:
             self.obs.count("twopc_rounds_total", colour=str(colour),
                            outcome="committed")
+            self.obs.emit("twopc.decision", txn=txn_id,
+                          decision="commit", node=self.node.name)
         if span is not None:
             span.set(outcome="committed").finish()
         return txn_id

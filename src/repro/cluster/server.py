@@ -186,6 +186,7 @@ class ObjectServer:
         # volatile state (rebuilt empty after a crash)
         self.objects: Dict[Uid, StateManager] = {}
         self.registry = LockRegistry(ColouredRules(), namespace=f"lreq@{node.name}")
+        self.registry.on_event = self._emit_lock_event
         self.detector = DeadlockDetector(self.registry)
         self.mirrors: Dict[Uid, ActionMirror] = {}
         self.prepared: Dict[str, Dict[str, Any]] = {}
@@ -219,6 +220,11 @@ class ObjectServer:
     def add_observer(self, observer) -> None:
         """Attach an observer notified of lock grants at this server."""
         self.observers.append(observer)
+
+    def _emit_lock_event(self, kind: str, **labels) -> None:
+        """Registry event sink: forward to the obs bus with a node label."""
+        if self.obs is not None:
+            self.obs.emit(kind, node=self.node.name, **labels)
 
     def _next_undo_seq(self) -> int:
         self._undo_seq += 1
@@ -498,13 +504,18 @@ class ObjectServer:
         objects here (glued hand-offs show up as long holds)."""
         if self.obs is None:
             return
-        self.obs.observe("lock_hold_time",
+        self.obs.observe("mirror_lifetime",
                          self.kernel.now - mirror.created_tick,
                          node=self.node.name)
         self.obs.count("mirrors_retired_total", node=self.node.name,
                        outcome=outcome)
 
     # -- handlers: two-phase commit participant ----------------------------------------
+
+    def _emit_vote(self, txn_id: str, vote: str, colour) -> None:
+        if self.obs is not None:
+            self.obs.emit("twopc.vote", txn=txn_id, node=self.node.name,
+                          vote=vote, colour=str(colour))
 
     def _h_txn_prepare(self, message: Message, respond: Responder) -> None:
         """Phase one: stabilise new states as shadows, log PREPARED, vote."""
@@ -514,6 +525,7 @@ class ObjectServer:
         colour = decode_colour(payload["colour"])
         expected_epoch = payload.get("expected_epoch")
         if expected_epoch is not None and expected_epoch != self.node.epoch:
+            self._emit_vote(txn_id, "refused", colour)
             respond(False, PrepareFailed(
                 f"{self.node.name} restarted (epoch {self.node.epoch} != "
                 f"{expected_epoch}); uncommitted state was lost"
@@ -526,12 +538,14 @@ class ObjectServer:
             # here — this prepare is a straggler (its spawn raced the
             # abort decision).  Voting rollback instead of preparing keeps
             # it from sitting in doubt with stabilised shadows forever.
+            self._emit_vote(txn_id, "rollback", colour)
             respond(True, self._ok({"vote": "rollback"}))
             return
         mirror = self.mirrors.get(action_uid)
         written = mirror.written.get(colour, {}) if mirror is not None else {}
         wanted = {decode_uid(raw) for raw in payload["object_uids"]}
         if not wanted.issubset(set(written)):
+            self._emit_vote(txn_id, "refused", colour)
             respond(False, PrepareFailed(
                 f"{self.node.name} no longer holds the write set for "
                 f"{txn_id} (crash or premature release)"
@@ -553,6 +567,7 @@ class ObjectServer:
         if self.obs is not None:
             self.obs.count("twopc_prepared_total", node=self.node.name,
                            colour=str(colour))
+        self._emit_vote(txn_id, "commit", colour)
         respond(True, self._ok({"vote": "commit"}))
 
     def _h_txn_commit(self, message: Message, respond: Responder) -> None:
@@ -597,6 +612,8 @@ class ObjectServer:
             "aborted", where=lambda r: r.payload["txn_id"] == txn_id
         ) is None:  # reaper retries use fresh rpc ids; log once
             self.node.wal.append("aborted", txn_id=txn_id)
+        if self.obs is not None:
+            self.obs.emit("twopc.abort", txn=txn_id, node=self.node.name)
         respond(True, self._ok())
 
     def _h_txn_decision_query(self, message: Message, respond: Responder) -> None:
@@ -605,9 +622,11 @@ class ObjectServer:
         committed = self.node.wal.last(
             "coord_commit", where=lambda r: r.payload["txn_id"] == txn_id
         )
-        respond(True, self._ok({
-            "decision": "commit" if committed is not None else "abort"
-        }))
+        decision = "commit" if committed is not None else "abort"
+        if self.obs is not None:
+            self.obs.emit("twopc.decision_query", txn=txn_id,
+                          decision=decision, node=self.node.name)
+        respond(True, self._ok({"decision": decision}))
 
     def _apply_commit(self, txn_id: str, info: Dict[str, Any]) -> None:
         for object_uid in info["object_uids"]:
@@ -622,6 +641,10 @@ class ObjectServer:
         self.node.wal.append("committed", txn_id=txn_id)
         if self.obs is not None:
             self.obs.count("twopc_committed_total", node=self.node.name)
+            self.obs.emit(
+                "twopc.commit", txn=txn_id, node=self.node.name,
+                objects=",".join(str(u) for u in info["object_uids"]),
+            )
         mirror = self.mirrors.get(info["action_uid"]) if info.get("action_uid") else None
         colour = info.get("colour")
         if mirror is not None and colour is not None:
@@ -679,8 +702,11 @@ class ObjectServer:
         PREPARED records without a matching COMMITTED/ABORTED are in doubt;
         their objects are fenced off until the coordinator answers.
         """
+        if self.obs is not None:
+            self.obs.emit("node.restart", node=self.node.name)
         self.objects = {}
         self.registry = LockRegistry(ColouredRules(), namespace=f"lreq@{self.node.name}")
+        self.registry.on_event = self._emit_lock_event
         self.detector = DeadlockDetector(self.registry)
         self.mirrors = {}
         self.prepared = {}
@@ -728,6 +754,9 @@ class ObjectServer:
                 for object_uid in object_uids:
                     self.node.stable_store.discard_shadow(object_uid)
                 self.node.wal.append("aborted", txn_id=txn_id)
+                if self.obs is not None:
+                    self.obs.emit("twopc.abort", txn=txn_id,
+                                  node=self.node.name)
             for object_uid in object_uids:
                 self.in_doubt_objects.discard(object_uid)
             return decision

@@ -19,6 +19,18 @@ from repro.locking.table import ColourRouter, LockTable
 from repro.util.uid import Uid, UidGenerator
 
 
+def _mode_label(mode) -> str:
+    """Canonical label for a LockMode or a semantic group name."""
+    return getattr(mode, "value", None) or str(mode)
+
+
+def _record_mode_label(record) -> str:
+    mode = getattr(record, "mode", None)
+    if mode is not None:
+        return _mode_label(mode)
+    return str(getattr(record, "group", "") or "")
+
+
 class LockRegistry:
     """Lock tables keyed by object uid, plus per-owner bookkeeping."""
 
@@ -30,6 +42,10 @@ class LockRegistry:
         self._request_uids = UidGenerator(namespace)
         #: object uid -> SemanticSpec for type-specific locking (§2)
         self._semantic_specs: Dict[Uid, object] = {}
+        #: optional ``(kind, **labels)`` sink for lock lifecycle events
+        #: (grant / release / inheritance); wired by the runtimes to their
+        #: Observability hub so the online auditor sees every transition.
+        self.on_event: Optional[Callable[..., None]] = None
 
     # -- tables ---------------------------------------------------------------
 
@@ -71,6 +87,11 @@ class LockRegistry:
             self._waiting_by.get(owner_uid, set()).discard(object_uid)
             if req.status is RequestStatus.GRANTED:
                 self._held_by.setdefault(owner_uid, set()).add(object_uid)
+                if self.on_event is not None:
+                    self.on_event("lock.granted", owner=str(owner_uid),
+                                  object=str(object_uid),
+                                  mode=_mode_label(mode),
+                                  colour=str(colour))
             if on_complete is not None:
                 on_complete(req)
 
@@ -103,6 +124,17 @@ class LockRegistry:
         for object_uid in sorted(self._held_by.pop(owner_uid, set())):
             table = self._tables.get(object_uid)
             if table is not None:
+                # emit before release_all: the wake-ups it triggers grant
+                # queued requests, and those grants must observe this
+                # owner's records as already gone
+                if self.on_event is not None:
+                    for record in table.records_of(owner_uid):
+                        self.on_event(
+                            "lock.released", owner=str(owner_uid),
+                            object=str(object_uid),
+                            mode=_record_mode_label(record),
+                            colour=str(record.colour), reason="abort",
+                        )
                 dropped += table.release_all(owner_uid)
                 self._collect(object_uid, table)
         return dropped
@@ -113,6 +145,26 @@ class LockRegistry:
             table = self._tables.get(object_uid)
             if table is None:
                 continue
+            if self.on_event is not None:
+                # same routing the table is about to apply (the router is a
+                # pure lookup), emitted ahead of the wake-ups it triggers
+                for record in table.records_of(owner_uid):
+                    destination = router(record.colour)
+                    if destination is not None:
+                        self.on_event(
+                            "lock.inherited", owner=str(owner_uid),
+                            to=str(destination.uid),
+                            object=str(object_uid),
+                            mode=_record_mode_label(record),
+                            colour=str(record.colour),
+                        )
+                    else:
+                        self.on_event(
+                            "lock.released", owner=str(owner_uid),
+                            object=str(object_uid),
+                            mode=_record_mode_label(record),
+                            colour=str(record.colour), reason="commit",
+                        )
             routed = table.transfer(owner_uid, router)
             for inheritor_uid in routed.values():
                 if inheritor_uid is not None:

@@ -1,0 +1,72 @@
+"""CLI: replay a saved observability dump through the invariant auditor.
+
+Usage::
+
+    python -m repro.obs.audit run.trace.json
+    python -m repro.obs.audit run.trace.json --json
+
+The input is a trace document written by ``Observability.save`` (its
+``events`` key is the retained bus-event log).  Exit codes: 0 = no
+findings, 1 = unusable input, 2 = invariant violations found.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.obs.audit.auditor import InvariantAuditor
+from repro.obs.bus import ObsEvent
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.audit",
+        description="Replay a saved obs dump through the invariant auditor.",
+    )
+    parser.add_argument("path", help="trace JSON written by Observability.save")
+    parser.add_argument("--json", action="store_true",
+                        help="print findings as a JSON array")
+    args = parser.parse_args(argv)
+    try:
+        with open(args.path, "r", encoding="utf-8") as handle:
+            raw = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"error: cannot read {args.path}: {error}", file=sys.stderr)
+        return 1
+    if not isinstance(raw, dict):
+        print(f"error: {args.path}: expected a JSON object "
+              f"(got {type(raw).__name__})", file=sys.stderr)
+        return 1
+    events = raw.get("events")
+    if not isinstance(events, list):
+        print(f"error: {args.path}: no \"events\" list — was this dump "
+              f"written by Observability.save()?", file=sys.stderr)
+        return 1
+    auditor = InvariantAuditor()
+    for entry in events:
+        if not isinstance(entry, dict):
+            continue
+        labels = entry.get("labels")
+        auditor.consume(ObsEvent(
+            tick=float(entry.get("tick", 0.0)),
+            kind=str(entry.get("kind", "")),
+            labels=dict(labels) if isinstance(labels, dict) else {},
+        ))
+    found = auditor.report()
+    if args.json:
+        print(json.dumps([f.to_dict() for f in found], indent=2,
+                         sort_keys=True))
+    elif found:
+        print(f"{len(found)} finding(s) over {len(events)} events:")
+        for finding in found:
+            print(f"  {finding}")
+    else:
+        print(f"clean: {len(events)} events, no findings")
+    return 2 if found else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI tests
+    sys.exit(main())

@@ -1,0 +1,619 @@
+"""The online invariant auditor: runtime verification on the obs event bus.
+
+Subscribed to an :class:`~repro.obs.bus.EventBus`, the auditor consumes the
+structured events the runtimes already publish (lock grants/releases/
+inheritances, action begin/end, commit routing, 2PC votes and decisions)
+and incrementally checks the paper's per-colour claims (§5.1):
+
+- **serializability** — a per-colour serialization graph over effective
+  accesses; a cycle among committed serialization units is a violation;
+- **lock discipline** — two-phase behaviour per owner, plus the §5.2
+  modified locking rules re-checked at every grant (exclusive grants must
+  only coexist with inclusive-ancestor holders; WRITE records on one
+  object must share a colour);
+- **commit routing** — §5.3: each colour goes to the closest same-coloured
+  live ancestor, or becomes permanent only when the action is outermost
+  for that colour;
+- **termination** — a per-txn 2PC state machine: no commit decision after
+  a rollback vote, no shadow promotion without a decision in evidence,
+  presumed abort never contradicting a logged commit, and no in-doubt
+  commit-voter once the coordinator has logged its end;
+- **failure atomicity** — an aborted colour leaves no stable effects; a
+  colour can only be made permanent by an action that possesses it.
+
+Violations become :class:`~repro.obs.audit.findings.Finding`s (also
+counted in the metrics registry as ``audit_findings_total{kind=...}``);
+the per-node lock state is reset on ``node.restart`` because a crash
+legitimately wipes a server's volatile lock tables.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, List, Optional, Set, Tuple
+
+from repro.obs.audit import findings as F
+from repro.obs.audit.findings import Finding
+from repro.obs.audit.graph import SerializationGraph, conflicts
+from repro.obs.bus import ObsEvent
+
+#: modes that participate in the data-conflict graph and the §5.2 rule
+#: checks; semantic operation-group modes are strings outside this set and
+#: are only subject to the two-phase check.
+DATA_MODES = frozenset(("read", "exclusive_read", "write"))
+EXCLUSIVE_MODES = frozenset(("exclusive_read", "write"))
+
+#: sentinel for "not enough information to judge" (unknown action uid)
+_UNKNOWN = object()
+
+
+@dataclass
+class _ActionInfo:
+    uid: str
+    parent: str = ""
+    colours: Set[str] = field(default_factory=set)
+    name: str = ""
+    begin_seq: int = 0
+    outcome: Optional[str] = None
+    end_seq: Optional[int] = None
+
+
+@dataclass
+class _TxnState:
+    txn: str
+    colour: str = ""
+    action: str = ""
+    coordinator: str = ""
+    participants: Set[str] = field(default_factory=set)
+    votes: Dict[str, List[Tuple[str, int]]] = field(default_factory=dict)
+    decisions: Dict[str, int] = field(default_factory=dict)
+    queried: Dict[str, int] = field(default_factory=dict)
+    applies: Dict[str, int] = field(default_factory=dict)
+    aborts: Dict[str, int] = field(default_factory=dict)
+    end_seq: Optional[int] = None
+
+
+class InvariantAuditor:
+    """Incremental checker over the obs event stream (thread-safe)."""
+
+    def __init__(self, metrics=None, max_events: int = 200_000,
+                 max_accesses: int = 4096):
+        self.metrics = metrics
+        self._mutex = threading.Lock()
+        self._seq = 0
+        self.events: Deque[Tuple[int, ObsEvent]] = deque(maxlen=max_events)
+        self.findings: List[Finding] = []
+        self._actions: Dict[str, _ActionInfo] = {}
+        #: (node, object) -> owner -> colour -> mode (mirror of lock tables)
+        self._held: Dict[Tuple[str, str], Dict[str, Dict[str, str]]] = {}
+        #: (node, owner) -> seq of first release/inheritance (shrink phase)
+        self._closed: Dict[Tuple[str, str], int] = {}
+        #: (object, colour) -> [(seq, owner, mode)] grant history
+        self._accesses: Dict[Tuple[str, str], List[Tuple[int, str, str]]] = {}
+        self._max_accesses = max_accesses
+        self._txns: Dict[str, _TxnState] = {}
+        #: dedup keys of findings already counted in metrics (report-time
+        #: findings recompute on every call and must not double-count)
+        self._counted: Set[Tuple] = set()
+
+    # -- intake ---------------------------------------------------------------
+
+    def consume(self, event: ObsEvent) -> None:
+        with self._mutex:
+            self._seq += 1
+            seq = self._seq
+            self.events.append((seq, event))
+            handler = self._HANDLERS.get(event.kind)
+            if handler is not None:
+                handler(self, seq, event)
+
+    def event_dicts(self) -> List[Dict[str, Any]]:
+        """The retained event log, JSON-ready (for dumps and CLI replay)."""
+        with self._mutex:
+            return [
+                {"seq": seq, "tick": event.tick, "kind": event.kind,
+                 "labels": dict(event.labels)}
+                for seq, event in self.events
+            ]
+
+    # -- findings -------------------------------------------------------------
+
+    def _finding(self, kind: str, message: str, *, tick: float = 0.0,
+                 colour: str = "", node: str = "", txn: str = "",
+                 action: str = "", object: str = "",
+                 event_seqs: Tuple[int, ...] = ()) -> None:
+        found = Finding(kind=kind, message=message, tick=tick, colour=colour,
+                        node=node, txn=txn, action=action, object=object,
+                        event_seqs=event_seqs)
+        self.findings.append(found)
+        self._count(kind, (kind, message, event_seqs))
+
+    def _count(self, kind: str, key: Tuple) -> None:
+        if key in self._counted:
+            return
+        self._counted.add(key)
+        if self.metrics is not None:
+            self.metrics.counter("audit_findings_total", kind=kind).inc()
+
+    def report(self) -> List[Finding]:
+        """All findings so far, plus the (recomputed) graph-level checks."""
+        with self._mutex:
+            return list(self.findings) + self._check_serialization()
+
+    # -- actions --------------------------------------------------------------
+
+    def _on_action_begin(self, seq: int, event: ObsEvent) -> None:
+        uid = str(event.label("action", ""))
+        if not uid:
+            return
+        colours = str(event.label("colours", ""))
+        self._actions[uid] = _ActionInfo(
+            uid=uid,
+            parent=str(event.label("parent", "") or ""),
+            colours={c for c in colours.split(",") if c},
+            name=str(event.label("name", "")),
+            begin_seq=seq,
+        )
+
+    def _on_action_end(self, seq: int, event: ObsEvent) -> None:
+        uid = str(event.label("action", ""))
+        info = self._actions.get(uid)
+        if info is None:
+            return
+        info.outcome = str(event.label("outcome", ""))
+        info.end_seq = seq
+
+    def _is_ancestor(self, maybe_ancestor: str, owner: str):
+        """True/False via the begin-event parent chain; None when unknown."""
+        if maybe_ancestor == owner:
+            return True
+        info = self._actions.get(owner)
+        if info is None:
+            return None
+        seen = set()
+        while info.parent:
+            if info.parent == maybe_ancestor:
+                return True
+            if info.parent in seen:      # defensive: corrupt parent chain
+                return None
+            seen.add(info.parent)
+            info = self._actions.get(info.parent)
+            if info is None:
+                return None
+        return False
+
+    # -- lock discipline ------------------------------------------------------
+
+    def _on_lock_granted(self, seq: int, event: ObsEvent) -> None:
+        node = str(event.label("node", ""))
+        owner = str(event.label("owner", ""))
+        obj = str(event.label("object", ""))
+        mode = str(event.label("mode", ""))
+        colour = str(event.label("colour", ""))
+        if not owner or not obj:
+            return
+        if (node, owner) in self._closed:
+            self._finding(
+                F.TWO_PHASE,
+                f"lock on {obj} granted to {owner} after it began releasing",
+                tick=event.tick, colour=colour, node=node, action=owner,
+                object=obj,
+                event_seqs=(self._closed[(node, owner)], seq),
+            )
+        held = self._held.setdefault((node, obj), {})
+        if mode in DATA_MODES:
+            self._check_grant_rules(seq, event, node, owner, obj, mode,
+                                    colour, held)
+            history = self._accesses.setdefault((obj, colour), [])
+            if len(history) < self._max_accesses:
+                history.append((seq, owner, mode))
+        own = held.setdefault(owner, {})
+        if mode in DATA_MODES and own.get(colour) in DATA_MODES:
+            own[colour] = max((own[colour], mode),
+                              key=("read", "exclusive_read", "write").index)
+        else:
+            own[colour] = mode
+
+    def _check_grant_rules(self, seq: int, event: ObsEvent, node: str,
+                           owner: str, obj: str, mode: str, colour: str,
+                           held: Dict[str, Dict[str, str]]) -> None:
+        """Re-check the §5.2 modified locking rules against our lock view."""
+        for other, records in held.items():
+            if other == owner:
+                continue
+            other_excl = any(m in EXCLUSIVE_MODES for m in records.values())
+            if mode in EXCLUSIVE_MODES or other_excl:
+                # exclusive on either side: the holder must be an inclusive
+                # ancestor of the requester (unknown ancestry -> no verdict)
+                if self._is_ancestor(other, owner) is False:
+                    self._finding(
+                        F.LOCK_RULE,
+                        f"{mode} lock on {obj} granted to {owner} while "
+                        f"non-ancestor {other} holds it",
+                        tick=event.tick, colour=colour, node=node,
+                        action=owner, object=obj, event_seqs=(seq,),
+                    )
+        if mode == "write":
+            for other, records in held.items():
+                for held_colour, held_mode in records.items():
+                    if held_mode == "write" and held_colour != colour:
+                        self._finding(
+                            F.LOCK_RULE,
+                            f"write lock on {obj} granted in colour "
+                            f"{colour} while a {held_colour}-coloured "
+                            f"write record exists (holder {other})",
+                            tick=event.tick, colour=colour, node=node,
+                            action=owner, object=obj, event_seqs=(seq,),
+                        )
+
+    def _on_lock_released(self, seq: int, event: ObsEvent) -> None:
+        node = str(event.label("node", ""))
+        owner = str(event.label("owner", ""))
+        obj = str(event.label("object", ""))
+        colour = str(event.label("colour", ""))
+        self._closed.setdefault((node, owner), seq)
+        held = self._held.get((node, obj))
+        if held is not None:
+            records = held.get(owner)
+            if records is not None:
+                records.pop(colour, None)
+                if not records:
+                    held.pop(owner, None)
+            if not held:
+                self._held.pop((node, obj), None)
+
+    def _on_lock_inherited(self, seq: int, event: ObsEvent) -> None:
+        node = str(event.label("node", ""))
+        owner = str(event.label("owner", ""))
+        dest = str(event.label("to", ""))
+        obj = str(event.label("object", ""))
+        mode = str(event.label("mode", ""))
+        colour = str(event.label("colour", ""))
+        self._closed.setdefault((node, owner), seq)
+        if (node, dest) in self._closed:
+            self._finding(
+                F.TWO_PHASE,
+                f"lock on {obj} inherited by {dest}, which had already "
+                f"begun releasing",
+                tick=event.tick, colour=colour, node=node, action=dest,
+                object=obj, event_seqs=(self._closed[(node, dest)], seq),
+            )
+        held = self._held.get((node, obj))
+        if held is None:
+            return
+        records = held.get(owner)
+        if records is not None:
+            records.pop(colour, None)
+            if not records:
+                held.pop(owner, None)
+        dest_records = held.setdefault(dest, {})
+        existing = dest_records.get(colour)
+        if existing in DATA_MODES and mode in DATA_MODES:
+            order = ("read", "exclusive_read", "write").index
+            dest_records[colour] = max((existing, mode), key=order)
+        else:
+            dest_records[colour] = mode
+
+    def _on_node_restart(self, seq: int, event: ObsEvent) -> None:
+        node = str(event.label("node", ""))
+        for key in [k for k in self._held if k[0] == node]:
+            del self._held[key]
+        for key in [k for k in self._closed if k[0] == node]:
+            del self._closed[key]
+
+    # -- commit routing / permanence ------------------------------------------
+
+    def _expected_route(self, action_uid: str, colour: str):
+        """Closest not-yet-terminated ancestor possessing the colour.
+
+        Returns its uid, "" for "permanent" (outermost for the colour), or
+        the _UNKNOWN sentinel when the parent chain is not fully known.
+        Terminated ancestors are skipped: a committed ancestor's
+        responsibilities have moved further up, an aborted one is gone —
+        this matches the runtime's live-ancestor reparenting.
+        """
+        info = self._actions.get(action_uid)
+        if info is None:
+            return _UNKNOWN
+        seen = set()
+        while info.parent:
+            if info.parent in seen:
+                return _UNKNOWN
+            seen.add(info.parent)
+            parent = self._actions.get(info.parent)
+            if parent is None:
+                return _UNKNOWN
+            if colour in parent.colours and parent.end_seq is None:
+                return parent.uid
+            info = parent
+        return ""
+
+    def _on_commit_route(self, seq: int, event: ObsEvent) -> None:
+        action = str(event.label("action", ""))
+        colour = str(event.label("colour", ""))
+        dest = str(event.label("dest", ""))
+        expected = self._expected_route(action, colour)
+        if expected is _UNKNOWN or dest == expected:
+            return
+        if expected == "":
+            message = (f"colour {colour} of {action} routed to {dest} "
+                       f"although the action is outermost for it")
+        elif dest == "":
+            message = (f"colour {colour} of {action} made permanent "
+                       f"although live ancestor {expected} possesses it")
+        else:
+            message = (f"colour {colour} of {action} routed to {dest}; "
+                       f"closest live same-coloured ancestor is {expected}")
+        self._finding(F.COMMIT_ROUTE, message, tick=event.tick,
+                      colour=colour, node=str(event.label("node", "")),
+                      action=action, event_seqs=(seq,))
+
+    def _on_colour_permanent(self, seq: int, event: ObsEvent) -> None:
+        action = str(event.label("action", ""))
+        colour = str(event.label("colour", ""))
+        node = str(event.label("node", ""))
+        info = self._actions.get(action)
+        if info is None:
+            return
+        if colour and colour not in info.colours:
+            self._finding(
+                F.ATOMICITY,
+                f"{action} persisted colour {colour} it does not possess",
+                tick=event.tick, colour=colour, node=node, action=action,
+                event_seqs=(seq,),
+            )
+        elif info.outcome == "aborted":
+            self._finding(
+                F.ATOMICITY,
+                f"aborted action {action} persisted colour {colour}",
+                tick=event.tick, colour=colour, node=node, action=action,
+                event_seqs=(info.end_seq or seq, seq),
+            )
+
+    # -- 2PC state machine -----------------------------------------------------
+
+    def _txn(self, event: ObsEvent) -> Optional[_TxnState]:
+        txn = str(event.label("txn", ""))
+        if not txn:
+            return None
+        state = self._txns.get(txn)
+        if state is None:
+            state = self._txns[txn] = _TxnState(txn=txn)
+        return state
+
+    def _on_twopc_begin(self, seq: int, event: ObsEvent) -> None:
+        state = self._txn(event)
+        if state is None:
+            return
+        state.colour = str(event.label("colour", ""))
+        state.action = str(event.label("action", ""))
+        state.coordinator = str(event.label("node", ""))
+        participants = str(event.label("participants", ""))
+        state.participants = {p for p in participants.split(",") if p}
+
+    def _on_twopc_vote(self, seq: int, event: ObsEvent) -> None:
+        state = self._txn(event)
+        if state is None:
+            return
+        node = str(event.label("node", ""))
+        vote = str(event.label("vote", ""))
+        state.votes.setdefault(node, []).append((vote, seq))
+
+    def _on_twopc_decision(self, seq: int, event: ObsEvent) -> None:
+        state = self._txn(event)
+        if state is None:
+            return
+        decision = str(event.label("decision", ""))
+        tick = event.tick
+        opposite = "abort" if decision == "commit" else "commit"
+        if opposite in state.decisions:
+            self._finding(
+                F.DECISION_CONFLICT,
+                f"{state.txn} decided {decision} after deciding {opposite}",
+                tick=tick, txn=state.txn, colour=state.colour,
+                event_seqs=(state.decisions[opposite], seq),
+            )
+        if decision == "commit":
+            negative = [
+                (node, vote, vseq)
+                for node, votes in state.votes.items()
+                for vote, vseq in votes if vote != "commit"
+            ]
+            if negative:
+                node, vote, vseq = negative[0]
+                self._finding(
+                    F.COMMIT_AFTER_ROLLBACK,
+                    f"{state.txn} decided commit although {node} voted "
+                    f"{vote}",
+                    tick=tick, txn=state.txn, node=node,
+                    colour=state.colour, event_seqs=(vseq, seq),
+                )
+        state.decisions.setdefault(decision, seq)
+
+    def _on_twopc_commit(self, seq: int, event: ObsEvent) -> None:
+        state = self._txn(event)
+        if state is None:
+            return
+        node = str(event.label("node", ""))
+        evidence = "commit" in state.decisions or "commit" in state.queried
+        if not evidence:
+            self._finding(
+                F.COMMIT_WITHOUT_DECISION,
+                f"{node} promoted shadows for {state.txn} with no commit "
+                f"decision in evidence",
+                tick=event.tick, txn=state.txn, node=node,
+                event_seqs=(seq,),
+            )
+        if "abort" in state.decisions:
+            self._finding(
+                F.ATOMICITY,
+                f"{node} promoted shadows for {state.txn}, which decided "
+                f"abort — aborted colour left stable effects",
+                tick=event.tick, txn=state.txn, node=node,
+                colour=state.colour,
+                event_seqs=(state.decisions["abort"], seq),
+            )
+        state.applies.setdefault(node, seq)
+
+    def _on_twopc_abort(self, seq: int, event: ObsEvent) -> None:
+        state = self._txn(event)
+        if state is None:
+            return
+        state.aborts.setdefault(str(event.label("node", "")), seq)
+
+    def _on_twopc_decision_query(self, seq: int, event: ObsEvent) -> None:
+        state = self._txn(event)
+        if state is None:
+            return
+        decision = str(event.label("decision", ""))
+        if (decision == "abort" and "commit" in state.decisions
+                and state.end_seq is None):
+            self._finding(
+                F.PRESUMED_ABORT,
+                f"coordinator answered abort for {state.txn}, which it "
+                f"decided to commit and has not finished",
+                tick=event.tick, txn=state.txn,
+                node=str(event.label("node", "")),
+                event_seqs=(state.decisions["commit"], seq),
+            )
+        if decision == "commit" and "abort" in state.decisions:
+            self._finding(
+                F.DECISION_CONFLICT,
+                f"coordinator answered commit for {state.txn}, which "
+                f"decided abort",
+                tick=event.tick, txn=state.txn,
+                event_seqs=(state.decisions["abort"], seq),
+            )
+        state.queried.setdefault(decision, seq)
+
+    def _on_twopc_end(self, seq: int, event: ObsEvent) -> None:
+        state = self._txn(event)
+        if state is None:
+            return
+        state.end_seq = seq
+        for node, votes in sorted(state.votes.items()):
+            voted_commit = any(vote == "commit" for vote, _ in votes)
+            if not voted_commit:
+                continue
+            if node not in state.applies and node not in state.aborts:
+                self._finding(
+                    F.IN_DOUBT_AFTER_END,
+                    f"coordinator ended {state.txn} but commit-voter "
+                    f"{node} never saw the decision",
+                    tick=event.tick, txn=state.txn, node=node,
+                    event_seqs=(seq,),
+                )
+
+    # -- serialization graph (report-time) -------------------------------------
+
+    def _chain_committed(self, owner: str, colour: str) -> bool:
+        """Did the whole inheritance chain of this access decide commit?
+
+        Walks owner -> closest same-coloured static ancestor -> ... -> the
+        serialization unit; an aborted link anywhere means the access left
+        no effects in this colour (failure atomicity) and must not
+        contribute conflict edges.  Open or unknown links count as
+        committed — a pessimistic choice that keeps live cycles visible.
+        """
+        current = owner
+        seen = set()
+        while True:
+            if current in seen:
+                return True
+            seen.add(current)
+            info = self._actions.get(current)
+            if info is None:
+                return True
+            if info.outcome == "aborted":
+                return False
+            nxt = ""
+            walk = info
+            while walk.parent:
+                parent = self._actions.get(walk.parent)
+                if parent is None:
+                    return True
+                if colour in parent.colours:
+                    nxt = parent.uid
+                    break
+                walk = parent
+            if not nxt:
+                return True
+            current = nxt
+
+    def _unit_of(self, owner: str, colour: str) -> str:
+        """The serialization unit: topmost static ancestor with the colour."""
+        unit = owner
+        info = self._actions.get(owner)
+        seen = set()
+        while info is not None and info.parent and info.parent not in seen:
+            seen.add(info.parent)
+            info = self._actions.get(info.parent)
+            if info is None:
+                break
+            if colour in info.colours:
+                unit = info.uid
+        return unit
+
+    def _check_serialization(self) -> List[Finding]:
+        graphs: Dict[str, SerializationGraph] = {}
+        for (obj, colour), history in sorted(self._accesses.items()):
+            effective = [
+                (seq, owner, mode) for seq, owner, mode in history
+                if self._chain_committed(owner, colour)
+            ]
+            if len(effective) < 2:
+                continue
+            # pairwise edges are quadratic; bound the per-object window so
+            # a pathological history cannot stall report()
+            effective = effective[:512]
+            graph = graphs.get(colour)
+            if graph is None:
+                graph = graphs[colour] = SerializationGraph(colour)
+            units = {
+                owner: self._unit_of(owner, colour)
+                for _, owner, _ in effective
+            }
+            for i, (seq_a, owner_a, mode_a) in enumerate(effective):
+                for seq_b, owner_b, mode_b in effective[i + 1:]:
+                    if owner_a == owner_b:
+                        continue
+                    if not conflicts(mode_a, mode_b):
+                        continue
+                    graph.add_edge(units[owner_a], units[owner_b],
+                                   (seq_a, seq_b))
+        found: List[Finding] = []
+        for colour, graph in sorted(graphs.items()):
+            cycle = graph.find_cycle()
+            if cycle is None:
+                continue
+            seqs = graph.cycle_witnesses(cycle)
+            finding = Finding(
+                kind=F.SERIALIZATION_CYCLE,
+                message=(f"serialization units of colour {colour} form a "
+                         f"cycle: {' -> '.join(cycle)}"),
+                colour=colour, event_seqs=seqs,
+            )
+            found.append(finding)
+            self._count(F.SERIALIZATION_CYCLE,
+                        (F.SERIALIZATION_CYCLE, colour, tuple(cycle)))
+        return found
+
+    _HANDLERS = {
+        "action.begin": _on_action_begin,
+        "action.end": _on_action_end,
+        "lock.granted": _on_lock_granted,
+        "lock.released": _on_lock_released,
+        "lock.inherited": _on_lock_inherited,
+        "node.restart": _on_node_restart,
+        "commit.route": _on_commit_route,
+        "colour.permanent": _on_colour_permanent,
+        "twopc.begin": _on_twopc_begin,
+        "twopc.vote": _on_twopc_vote,
+        "twopc.decision": _on_twopc_decision,
+        "twopc.commit": _on_twopc_commit,
+        "twopc.abort": _on_twopc_abort,
+        "twopc.decision_query": _on_twopc_decision_query,
+        "twopc.end": _on_twopc_end,
+    }

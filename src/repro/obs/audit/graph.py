@@ -1,0 +1,71 @@
+"""Per-colour serialization graphs over observed lock grants.
+
+Nodes are *serialization units*: the topmost action in the inheritance
+chain that possesses the colour (§5.3 — a committed constituent's locks
+travel to its closest same-coloured ancestor, so everything below the unit
+serializes as one).  A directed edge u -> v records that some effective
+access by u preceded a conflicting access by v on the same object; a cycle
+means the colour's committed units cannot be ordered — per-colour
+serializability (§5.1) is broken.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+
+def conflicts(mode_a: str, mode_b: str) -> bool:
+    """Two accesses conflict when at least one of them writes."""
+    return "write" in (mode_a, mode_b)
+
+
+class SerializationGraph:
+    """Conflict graph for one colour; nodes are serialization-unit uids."""
+
+    def __init__(self, colour: str):
+        self.colour = colour
+        self.edges: Dict[str, Set[str]] = {}
+        #: first (earlier-seq, later-seq) event pair that witnessed an edge
+        self.witness: Dict[Tuple[str, str], Tuple[int, int]] = {}
+
+    def add_edge(self, src: str, dst: str, witness: Tuple[int, int]) -> None:
+        if src == dst:
+            return
+        self.edges.setdefault(src, set()).add(dst)
+        self.edges.setdefault(dst, set())
+        self.witness.setdefault((src, dst), witness)
+
+    def find_cycle(self) -> Optional[List[str]]:
+        """A cycle as [u1, u2, ..., u1], or None.  Deterministic order."""
+        WHITE, GREY, BLACK = 0, 1, 2
+        state = {node: WHITE for node in self.edges}
+        for root in sorted(self.edges):
+            if state[root] != WHITE:
+                continue
+            state[root] = GREY
+            path = [root]
+            stack = [iter(sorted(self.edges.get(root, ())))]
+            while stack:
+                advanced = False
+                for nxt in stack[-1]:
+                    mark = state.get(nxt, WHITE)
+                    if mark == GREY:
+                        at = path.index(nxt)
+                        return path[at:] + [nxt]
+                    if mark == WHITE:
+                        state[nxt] = GREY
+                        path.append(nxt)
+                        stack.append(iter(sorted(self.edges.get(nxt, ()))))
+                        advanced = True
+                        break
+                if not advanced:
+                    state[path.pop()] = BLACK
+                    stack.pop()
+        return None
+
+    def cycle_witnesses(self, cycle: List[str]) -> Tuple[int, ...]:
+        """Event seqs backing each edge of a cycle, for the finding."""
+        seqs: List[int] = []
+        for src, dst in zip(cycle, cycle[1:]):
+            seqs.extend(self.witness.get((src, dst), ()))
+        return tuple(sorted(set(seqs)))

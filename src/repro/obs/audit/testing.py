@@ -1,0 +1,78 @@
+"""Test-suite integration: make auditor findings hard failures.
+
+:func:`install_online_audit` is a context manager (used by an autouse
+fixture in ``tests/conftest.py``) that tracks every Observability hub
+created inside it and auto-attaches a hub to every LocalRuntime that
+would otherwise run dark.  On exit it collects the findings of every
+hub's auditor; any finding raises ``AssertionError`` — and when
+``REPRO_OBS_DUMP`` names a directory, the offending hubs' full dumps
+(spans + metrics + event log) are saved there first so the failure can
+be replayed with ``python -m repro.obs.audit``.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import List
+
+
+@contextmanager
+def install_online_audit(dump_dir=None):
+    from repro.obs.hub import Observability
+    from repro.runtime.runtime import LocalRuntime
+
+    hubs: List[Observability] = []
+    original_hub_init = Observability.__init__
+    original_runtime_init = LocalRuntime.__init__
+
+    def recording_hub_init(self, *args, **kwargs):
+        original_hub_init(self, *args, **kwargs)
+        hubs.append(self)
+
+    def audited_runtime_init(self, *args, **kwargs):
+        original_runtime_init(self, *args, **kwargs)
+        if self.obs is None:
+            self.attach_observability(Observability())
+
+    Observability.__init__ = recording_hub_init
+    LocalRuntime.__init__ = audited_runtime_init
+    try:
+        yield hubs
+    finally:
+        Observability.__init__ = original_hub_init
+        LocalRuntime.__init__ = original_runtime_init
+        _assert_clean(hubs, dump_dir)
+
+
+def _assert_clean(hubs, dump_dir=None) -> None:
+    guilty = []
+    for hub in hubs:
+        found = hub.auditor.report()
+        if found:
+            guilty.append((hub, found))
+    if not guilty:
+        return
+    target = dump_dir or os.environ.get("REPRO_OBS_DUMP")
+    saved = []
+    if target:
+        os.makedirs(target, exist_ok=True)
+        for index, (hub, _found) in enumerate(guilty):
+            path = os.path.join(target, f"audit-violation-{index}.trace.json")
+            try:
+                hub.save(path)
+            except OSError:
+                continue
+            saved.append(path)
+    lines = [
+        f"online invariant auditor: "
+        f"{sum(len(found) for _, found in guilty)} finding(s) "
+        f"across {len(guilty)} hub(s)"
+    ]
+    for _hub, found in guilty:
+        lines.extend(f"  {finding}" for finding in found[:20])
+        if len(found) > 20:
+            lines.append(f"  ... and {len(found) - 20} more")
+    if saved:
+        lines.append("dumps: " + ", ".join(saved))
+    raise AssertionError("\n".join(lines))

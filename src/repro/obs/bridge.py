@@ -40,7 +40,13 @@ class ObservabilityBridge:
         )
         action._obs_span = span
         self.hub.count("actions_started_total", node=self.node)
-        self.hub.emit("action.begin", action=str(action.uid), name=action.name)
+        self.hub.emit(
+            "action.begin", action=str(action.uid), name=action.name,
+            parent=(str(action.parent.uid) if action.parent is not None
+                    else ""),
+            colours=colour_names(action.colours),
+            node=getattr(action, "home", "") or self.node,
+        )
 
     def on_action_terminated(self, action) -> None:
         outcome = ("committed" if action.status is ActionStatus.COMMITTED
@@ -53,15 +59,17 @@ class ObservabilityBridge:
             span.set(outcome=outcome)
             span.finish()
         self.hub.emit("action.end", action=str(action.uid),
-                      name=action.name, outcome=outcome)
+                      name=action.name, outcome=outcome,
+                      colours=colour_names(action.colours),
+                      node=getattr(action, "home", "") or self.node)
 
     def on_lock_granted(self, action, object_uid, mode, colour) -> None:
+        """Counter + span event only: the bus-level ``lock.granted`` event
+        now originates at the lock registry itself (with owner and node
+        labels), which also covers grants no observer sees."""
         mode_label = getattr(mode, "value", None) or str(mode)
         self.hub.count("lock_grants_total", mode=mode_label, node=self.node)
         span: Optional[object] = getattr(action, "_obs_span", None)
         if span is not None:
             span.event("lock.granted", object=str(object_uid),
                        mode=mode_label, colour=str(colour))
-        self.hub.emit("lock.granted", action=str(action.uid),
-                      object=str(object_uid), mode=mode_label,
-                      colour=str(colour))

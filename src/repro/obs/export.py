@@ -179,8 +179,9 @@ def text_report(dump: Union[MetricsRegistry, Dict[str, Any]]) -> str:
 
 def save_trace(path: str, tracer: Optional[Tracer] = None,
                metrics: Optional[Union[MetricsRegistry, Dict[str, Any]]] = None,
-               extra: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
-    """Persist spans and/or metrics as one JSON document; returns it too."""
+               extra: Optional[Dict[str, Any]] = None,
+               events: Optional[List[Dict[str, Any]]] = None) -> Dict[str, Any]:
+    """Persist spans/metrics/bus-events as one JSON document; returns it."""
     document: Dict[str, Any] = {"format": "repro-obs/1"}
     if tracer is not None:
         document["spans"] = tracer.to_dicts()
@@ -188,6 +189,8 @@ def save_trace(path: str, tracer: Optional[Tracer] = None,
         document["metrics"] = (
             metrics.dump() if isinstance(metrics, MetricsRegistry) else metrics
         )
+    if events is not None:
+        document["events"] = events
     if extra:
         document["extra"] = extra
     with open(path, "w", encoding="utf-8") as handle:

@@ -37,6 +37,16 @@ class Observability:
         self.tracer = Tracer(tick_source)
         self.bus = EventBus()
         self._tick_source = tick_source
+        # always-on runtime verification: every hub audits its own event
+        # stream (repro.obs.audit) and measures real grant->release lock
+        # hold times; both are pure subscribers and never block the bus.
+        from repro.obs.audit.auditor import InvariantAuditor
+        from repro.obs.audit.holdtime import LockHoldTracker
+
+        self.auditor = InvariantAuditor(metrics=self.metrics)
+        self.bus.subscribe(self.auditor.consume)
+        self.hold_times = LockHoldTracker(self.metrics)
+        self.bus.subscribe(self.hold_times.consume)
 
     def now(self) -> float:
         if self._tick_source is not None:
@@ -82,4 +92,4 @@ class Observability:
 
     def save(self, path: str, extra: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
         return save_trace(path, tracer=self.tracer, metrics=self.metrics,
-                          extra=extra)
+                          extra=extra, events=self.auditor.event_dicts())

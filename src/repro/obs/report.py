@@ -71,6 +71,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     except (OSError, json.JSONDecodeError) as error:
         print(f"error: cannot read {args.path}: {error}", file=sys.stderr)
         return 1
+    if not isinstance(raw, dict):
+        print(f"error: {args.path} is not a trace/metrics document "
+              f"(expected a JSON object, got {type(raw).__name__})",
+              file=sys.stderr)
+        return 1
     print(render(_as_document(raw), timeline=args.timeline,
                  metrics_only=args.metrics_only, trace_id=args.trace,
                  width=args.width))

@@ -62,6 +62,9 @@ class LocalRuntime(ActionRuntime):
         #: optional Observability hub (see repro.obs); None = dark.
         self.obs = None
         self._obs_node = "local"
+        #: action uid -> open termination span (commit/abort in flight),
+        #: so persist spans can parent onto them
+        self._terminating: Dict[Uid, object] = {}
 
     # -- ActionRuntime contract ------------------------------------------------
 
@@ -83,8 +86,40 @@ class LocalRuntime(ActionRuntime):
         Single store, single mutex — the multi-object write is atomic with
         respect to every other runtime operation.
         """
-        for object_uid in sorted(written):
-            written[object_uid].persist_to(self.store)
+        span = None
+        if self.obs is not None:
+            parent = (self._terminating.get(action.uid)
+                      or getattr(action, "_obs_span", None))
+            span = self.obs.span(f"persist:{colour}", parent=parent,
+                                 kind="client", node=self._obs_node,
+                                 colour=str(colour))
+        try:
+            for object_uid in sorted(written):
+                written[object_uid].persist_to(self.store)
+        except Exception:
+            if span is not None:
+                span.set(outcome="failed").finish()
+            raise
+        if self.obs is not None:
+            self.obs.emit("colour.permanent", action=str(action.uid),
+                          colour=str(colour),
+                          objects=",".join(sorted(str(u) for u in written)),
+                          node=self._obs_node)
+            self.obs.count("colour_permanent_total", colour=str(colour))
+            span.set(outcome="persisted").finish()
+
+    def note_commit_route(self, action: Action, colour: Colour,
+                          destination) -> None:
+        """Publish §5.3 routing (same event the cluster client emits)."""
+        if self.obs is None:
+            return
+        self.obs.emit(
+            "commit.route", action=str(action.uid), colour=str(colour),
+            dest=(str(destination.uid) if destination is not None else ""),
+            node=self._obs_node,
+        )
+        if destination is not None:
+            self.obs.count("colour_inherited_total", colour=str(colour))
 
     def action_terminated(self, action: Action) -> None:
         for observer in self._observers:
@@ -115,7 +150,12 @@ class LocalRuntime(ActionRuntime):
 
         self.obs = hub
         self._obs_node = node
+        self._registry.on_event = self._emit_lock_event
         self.add_observer(ObservabilityBridge(hub, node=node))
+
+    def _emit_lock_event(self, kind: str, **labels) -> None:
+        if self.obs is not None:
+            self.obs.emit(kind, node=self._obs_node, **labels)
 
     # -- object management ------------------------------------------------------
 
@@ -171,12 +211,45 @@ class LocalRuntime(ActionRuntime):
     # -- termination (mutex-guarded wrappers) -------------------------------------------
 
     def commit_action(self, action: Action) -> Outcome:
-        with self._mutex:
-            return action.commit()
+        span = self._termination_span(action, "commit")
+        try:
+            with self._mutex:
+                outcome = action.commit()
+        except Exception:
+            if span is not None:
+                span.set(outcome="commit-failed").finish()
+            raise
+        finally:
+            self._terminating.pop(action.uid, None)
+        if span is not None:
+            span.set(outcome="committed").finish()
+        return outcome
 
     def abort_action(self, action: Action) -> Outcome:
-        with self._mutex:
-            return action.abort()
+        span = self._termination_span(action, "abort")
+        try:
+            with self._mutex:
+                outcome = action.abort()
+        except Exception:
+            if span is not None:
+                span.set(outcome="abort-failed").finish()
+            raise
+        finally:
+            self._terminating.pop(action.uid, None)
+        if span is not None:
+            span.set(outcome="aborted").finish()
+        return outcome
+
+    def _termination_span(self, action: Action, name: str):
+        """Client-kind termination span — the local analogue of the
+        cluster client's commit/abort RPC spans, so local and cluster
+        traces share one shape."""
+        if self.obs is None:
+            return None
+        span = self.obs.span(name, parent=getattr(action, "_obs_span", None),
+                             kind="client", node=self._obs_node)
+        self._terminating[action.uid] = span
+        return span
 
     # -- lock acquisition -----------------------------------------------------------------
 

@@ -3,9 +3,27 @@
 import pytest
 
 from repro.locking.rules import ColouredRules, ConventionalRules
+from repro.obs.audit.testing import install_online_audit
 from repro.runtime.runtime import LocalRuntime
 from repro.sim.kernel import Kernel
 from repro.util.uid import UidGenerator
+
+@pytest.fixture(autouse=True)
+def _online_invariant_audit(request):
+    """Run chaos and property suites under the online auditor.
+
+    Every Observability hub created in these modules gets its findings
+    asserted empty after the test, and every LocalRuntime is
+    auto-instrumented so nothing runs dark.  Findings are hard failures.
+    """
+    module = request.node.module.__name__.rsplit(".", 1)[-1]
+    audited = (module == "test_chaos_invariants"
+               or module.startswith("test_prop_"))
+    if not audited:
+        yield
+        return
+    with install_online_audit():
+        yield
 
 
 @pytest.fixture

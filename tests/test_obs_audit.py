@@ -1,0 +1,439 @@
+"""The online invariant auditor: seeded violations, clean runs, CLI.
+
+Every test seeds exactly one class of misbehaviour — either through the
+real harness (a LocalRuntime mis-driven on purpose) or through a
+synthetic event stream — and asserts the auditor reports exactly that
+finding kind.  Clean streams and clean harness runs must report nothing.
+"""
+
+import json
+
+import pytest
+
+from repro.actions.action import Action
+from repro.obs import Observability
+from repro.obs.audit import Finding, InvariantAuditor, LockHoldTracker
+from repro.obs.audit import findings as F
+from repro.obs.audit.__main__ import main as audit_main
+from repro.obs.audit.testing import install_online_audit
+from repro.obs.bus import ObsEvent
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.report import main as report_main
+from repro.runtime.runtime import LocalRuntime
+from repro.stdobjects import Counter
+
+
+def feed(auditor, events):
+    """Replay (kind, labels) pairs; ticks are the stream positions."""
+    for index, (kind, labels) in enumerate(events):
+        auditor.consume(ObsEvent(tick=float(index), kind=kind,
+                                 labels=labels))
+
+
+def kinds_of(auditor):
+    return {finding.kind for finding in auditor.report()}
+
+
+def begin(uid, parent="", colours="c", node="local"):
+    return ("action.begin", {"action": uid, "name": uid, "parent": parent,
+                             "colours": colours, "node": node})
+
+
+def grant(owner, obj, mode="write", colour="c", node="local"):
+    return ("lock.granted", {"owner": owner, "object": obj, "mode": mode,
+                             "colour": colour, "node": node})
+
+
+def release(owner, obj, colour="c", node="local", reason="commit"):
+    return ("lock.released", {"owner": owner, "object": obj,
+                              "colour": colour, "node": node,
+                              "reason": reason})
+
+
+# -- real-harness seeded violations -------------------------------------------
+
+
+def observed_runtime():
+    runtime = LocalRuntime()
+    hub = Observability()
+    runtime.attach_observability(hub)
+    return runtime, hub
+
+
+def test_clean_local_run_has_no_findings():
+    runtime, hub = observed_runtime()
+    with runtime.top_level(name="outer"):
+        counter = Counter(runtime, value=0)
+        with runtime.atomic(name="inner"):
+            counter.increment(2)
+        counter.increment(1)
+    assert hub.auditor.report() == []
+
+
+def test_seeded_premature_release_is_a_two_phase_violation():
+    """A buggy runtime that unlocks mid-action and then re-acquires."""
+    runtime, hub = observed_runtime()
+    with runtime.top_level(name="t") as action:
+        counter = Counter(runtime, value=0)
+        counter.increment(1)
+        runtime.locks.release_action(action.uid)   # the seeded bug
+        counter.increment(1)                       # growing after shrinking
+    assert kinds_of(hub.auditor) == {F.TWO_PHASE}
+
+
+def test_seeded_misrouted_commit_is_a_commit_route_violation(monkeypatch):
+    """A child that persists a colour its live parent still possesses."""
+    runtime, hub = observed_runtime()
+    with runtime.top_level(name="outer"):
+        counter = Counter(runtime, value=0)
+        scope = runtime.atomic(name="inner")
+        with scope:
+            counter.increment(1)
+            # seeded routing bug: "no ancestor has my colours"
+            monkeypatch.setattr(Action, "closest_ancestor_with",
+                                lambda self, colour: None)
+        monkeypatch.undo()
+    assert kinds_of(hub.auditor) == {F.COMMIT_ROUTE}
+
+
+def test_install_online_audit_raises_and_dumps(tmp_path):
+    with pytest.raises(AssertionError) as failure:
+        with install_online_audit(dump_dir=str(tmp_path)):
+            runtime = LocalRuntime()   # auto-instrumented by the fixture
+            with runtime.top_level(name="t") as action:
+                counter = Counter(runtime, value=0)
+                counter.increment(1)
+                runtime.locks.release_action(action.uid)
+                counter.increment(1)
+    assert F.TWO_PHASE in str(failure.value)
+    dumps = sorted(tmp_path.glob("audit-violation-*.trace.json"))
+    assert dumps, "guilty hub dump should be saved for offline replay"
+    assert audit_main([str(dumps[0])]) == 2    # CLI agrees on the replay
+
+
+def test_install_online_audit_passes_clean_runs(tmp_path):
+    with install_online_audit(dump_dir=str(tmp_path)):
+        runtime = LocalRuntime()
+        with runtime.top_level(name="t"):
+            Counter(runtime, value=0).increment(1)
+    assert list(tmp_path.glob("*.trace.json")) == []
+
+
+# -- synthetic streams: locking ------------------------------------------------
+
+
+def test_clean_inheritance_stream_has_no_findings():
+    auditor = InvariantAuditor()
+    feed(auditor, [
+        begin("P"),
+        begin("C", parent="P"),
+        grant("C", "o1"),
+        ("commit.route", {"action": "C", "colour": "c", "dest": "P",
+                          "node": "local"}),
+        ("lock.inherited", {"owner": "C", "to": "P", "object": "o1",
+                            "mode": "write", "colour": "c",
+                            "node": "local"}),
+        ("action.end", {"action": "C", "outcome": "committed"}),
+        ("commit.route", {"action": "P", "colour": "c", "dest": "",
+                          "node": "local"}),
+        ("colour.permanent", {"action": "P", "colour": "c",
+                              "objects": "o1", "node": "local"}),
+        release("P", "o1"),
+        ("action.end", {"action": "P", "outcome": "committed"}),
+    ])
+    assert auditor.report() == []
+
+
+def test_conflicting_write_grant_is_a_lock_rule_violation():
+    auditor = InvariantAuditor()
+    feed(auditor, [
+        begin("A"),
+        begin("B"),
+        grant("A", "o1"),
+        grant("B", "o1"),   # non-ancestor holder: breaks rule W
+    ])
+    assert kinds_of(auditor) == {F.LOCK_RULE}
+
+
+def test_cross_colour_write_records_are_a_lock_rule_violation():
+    auditor = InvariantAuditor()
+    feed(auditor, [
+        begin("P", colours="c1,c2"),
+        begin("A", parent="P", colours="c1,c2"),
+        grant("P", "o1", colour="c1"),
+        grant("A", "o1", colour="c2"),   # holder IS an ancestor, but the
+                                         # write records disagree on colour
+    ])
+    assert kinds_of(auditor) == {F.LOCK_RULE}
+
+
+def test_node_restart_resets_lock_state():
+    auditor = InvariantAuditor()
+    feed(auditor, [
+        begin("A", node="n1"),
+        begin("B", node="n1"),
+        grant("A", "o1", node="n1"),
+        ("node.restart", {"node": "n1"}),
+        grant("B", "o1", node="n1"),   # fine: the crash wiped A's record
+    ])
+    assert auditor.report() == []
+
+
+def test_unit_cycle_is_a_serialization_violation():
+    auditor = InvariantAuditor()
+    feed(auditor, [
+        begin("A"),
+        begin("A1", parent="A"),
+        begin("A2", parent="A"),
+        begin("B"),
+        grant("A1", "o1"),
+        release("A1", "o1"),
+        grant("B", "o1"),        # unit A before unit B on o1
+        grant("B", "o2"),
+        release("B", "o1"),
+        release("B", "o2"),
+        grant("A2", "o2"),       # unit B before unit A on o2: a cycle
+    ])
+    report = auditor.report()
+    assert {finding.kind for finding in report} == {F.SERIALIZATION_CYCLE}
+    [finding] = report
+    assert "A" in finding.message and "B" in finding.message
+
+
+def test_misrouted_permanence_is_a_commit_route_violation():
+    auditor = InvariantAuditor()
+    feed(auditor, [
+        begin("P"),
+        begin("C", parent="P"),
+        ("commit.route", {"action": "C", "colour": "c", "dest": "",
+                          "node": "local"}),   # P is live and coloured c
+    ])
+    assert kinds_of(auditor) == {F.COMMIT_ROUTE}
+
+
+def test_persisting_an_unpossessed_colour_is_an_atomicity_violation():
+    auditor = InvariantAuditor()
+    feed(auditor, [
+        begin("A", colours="c1"),
+        ("colour.permanent", {"action": "A", "colour": "c2",
+                              "objects": "o1", "node": "local"}),
+    ])
+    assert kinds_of(auditor) == {F.ATOMICITY}
+
+
+# -- synthetic streams: 2PC state machine -------------------------------------
+
+
+def test_commit_decision_over_a_rollback_vote():
+    auditor = InvariantAuditor()
+    feed(auditor, [
+        ("twopc.begin", {"txn": "t1", "action": "A", "colour": "c",
+                         "participants": "n1", "node": "home"}),
+        ("twopc.vote", {"txn": "t1", "node": "n1", "vote": "rollback",
+                        "colour": "c"}),
+        ("twopc.decision", {"txn": "t1", "decision": "commit",
+                            "node": "home"}),
+    ])
+    assert kinds_of(auditor) == {F.COMMIT_AFTER_ROLLBACK}
+
+
+def test_shadow_promotion_without_a_decision():
+    auditor = InvariantAuditor()
+    feed(auditor, [
+        ("twopc.vote", {"txn": "t1", "node": "n1", "vote": "commit",
+                        "colour": "c"}),
+        ("twopc.commit", {"txn": "t1", "node": "n1", "objects": "o1"}),
+    ])
+    assert kinds_of(auditor) == {F.COMMIT_WITHOUT_DECISION}
+
+
+def test_shadow_promotion_after_an_abort_decision():
+    auditor = InvariantAuditor()
+    feed(auditor, [
+        ("twopc.decision", {"txn": "t1", "decision": "abort",
+                            "node": "home"}),
+        ("twopc.commit", {"txn": "t1", "node": "n1", "objects": "o1"}),
+    ])
+    assert kinds_of(auditor) == {F.ATOMICITY, F.COMMIT_WITHOUT_DECISION}
+
+
+def test_presumed_abort_contradicting_a_logged_commit():
+    auditor = InvariantAuditor()
+    feed(auditor, [
+        ("twopc.decision", {"txn": "t1", "decision": "commit",
+                            "node": "home"}),
+        ("twopc.decision_query", {"txn": "t1", "decision": "abort",
+                                  "node": "home"}),
+    ])
+    assert kinds_of(auditor) == {F.PRESUMED_ABORT}
+
+
+def test_opposite_decisions_conflict():
+    auditor = InvariantAuditor()
+    feed(auditor, [
+        ("twopc.decision", {"txn": "t1", "decision": "commit",
+                            "node": "home"}),
+        ("twopc.decision", {"txn": "t1", "decision": "abort",
+                            "node": "home"}),
+    ])
+    assert kinds_of(auditor) == {F.DECISION_CONFLICT}
+
+
+def test_commit_voter_left_in_doubt_after_coordinator_end():
+    auditor = InvariantAuditor()
+    feed(auditor, [
+        ("twopc.vote", {"txn": "t1", "node": "n1", "vote": "commit",
+                        "colour": "c"}),
+        ("twopc.decision", {"txn": "t1", "decision": "commit",
+                            "node": "home"}),
+        ("twopc.end", {"txn": "t1", "node": "home"}),
+    ])
+    assert kinds_of(auditor) == {F.IN_DOUBT_AFTER_END}
+
+
+def test_clean_twopc_round_has_no_findings():
+    auditor = InvariantAuditor()
+    feed(auditor, [
+        ("twopc.begin", {"txn": "t1", "action": "A", "colour": "c",
+                         "participants": "n1,n2", "node": "home"}),
+        ("twopc.vote", {"txn": "t1", "node": "n1", "vote": "commit",
+                        "colour": "c"}),
+        ("twopc.vote", {"txn": "t1", "node": "n2", "vote": "commit",
+                        "colour": "c"}),
+        ("twopc.decision", {"txn": "t1", "decision": "commit",
+                            "node": "home"}),
+        ("twopc.commit", {"txn": "t1", "node": "n1", "objects": "o1"}),
+        ("twopc.commit", {"txn": "t1", "node": "n2", "objects": "o2"}),
+        ("twopc.end", {"txn": "t1", "node": "home"}),
+    ])
+    assert auditor.report() == []
+
+
+def test_findings_are_counted_once_in_metrics():
+    registry = MetricsRegistry()
+    auditor = InvariantAuditor(metrics=registry)
+    feed(auditor, [
+        begin("A"),
+        ("colour.permanent", {"action": "A", "colour": "zz",
+                              "objects": "o1", "node": "local"}),
+    ])
+    auditor.report()
+    auditor.report()   # report-time checks must not double-count
+    assert registry.value("audit_findings_total",
+                          kind=F.ATOMICITY) == 1
+
+
+def test_finding_round_trips_through_dict():
+    finding = Finding(kind=F.TWO_PHASE, message="m", tick=1.0, colour="c",
+                      node="n", action="a", object="o", event_seqs=(1, 2))
+    as_dict = finding.to_dict()
+    assert as_dict["kind"] == F.TWO_PHASE
+    assert as_dict["event_seqs"] == [1, 2]
+    assert F.TWO_PHASE in str(finding)
+
+
+# -- the lock hold-time histogram ---------------------------------------------
+
+
+def test_hold_time_spans_inheritance_and_is_labelled_by_colour():
+    registry = MetricsRegistry()
+    tracker = LockHoldTracker(registry)
+    labels = {"node": "n1", "owner": "A", "object": "o1", "colour": "c"}
+    tracker.consume(ObsEvent(1.0, "lock.granted", dict(labels)))
+    tracker.consume(ObsEvent(4.0, "lock.inherited",
+                             dict(labels, to="P")))
+    tracker.consume(ObsEvent(9.0, "lock.released",
+                             dict(labels, owner="P")))
+    histogram = registry.histogram("lock_hold_time", node="n1",
+                                   colour="c", object="o1")
+    assert histogram.count == 1
+    assert histogram.total == 8.0   # clock survives the commit hand-off
+
+
+def test_hold_time_clocks_die_with_their_node():
+    registry = MetricsRegistry()
+    tracker = LockHoldTracker(registry)
+    labels = {"node": "n1", "owner": "A", "object": "o1", "colour": "c"}
+    tracker.consume(ObsEvent(1.0, "lock.granted", dict(labels)))
+    tracker.consume(ObsEvent(2.0, "node.restart", {"node": "n1"}))
+    tracker.consume(ObsEvent(5.0, "lock.released", dict(labels)))
+    histogram = registry.histogram("lock_hold_time", node="n1",
+                                   colour="c", object="o1")
+    assert histogram.count == 0
+
+
+def test_local_runtime_populates_hold_time_histogram():
+    runtime, hub = observed_runtime()
+    with runtime.top_level(name="t"):
+        Counter(runtime, value=0).increment(1)
+    rows = [row for row in hub.dump()["histograms"]
+            if row["name"] == "lock_hold_time"]
+    assert rows
+    assert all(row["labels"].get("colour") for row in rows)
+
+
+# -- CLI: python -m repro.obs.audit -------------------------------------------
+
+
+def save_hub(hub, tmp_path, name="run.trace.json"):
+    path = tmp_path / name
+    hub.save(str(path))
+    return str(path)
+
+
+def test_audit_cli_clean_dump_exits_zero(tmp_path, capsys):
+    runtime, hub = observed_runtime()
+    with runtime.top_level(name="t"):
+        Counter(runtime, value=0).increment(1)
+    assert audit_main([save_hub(hub, tmp_path)]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_audit_cli_violation_dump_exits_two(tmp_path, capsys):
+    runtime, hub = observed_runtime()
+    with runtime.top_level(name="t") as action:
+        counter = Counter(runtime, value=0)
+        counter.increment(1)
+        runtime.locks.release_action(action.uid)
+        counter.increment(1)
+    path = save_hub(hub, tmp_path)
+    assert audit_main([path]) == 2
+    assert F.TWO_PHASE in capsys.readouterr().out
+    assert audit_main([path, "--json"]) == 2
+    found = json.loads(capsys.readouterr().out)
+    assert F.TWO_PHASE in {entry["kind"] for entry in found}
+
+
+def test_audit_cli_rejects_unusable_input(tmp_path, capsys):
+    assert audit_main([str(tmp_path / "missing.json")]) == 1
+    listing = tmp_path / "list.json"
+    listing.write_text("[1, 2]")
+    assert audit_main([str(listing)]) == 1
+    no_events = tmp_path / "bare.json"
+    no_events.write_text("{\"metrics\": {}}")
+    assert audit_main([str(no_events)]) == 1
+    errors = capsys.readouterr().err
+    assert "events" in errors
+
+
+# -- regression: repro.obs.report on unusable input ---------------------------
+
+
+def test_report_cli_empty_file_is_a_clean_error(tmp_path, capsys):
+    empty = tmp_path / "empty.json"
+    empty.write_text("")
+    assert report_main([str(empty)]) == 1
+    assert "error:" in capsys.readouterr().err
+
+
+def test_report_cli_non_object_input_is_a_clean_error(tmp_path, capsys):
+    listing = tmp_path / "list.json"
+    listing.write_text("[]")
+    assert report_main([str(listing)]) == 1
+    err = capsys.readouterr().err
+    assert "expected a JSON object" in err
+
+
+def test_report_cli_missing_file_is_a_clean_error(tmp_path, capsys):
+    assert report_main([str(tmp_path / "nope.json")]) == 1
+    assert "error:" in capsys.readouterr().err
