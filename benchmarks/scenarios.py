@@ -1,0 +1,424 @@
+"""Perf-observatory scenario harness: deterministic workloads -> BENCH files.
+
+Each scenario spins up a seeded simulated cluster, runs a workload shaped
+to stress one axis of the system, and emits a ``BENCH_<scenario>.json``
+document::
+
+    {
+      "format": "repro-perf/1",
+      "scenario": "contention_sweep",
+      "seed": 11,
+      "params": {...},                # workload shape, for humans
+      "metrics": {...},              # simulated-time numbers — GATED by
+                                     #   python -m repro.obs.perf compare
+      "info": {...}                  # wall-clock numbers (obs overhead,
+                                     #   host-dependent) — never gated
+    }
+
+Everything under ``metrics`` derives from the sim clock, seeded RNGs and
+the metrics registry, so a given seed reproduces the numbers exactly on
+any host; the checked-in baselines at the repository root are diffed with
+tolerance bands by the CI perf gate (exit 2 on regression)::
+
+    python benchmarks/scenarios.py --out /tmp/bench
+    python -m repro.obs.perf compare --baseline . --current /tmp/bench
+
+Scenarios: ``contention_sweep`` (lock contention ladder, plus the
+observability layer's own measured overhead with the flight recorder
+attached), ``colour_sweep`` (commit cost vs colours per action),
+``cluster_fanout`` (commit cost vs participant servers), ``chaos_mix``
+(crash/restart schedule with conservation checked), and
+``prepare_batching`` (round trips saved by batching multi-colour prepare
+sub-calls through ``call_many``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import sys
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+if __package__ in (None, ""):  # standalone: python benchmarks/scenarios.py
+    sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                    os.pardir, "src"))
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.failures import FaultSchedule
+from repro.cluster.network import NetworkConfig
+from repro.obs.perf import ObsOverheadMeter
+from repro.obs.perf.overhead import measure_noop_path
+from repro.objects.state import ObjectState
+from repro.sim.kernel import Timeout
+
+FORMAT = "repro-perf/1"
+
+
+def _round_all(metrics: Dict[str, float], digits: int = 6) -> Dict[str, float]:
+    return {key: round(float(value), digits) for key, value in metrics.items()}
+
+
+def _document(scenario: str, seed: int, params: Dict[str, Any],
+              metrics: Dict[str, float],
+              info: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    doc = {"format": FORMAT, "scenario": scenario, "seed": seed,
+           "params": params, "metrics": _round_all(metrics)}
+    if info:
+        doc["info"] = info
+    return doc
+
+
+def _stable_int(cluster, ref) -> int:
+    stored = cluster.nodes[ref.node].stable_store.read_committed(ref.uid)
+    return ObjectState.from_bytes(stored.payload).unpack_int()
+
+
+# -- contention sweep ---------------------------------------------------------
+
+def _contention_run(seed: int, objects: int, workers: int, ops: int,
+                    metered: bool = False):
+    """Workers hammer a shared counter pool; fewer objects = more conflict."""
+    cluster = Cluster(seed=seed, lock_wait_timeout=40.0)
+    nodes = ("n0", "n1", "n2")
+    for name in nodes:
+        cluster.add_node(name)
+    sampler, recorder = cluster.attach_perf(interval=5.0, seed=seed)
+    refs: List[Any] = []
+    outcomes = {"committed": 0, "aborted": 0}
+
+    def setup():
+        client = cluster.client("n0")
+        for index in range(objects):
+            ref = yield from client.create(nodes[index % len(nodes)],
+                                           "counter", value=0)
+            refs.append(ref)
+
+    cluster.run_process("n0", setup())
+
+    def worker(worker_id: int):
+        client = cluster.client(nodes[worker_id % len(nodes)],
+                                name=f"w{worker_id}")
+        rng = random.Random(seed * 1000 + worker_id)
+        for op in range(ops):
+            picks = rng.sample(refs, k=min(2, len(refs)))
+            action = client.top_level(f"w{worker_id}.op{op}")
+            try:
+                for ref in picks:
+                    yield from client.invoke(action, ref, "increment", 1)
+                yield from client.commit(action)
+                outcomes["committed"] += 1
+            except Exception:
+                outcomes["aborted"] += 1
+                if not action.status.terminated:
+                    yield from client.abort(action)
+            yield Timeout(1.0 + rng.random())
+
+    for worker_id in range(workers):
+        cluster.spawn(nodes[worker_id % len(nodes)], worker(worker_id),
+                      name=f"worker{worker_id}")
+    meter = None
+    if metered:
+        meter = ObsOverheadMeter(cluster.obs).attach()
+    cluster.run()
+    if meter is not None:
+        meter.detach()
+    total = sum(_stable_int(cluster, ref) for ref in refs)
+    assert total == outcomes["committed"] * 2 or len(refs) == 1, (
+        total, outcomes)
+    waits = [h for labels, h in cluster.obs.metrics.series("lock_wait_time")]
+    wait_count = sum(h.count for h in waits)
+    wait_sum = sum(h.total for h in waits)
+    return {
+        "cluster": cluster, "sampler": sampler, "recorder": recorder,
+        "meter": meter,
+        "committed": outcomes["committed"], "aborted": outcomes["aborted"],
+        "elapsed": cluster.kernel.now,
+        "lock_wait_mean": (wait_sum / wait_count) if wait_count else 0.0,
+        "lock_waits": wait_count,
+    }
+
+
+def scenario_contention_sweep(seed: int = 11) -> Dict[str, Any]:
+    workers, ops = 6, 5
+    levels = (8, 4, 2, 1)
+    metrics: Dict[str, float] = {}
+    info: Dict[str, Any] = {}
+    for objects in levels:
+        run = _contention_run(seed, objects, workers, ops,
+                              metered=(objects == levels[-1]))
+        prefix = f"objects={objects}"
+        metrics[f"{prefix}.committed"] = run["committed"]
+        metrics[f"{prefix}.aborted"] = run["aborted"]
+        metrics[f"{prefix}.elapsed_sim"] = run["elapsed"]
+        metrics[f"{prefix}.lock_wait_mean"] = run["lock_wait_mean"]
+        if objects == levels[-1]:
+            metrics["max_contention.timeline_points"] = len(
+                run["sampler"].points)
+            metrics["max_contention.ring_events"] = len(
+                run["recorder"].ring_events())
+            report = run["meter"].report()
+            info["obs_overhead"] = {
+                "events_total": report["events_total"],
+                "obs_wall_seconds": round(report["obs_wall_seconds"], 6),
+                "run_wall_seconds": round(report["run_wall_seconds"], 6),
+                "obs_share": round(report["obs_share"], 4),
+            }
+            info["noop_path"] = {
+                "nanos_per_call": round(
+                    measure_noop_path()["nanos_per_call"], 1),
+            }
+    return _document(
+        "contention_sweep", seed,
+        {"workers": workers, "ops_per_worker": ops, "levels": list(levels)},
+        metrics, info)
+
+
+# -- colour-count sweep -------------------------------------------------------
+
+def _coloured_commits(seed: int, colours: int, commits: int):
+    """Top-level actions with k colours, each colour writing on 2 servers."""
+    cluster = Cluster(seed=seed,
+                      config=NetworkConfig(min_delay=1.0, max_delay=1.0))
+    nodes = ("home", "s0", "s1", "s2")
+    for name in nodes:
+        cluster.add_node(name)
+    client = cluster.client("home")
+    servers = nodes[1:]
+    result: Dict[str, Any] = {}
+
+    def app():
+        pool = {}
+        for server in servers:
+            pool[server] = []
+            for index in range(colours):
+                ref = yield from client.create(server, "counter", value=0)
+                pool[server].append(ref)
+        start = cluster.kernel.now
+        messages_before = cluster.network.sent_count
+        latencies = []
+        for index in range(commits):
+            cols = [client.fresh_colour(f"c{index}.{k}")
+                    for k in range(colours)]
+            action = client.coloured(cols, name=f"multi{index}")
+            for k, colour in enumerate(cols):
+                for server in servers[:2]:
+                    yield from client.invoke(action, pool[server][k],
+                                             "increment", 1, colour=colour)
+            commit_start = cluster.kernel.now
+            yield from client.commit(action)
+            latencies.append(cluster.kernel.now - commit_start)
+        result["commit_latency"] = sum(latencies) / len(latencies)
+        result["messages_per_commit"] = (
+            (cluster.network.sent_count - messages_before) / commits)
+        result["elapsed"] = cluster.kernel.now - start
+
+    cluster.run_process("home", app())
+    result["saved_rpcs"] = cluster.obs.metrics.value(
+        "prepare_batch_saved_rpcs_total")
+    return cluster, result
+
+
+def scenario_colour_sweep(seed: int = 17) -> Dict[str, Any]:
+    commits = 4
+    metrics: Dict[str, float] = {}
+    for colours in (1, 2, 3, 4):
+        _cluster, run = _coloured_commits(seed, colours, commits)
+        prefix = f"colours={colours}"
+        metrics[f"{prefix}.commit_latency"] = run["commit_latency"]
+        metrics[f"{prefix}.messages_per_commit"] = run["messages_per_commit"]
+        metrics[f"{prefix}.saved_prepare_rpcs"] = run["saved_rpcs"]
+    return _document("colour_sweep", seed,
+                     {"commits": commits, "writes_per_colour": 2},
+                     metrics)
+
+
+# -- cluster fan-out ----------------------------------------------------------
+
+def scenario_cluster_fanout(seed: int = 23) -> Dict[str, Any]:
+    """Commit cost vs participant count (the A11 sweep, harnessed)."""
+    commits = 5
+    metrics: Dict[str, float] = {}
+    for participants in (1, 2, 4, 8):
+        names = ["coord"] + [f"p{i}" for i in range(participants)]
+        cluster = Cluster(seed=seed,
+                          config=NetworkConfig(min_delay=1.0, max_delay=1.0))
+        for name in names:
+            cluster.add_node(name)
+        client = cluster.client("coord")
+        result: Dict[str, Any] = {}
+
+        def app(names=names, client=client, cluster=cluster, result=result):
+            refs = []
+            for name in names[1:]:
+                ref = yield from client.create(name, "counter", value=0)
+                refs.append(ref)
+            messages_before = cluster.network.sent_count
+            latencies = []
+            for index in range(commits):
+                action = client.top_level(f"wide{index}")
+                for ref in refs:
+                    yield from client.invoke(action, ref, "increment", 1)
+                commit_start = cluster.kernel.now
+                yield from client.commit(action)
+                latencies.append(cluster.kernel.now - commit_start)
+            result["commit_latency"] = sum(latencies) / len(latencies)
+            result["messages"] = cluster.network.sent_count - messages_before
+
+        cluster.run_process("coord", app())
+        prefix = f"participants={participants}"
+        metrics[f"{prefix}.commit_latency"] = result["commit_latency"]
+        metrics[f"{prefix}.messages_per_commit_per_node"] = (
+            result["messages"] / commits / participants)
+    return _document("cluster_fanout", seed, {"commits": commits}, metrics)
+
+
+# -- chaos mix ----------------------------------------------------------------
+
+def scenario_chaos_mix(seed: int = 7) -> Dict[str, Any]:
+    """Crash/restart schedule under transfers; conservation must hold."""
+    transfers, amount, initial = 15, 5, 1000
+    cluster = Cluster(
+        seed=seed,
+        config=NetworkConfig(drop_probability=0.08,
+                             duplicate_probability=0.04),
+        rpc_retries=10, lock_wait_timeout=120.0,
+    )
+    for name in ("home", "s1", "s2"):
+        cluster.add_node(name)
+    sampler, recorder = cluster.attach_perf(interval=25.0, seed=seed,
+                                            sample_rate=0.5)
+    client = cluster.client("home")
+    refs: Dict[str, Any] = {}
+    outcomes = {"committed": 0, "failed": 0}
+
+    def setup():
+        refs["A"] = yield from client.create("s1", "account",
+                                             owner="A", balance=initial)
+        refs["B"] = yield from client.create("s2", "account",
+                                             owner="B", balance=0)
+
+    cluster.run_process("home", setup())
+    schedule = FaultSchedule(cluster, seed=seed,
+                             mean_uptime=300.0, mean_downtime=40.0)
+    schedule.arm(["s1", "s2"], horizon=2500.0, start_after=50.0)
+
+    def workload():
+        for index in range(transfers):
+            action = client.top_level(f"xfer{index}")
+            try:
+                yield from client.invoke(action, refs["A"], "withdraw", amount)
+                yield from client.invoke(action, refs["B"], "deposit", amount)
+                yield from client.commit(action)
+                outcomes["committed"] += 1
+            except Exception:
+                outcomes["failed"] += 1
+                if not action.status.terminated:
+                    yield from client.abort(action)
+            yield Timeout(20.0)
+
+    cluster.run_process("home", workload())
+    for name in ("s1", "s2"):
+        if not cluster.nodes[name].alive:
+            cluster.restart(name)
+    cluster.run(until=cluster.kernel.now + 2_000.0)
+
+    def stable_balance(ref):
+        stored = cluster.nodes[ref.node].stable_store.read_committed(ref.uid)
+        state = ObjectState.from_bytes(stored.payload)
+        state.unpack_string()
+        return state.unpack_int()
+
+    balance_a, balance_b = stable_balance(refs["A"]), stable_balance(refs["B"])
+    assert balance_a + balance_b == initial, (balance_a, balance_b, outcomes)
+    assert balance_b == outcomes["committed"] * amount, (balance_b, outcomes)
+    findings = cluster.obs.auditor.report()
+    return _document(
+        "chaos_mix", seed,
+        {"transfers": transfers, "drop_probability": 0.08},
+        {
+            "committed": outcomes["committed"],
+            "failed": outcomes["failed"],
+            "crashes": schedule.crash_count(),
+            "audit_findings": len(findings),
+            "flight_ring_events": len(recorder.ring_events()),
+            "flight_sampled_out": recorder.skipped,
+            "timeline_points": len(sampler.points),
+            "elapsed_sim": cluster.kernel.now,
+        })
+
+
+# -- prepare batching ---------------------------------------------------------
+
+def scenario_prepare_batching(seed: int = 31) -> Dict[str, Any]:
+    """Round trips saved by batching multi-colour prepares per server.
+
+    k permanent colours writing on the same s servers would cost k*s
+    prepare RPCs sequentially; the batched fan-out sends s.  The saved
+    (k-1)*s round trips are counted by the client and gated here.
+    """
+    colours, commits = 4, 6
+    cluster, run = _coloured_commits(seed, colours, commits)
+    pairs_per_commit = colours * 2          # each colour writes on 2 servers
+    batched_per_commit = 2                  # one batch per involved server
+    return _document(
+        "prepare_batching", seed,
+        {"colours": colours, "commits": commits,
+         "servers_per_colour": 2},
+        {
+            "saved_prepare_rpcs_total": run["saved_rpcs"],
+            "saved_per_commit": run["saved_rpcs"] / commits,
+            "sequential_prepare_rpcs_per_commit": pairs_per_commit,
+            "batched_prepare_rpcs_per_commit": batched_per_commit,
+            "messages_per_commit": run["messages_per_commit"],
+            "commit_latency": run["commit_latency"],
+        })
+
+
+SCENARIOS: Dict[str, Callable[[], Dict[str, Any]]] = {
+    "contention_sweep": scenario_contention_sweep,
+    "colour_sweep": scenario_colour_sweep,
+    "cluster_fanout": scenario_cluster_fanout,
+    "chaos_mix": scenario_chaos_mix,
+    "prepare_batching": scenario_prepare_batching,
+}
+
+
+def run_scenarios(out_dir: str,
+                  only: Optional[List[str]] = None) -> List[Tuple[str, str]]:
+    os.makedirs(out_dir, exist_ok=True)
+    written: List[Tuple[str, str]] = []
+    for name, build in SCENARIOS.items():
+        if only and name not in only:
+            continue
+        print(f"running scenario {name} ...", flush=True)
+        doc = build()
+        path = os.path.join(out_dir, f"BENCH_{name}.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(doc, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        written.append((name, path))
+        print(f"  wrote {path} ({len(doc['metrics'])} gated metrics)")
+    return written
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="run perf scenarios and emit BENCH_<scenario>.json")
+    parser.add_argument("--out", default=".",
+                        help="directory for BENCH_*.json (default: cwd)")
+    parser.add_argument("--only", nargs="*", default=None,
+                        help="subset of scenarios to run")
+    args = parser.parse_args(argv)
+    unknown = set(args.only or []) - set(SCENARIOS)
+    if unknown:
+        print(f"error: unknown scenarios {sorted(unknown)} "
+              f"(have {sorted(SCENARIOS)})", file=sys.stderr)
+        return 1
+    run_scenarios(args.out, args.only)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

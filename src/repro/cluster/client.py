@@ -307,11 +307,15 @@ class ClusterClient:
         """Commit: per-colour 2PC or transfer, then one batched finish per
         server.
 
-        Prepare rounds run per colour (in colour order); the decision
-        broadcasts and the finish/transfer routing are merged into a single
-        parallel fan-out — one network message per involved server —
-        so termination cost is bounded by the slowest server, not the sum
-        over servers (see :meth:`_finish_commit`).
+        A single permanent colour runs the classic prepare round
+        (:meth:`_two_phase_commit`); several permanent colours share one
+        *batched* prepare fan-out — per server, every colour's
+        ``txn_prepare`` rides in one ``call_many`` message
+        (:meth:`_batched_prepare`) — before the decision broadcasts and the
+        finish/transfer routing are merged into a single parallel fan-out,
+        one network message per involved server.  Termination cost is thus
+        bounded by the slowest server, not the sum over colours or servers
+        (see :meth:`_finish_commit`).
         """
         self._require_active(action)
         yield from self._settle_children(action)
@@ -320,6 +324,8 @@ class ClusterClient:
         routes: Dict[Colour, Optional[ClusterAction]] = {}
         #: commit decisions logged but not yet delivered: (txn_id, nodes)
         decided: List[Tuple[str, Set[str]]] = []
+        #: colours this action is outermost for, with pending writes
+        permanent: List[Tuple[Colour, Dict[str, Set[Uid]]]] = []
         ordered = sorted(action.colours, key=lambda c: c.uid)
         for colour in ordered:
             destination = action.closest_ancestor_with(colour)
@@ -343,25 +349,42 @@ class ClusterClient:
             write_map = action.written.get(colour, {})
             if not write_map:
                 continue
+            permanent.append((colour, write_map))
+        failed_colour: Optional[Colour] = None
+        if len(permanent) == 1:
+            colour, write_map = permanent[0]
             txn_id = yield from self._two_phase_commit(
                 action, colour, write_map, parent_span=span)
             if txn_id is None:
-                action.status = ActionStatus.ACTIVE  # let abort run normally
-                if span is not None:
-                    span.set(outcome="2pc-failed").finish()
-                if decided:
-                    # Earlier colours already decided commit; per-colour
-                    # permanence means their updates survive the abort of
-                    # the remaining colours — deliver those decisions
-                    # before abort_action undoes anything.
-                    yield from self._broadcast_decisions(action, decided)
-                yield from self.abort(action)
-                raise CommitError(
-                    f"{action.name}: two-phase commit of colour {colour} failed"
-                )
-            decided.append((txn_id, set(write_map)))
-            if self.obs is not None:
-                self.obs.count("colour_permanent_total", colour=str(colour))
+                failed_colour = colour
+            else:
+                decided.append((txn_id, set(write_map)))
+                if self.obs is not None:
+                    self.obs.count("colour_permanent_total",
+                                   colour=str(colour))
+        elif permanent:
+            newly_decided, failed_colour = yield from self._batched_prepare(
+                action, permanent, parent_span=span)
+            for txn_id, parts, colour in newly_decided:
+                decided.append((txn_id, parts))
+                if self.obs is not None:
+                    self.obs.count("colour_permanent_total",
+                                   colour=str(colour))
+        if failed_colour is not None:
+            action.status = ActionStatus.ACTIVE  # let abort run normally
+            if span is not None:
+                span.set(outcome="2pc-failed").finish()
+            if decided:
+                # Earlier colours already decided commit; per-colour
+                # permanence means their updates survive the abort of
+                # the remaining colours — deliver those decisions
+                # before abort_action undoes anything.
+                yield from self._broadcast_decisions(action, decided)
+            yield from self.abort(action)
+            raise CommitError(
+                f"{action.name}: two-phase commit of colour "
+                f"{failed_colour} failed"
+            )
         yield from self._finish_commit(action, routes, decided,
                                        parent_span=span)
         if span is not None:
@@ -745,3 +768,142 @@ class ClusterClient:
         if span is not None:
             span.set(outcome="committed").finish()
         return txn_id
+
+    def _batched_prepare(self, action: ClusterAction,
+                         permanent: List[Tuple[Colour, Dict[str, Set[Uid]]]],
+                         parent_span=None):
+        """One prepare fan-out shared by every permanent colour.
+
+        Sequentially, k permanent colours cost k prepare rounds — one
+        ``txn_prepare`` per (colour, participant) pair, each a full network
+        round trip.  Here the pairs are regrouped per server and shipped
+        through :meth:`RpcTransport.call_many`, so a server hosting writes
+        of several colours sees *one* message carrying all its prepare
+        sub-calls (dispatched in colour order); the saved round trips are
+        counted in ``prepare_batch_saved_rpcs_total``.
+
+        Decision semantics match the sequential rounds exactly: votes are
+        judged in colour order, and the first colour with a missing or
+        negative vote fails the commit — it and every *later* colour
+        (prepared or not) are aborted with batched ``txn_abort`` deliveries,
+        since sequential execution would never have decided them.  Returns
+        ``(decided, failed_colour)`` where ``decided`` is
+        ``[(txn_id, participants, colour)]`` for the all-commit prefix and
+        ``failed_colour`` is ``None`` on a clean run.
+        """
+        rounds = []
+        for colour, write_map in permanent:
+            txn_id = (f"txn:{self.node.name}:{action.uid.sequence}:"
+                      f"{colour.uid.sequence}:{next(self._txn_seq)}")
+            participants = sorted(write_map)
+            rounds.append({"colour": colour, "write_map": write_map,
+                           "txn_id": txn_id, "participants": participants,
+                           "votes": {}})
+            if self.obs is not None:
+                self.obs.emit("twopc.begin", txn=txn_id,
+                              action=str(action.uid), colour=str(colour),
+                              participants=",".join(participants),
+                              node=self.node.name)
+        span = None
+        if self.obs is not None:
+            span = self.obs.span("2pc-batched-prepare", parent=parent_span,
+                                 kind="client", node=self.node.name,
+                                 colours=len(rounds))
+        calls_for: Dict[str, List[Tuple[str, Dict[str, Any]]]] = {}
+        index_for: Dict[str, List[int]] = {}
+        for i, r in enumerate(rounds):
+            for node_name in r["participants"]:
+                calls_for.setdefault(node_name, []).append(("txn_prepare", {
+                    "txn_id": r["txn_id"],
+                    "action_uid": encode_uid(action.uid),
+                    "colour": encode_colour(r["colour"]),
+                    "object_uids": [encode_uid(u) for u in
+                                    sorted(r["write_map"][node_name])],
+                    "expected_epoch": action.server_epochs.get(node_name),
+                }))
+                index_for.setdefault(node_name, []).append(i)
+        nodes = sorted(calls_for)
+        if self.obs is not None:
+            saved = sum(len(calls) - 1 for calls in calls_for.values())
+            if saved:
+                self.obs.count("prepare_batch_saved_rpcs_total", saved)
+        prepare_started = self.kernel.now
+
+        def prepare_batch(node_name: str):
+            return (yield from self.transport.call_many(
+                node_name, calls_for[node_name], trace_parent=span))
+
+        handles = [
+            self.kernel.spawn(prepare_batch(n),
+                              name=f"prepare-batch:{action.uid}@{n}")
+            for n in nodes
+        ]
+        outcomes = yield settle_all(self.kernel, [h.join() for h in handles])
+        round_time = self.kernel.now - prepare_started
+        for node_name, (ok, value) in zip(nodes, outcomes):
+            if not ok:  # whole batch undeliverable: no votes from this node
+                continue
+            for i, (sub_ok, sub_value) in zip(index_for[node_name], value):
+                if sub_ok:
+                    rounds[i]["votes"][node_name] = sub_value["vote"]
+        decided: List[Tuple[str, Set[str], Colour]] = []
+        failed_index: Optional[int] = None
+        for i, r in enumerate(rounds):
+            if self.obs is not None:
+                self.obs.observe("twopc_prepare_time", round_time,
+                                 colour=str(r["colour"]))
+            all_commit = all(r["votes"].get(p) == "commit"
+                             for p in r["participants"])
+            if failed_index is None and all_commit:
+                self.node.wal.append("coord_commit", txn_id=r["txn_id"])
+                if self.obs is not None:
+                    self.obs.count("twopc_rounds_total",
+                                   colour=str(r["colour"]),
+                                   outcome="committed")
+                    self.obs.emit("twopc.decision", txn=r["txn_id"],
+                                  decision="commit", node=self.node.name)
+                decided.append((r["txn_id"], set(r["write_map"]),
+                                r["colour"]))
+            elif failed_index is None:
+                failed_index = i
+        if failed_index is None:
+            if span is not None:
+                span.set(outcome="committed").finish()
+            return decided, None
+        # presumed abort for the failing colour and everything after it:
+        # tell whoever may have prepared, again one batch per server.
+        to_abort = rounds[failed_index:]
+        abort_calls: Dict[str, List[Tuple[str, Dict[str, Any]]]] = {}
+        for r in to_abort:
+            if self.obs is not None:
+                self.obs.count("twopc_rounds_total", colour=str(r["colour"]),
+                               outcome="aborted")
+                self.obs.emit("twopc.decision", txn=r["txn_id"],
+                              decision="abort", node=self.node.name)
+            for node_name in r["participants"]:
+                abort_calls.setdefault(node_name, []).append(
+                    ("txn_abort", {"txn_id": r["txn_id"]}))
+        if span is not None:
+            span.set(outcome="aborted").finish()
+        abort_nodes = sorted(abort_calls)
+
+        def abort_batch(node_name: str):
+            outcomes = yield from self.transport.call_many(
+                node_name, abort_calls[node_name])
+            for ok, value in outcomes:
+                if not ok:
+                    raise value
+            return True
+
+        abort_handles = [
+            self.kernel.spawn(abort_batch(n),
+                              name=f"txn-abort-batch:{action.uid}@{n}")
+            for n in abort_nodes
+        ]
+        abort_outcomes = yield settle_all(
+            self.kernel, [h.join() for h in abort_handles])
+        for node_name, (ok, _value) in zip(abort_nodes, abort_outcomes):
+            if not ok:
+                self._spawn_reaper(node_name, abort_calls[node_name],
+                                   label=f"txn-abort-batch:{action.uid}")
+        return decided, rounds[failed_index]["colour"]

@@ -144,6 +144,36 @@ class Cluster:
 
     # -- observability ---------------------------------------------------------
 
+    def attach_perf(self, interval: float = 5.0, max_points: int = 2048,
+                    recorder_capacity: int = 4096, sample_rate: float = 1.0,
+                    seed: int = 0):
+        """Attach the performance observatory (``repro.obs.perf``).
+
+        Starts a :class:`~repro.obs.perf.TimeSeriesSampler` on the sim
+        clock with cluster-level gauges probed in (in-doubt objects, live
+        action mirrors, prepared txns, pending RPCs across all servers)
+        and a :class:`~repro.obs.perf.FlightRecorder` ring on the event
+        bus.  Call before ``run()`` — ideally before ``add_node`` so no
+        events predate the ring.  Returns ``(sampler, recorder)``; both
+        also hang off ``cluster.obs`` and are included in ``obs.save()``.
+        """
+        from repro.obs.perf import FlightRecorder, TimeSeriesSampler
+
+        sampler = TimeSeriesSampler(self.obs, interval=interval,
+                                    max_points=max_points)
+        sampler.add_probe("in_doubt_objects", lambda: sum(
+            len(s.in_doubt_objects) for s in self.servers.values()))
+        sampler.add_probe("action_mirrors", lambda: sum(
+            len(s.mirrors) for s in self.servers.values()))
+        sampler.add_probe("prepared_txns", lambda: sum(
+            len(s.prepared) for s in self.servers.values()))
+        sampler.add_probe("pending_rpcs", lambda: sum(
+            len(t._pending) for t in self.transports.values()))
+        sampler.attach(self.kernel)
+        recorder = FlightRecorder(self.obs, capacity=recorder_capacity,
+                                  sample_rate=sample_rate, seed=seed)
+        return sampler, recorder
+
     def metrics_dump(self) -> Dict:
         """One JSON-able snapshot of every metric, kernel and network stat."""
         stats = self.kernel.stats

@@ -88,10 +88,20 @@ class LockRegistry:
             if req.status is RequestStatus.GRANTED:
                 self._held_by.setdefault(owner_uid, set()).add(object_uid)
                 if self.on_event is not None:
-                    self.on_event("lock.granted", owner=str(owner_uid),
-                                  object=str(object_uid),
-                                  mode=_mode_label(mode),
-                                  colour=str(colour))
+                    labels = {"owner": str(owner_uid),
+                              "object": str(object_uid),
+                              "mode": _mode_label(mode),
+                              "colour": str(colour)}
+                    spec = self._semantic_specs.get(object_uid)
+                    if spec is not None and isinstance(mode, str):
+                        # operation-group grant: carry the groups this one
+                        # commutes with, so the online auditor can re-check
+                        # the compatibility-based grant instead of skipping
+                        labels["semantic"] = "1"
+                        labels["compatible"] = ",".join(sorted(
+                            g for g in spec.groups
+                            if spec.is_compatible(mode, g)))
+                    self.on_event("lock.granted", **labels)
             if on_complete is not None:
                 on_complete(req)
 

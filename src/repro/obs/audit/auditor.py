@@ -41,7 +41,9 @@ from repro.obs.bus import ObsEvent
 
 #: modes that participate in the data-conflict graph and the §5.2 rule
 #: checks; semantic operation-group modes are strings outside this set and
-#: are only subject to the two-phase check.
+#: are subject to the two-phase check plus the commutativity-based grant
+#: check (``_check_semantic_grant``) when the grant event carries the
+#: type's compatibility relation.
 DATA_MODES = frozenset(("read", "exclusive_read", "write"))
 EXCLUSIVE_MODES = frozenset(("exclusive_read", "write"))
 
@@ -97,6 +99,10 @@ class InvariantAuditor:
         #: dedup keys of findings already counted in metrics (report-time
         #: findings recompute on every call and must not double-count)
         self._counted: Set[Tuple] = set()
+        #: callbacks fired on every new online finding (e.g. the flight
+        #: recorder freezing its ring); exceptions are swallowed so a
+        #: listener can never break the audit itself.
+        self._finding_listeners: List[Any] = []
 
     # -- intake ---------------------------------------------------------------
 
@@ -129,6 +135,15 @@ class InvariantAuditor:
                         event_seqs=event_seqs)
         self.findings.append(found)
         self._count(kind, (kind, message, event_seqs))
+        for listener in self._finding_listeners:
+            try:
+                listener(found)
+            except Exception:
+                pass
+
+    def add_finding_listener(self, listener) -> None:
+        """Call ``listener(finding)`` whenever an online check fires."""
+        self._finding_listeners.append(listener)
 
     def _count(self, kind: str, key: Tuple) -> None:
         if key in self._counted:
@@ -209,6 +224,9 @@ class InvariantAuditor:
             history = self._accesses.setdefault((obj, colour), [])
             if len(history) < self._max_accesses:
                 history.append((seq, owner, mode))
+        elif event.label("semantic") is not None:
+            self._check_semantic_grant(seq, event, node, owner, obj, mode,
+                                       colour, held)
         own = held.setdefault(owner, {})
         if mode in DATA_MODES and own.get(colour) in DATA_MODES:
             own[colour] = max((own[colour], mode),
@@ -247,6 +265,40 @@ class InvariantAuditor:
                             tick=event.tick, colour=colour, node=node,
                             action=owner, object=obj, event_seqs=(seq,),
                         )
+
+    def _check_semantic_grant(self, seq: int, event: ObsEvent, node: str,
+                              owner: str, obj: str, group: str, colour: str,
+                              held: Dict[str, Dict[str, str]]) -> None:
+        """Re-check a type-specific (operation-group) grant.
+
+        The grant event carries the set of groups its own group commutes
+        with (``compatible``, emitted by the lock registry from the type's
+        SemanticSpec); compatibility is symmetric, so every other holder's
+        group must appear in that set unless the holder is an inclusive
+        ancestor of the requester.  Retained records (``__retain__``)
+        commute with nothing, so a non-ancestor retainer always conflicts.
+        """
+        compatible = {
+            g for g in str(event.label("compatible", "")).split(",") if g
+        }
+        for other, records in held.items():
+            if other == owner:
+                continue
+            incompatible = sorted(
+                g for g in records.values()
+                if g not in DATA_MODES and g not in compatible
+            )
+            if not incompatible:
+                continue
+            if self._is_ancestor(other, owner) is False:
+                self._finding(
+                    F.SEMANTIC_LOCK_RULE,
+                    f"group {group} on {obj} granted to {owner} while "
+                    f"non-ancestor {other} holds incompatible group "
+                    f"{incompatible[0]}",
+                    tick=event.tick, colour=colour, node=node,
+                    action=owner, object=obj, event_seqs=(seq,),
+                )
 
     def _on_lock_released(self, seq: int, event: ObsEvent) -> None:
         node = str(event.label("node", ""))

@@ -33,6 +33,9 @@ ATOMICITY = "atomicity-violation"
 PRESUMED_ABORT = "presumed-abort-violated"
 #: both commit and abort decisions observed for one transaction.
 DECISION_CONFLICT = "decision-conflict"
+#: type-specific (semantic) locking: an operation-group lock was granted
+#: while a non-ancestor held an incompatible group on the same object.
+SEMANTIC_LOCK_RULE = "semantic-lock-rule-violation"
 #: per-colour serialization graph contains a cycle.
 SERIALIZATION_CYCLE = "serialization-cycle"
 #: coordinator logged its end-of-transaction although some participant
@@ -46,6 +49,7 @@ ALL_KINDS = (
     COMMIT_AFTER_ROLLBACK,
     COMMIT_WITHOUT_DECISION,
     ATOMICITY,
+    SEMANTIC_LOCK_RULE,
     PRESUMED_ABORT,
     DECISION_CONFLICT,
     SERIALIZATION_CYCLE,

@@ -47,6 +47,10 @@ class Observability:
         self.bus.subscribe(self.auditor.consume)
         self.hold_times = LockHoldTracker(self.metrics)
         self.bus.subscribe(self.hold_times.consume)
+        # perf-observatory attach points (repro.obs.perf); populated by
+        # TimeSeriesSampler / FlightRecorder constructors when used.
+        self.sampler = None
+        self.flight = None
 
     def now(self) -> float:
         if self._tick_source is not None:
@@ -91,5 +95,11 @@ class Observability:
         return span_timeline(self.tracer, width=width, trace_id=trace_id)
 
     def save(self, path: str, extra: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        extra = dict(extra) if extra else {}
+        if self.flight is not None:
+            extra.setdefault("flight_recorder", self.flight.dump())
+        if self.sampler is not None:
+            extra.setdefault("timeline", self.sampler.timeline())
         return save_trace(path, tracer=self.tracer, metrics=self.metrics,
-                          extra=extra, events=self.auditor.event_dicts())
+                          extra=extra or None,
+                          events=self.auditor.event_dicts())

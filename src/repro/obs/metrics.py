@@ -14,6 +14,7 @@ wall-clock time or randomness, timestamps come from the owner's
 
 from __future__ import annotations
 
+import random
 import threading
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
@@ -67,12 +68,17 @@ class Gauge:
 class Histogram:
     """Sampled distribution with exact count/sum/min/max and percentiles.
 
-    Retains up to ``max_samples`` raw samples for percentile queries; the
-    aggregate statistics stay exact beyond that, percentiles then describe
-    the retained prefix (``truncated`` flags it in the summary).
+    Retains up to ``max_samples`` raw samples for percentile queries.  The
+    aggregate statistics stay exact beyond that; the retained set is then a
+    uniform *reservoir* over the whole stream (Vitter's Algorithm R, driven
+    by a fixed-seed PRNG so the same observation sequence always keeps the
+    same samples), and ``truncated`` flags the summary as approximate.
+    Memory is therefore bounded for arbitrarily long runs without biasing
+    percentiles toward the warm-up prefix.
     """
 
-    __slots__ = ("count", "total", "min", "max", "samples", "max_samples")
+    __slots__ = ("count", "total", "min", "max", "samples", "max_samples",
+                 "_rng")
 
     def __init__(self, max_samples: int = 4096):
         self.count = 0
@@ -81,6 +87,7 @@ class Histogram:
         self.max: Optional[float] = None
         self.samples: List[float] = []
         self.max_samples = max_samples
+        self._rng = random.Random(0x5EED)
 
     def observe(self, value: float) -> None:
         self.count += 1
@@ -89,6 +96,10 @@ class Histogram:
         self.max = value if self.max is None else max(self.max, value)
         if len(self.samples) < self.max_samples:
             self.samples.append(value)
+        else:
+            slot = self._rng.randrange(self.count)
+            if slot < self.max_samples:
+                self.samples[slot] = value
 
     def percentile(self, p: float) -> Optional[float]:
         """Linear-interpolated percentile over the retained samples."""

@@ -1,0 +1,93 @@
+"""The perf-gate CLI: ``python -m repro.obs.perf compare``.
+
+Diffs a directory of freshly produced ``BENCH_*.json`` scenario documents
+(see ``benchmarks/scenarios.py``) against the checked-in baselines and
+exits non-zero on regression, so CI can gate merges on simulated-time
+performance:
+
+    python benchmarks/scenarios.py --out /tmp/bench
+    python -m repro.obs.perf compare --baseline . --current /tmp/bench
+
+Exit codes: 0 — within tolerance; 2 — at least one gated deviation
+(metric outside its band, metric vanished, scenario skipped); 1 —
+operational error (unreadable directory, malformed JSON).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.obs.perf.compare import (
+    DEFAULT_ABS_TOLERANCE,
+    DEFAULT_REL_TOLERANCE,
+    compare_trees,
+    load_bench_files,
+)
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    try:
+        baselines = load_bench_files(args.baseline)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot load baselines from {args.baseline}: {exc}",
+              file=sys.stderr)
+        return 1
+    try:
+        runs = load_bench_files(args.current)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot load run results from {args.current}: {exc}",
+              file=sys.stderr)
+        return 1
+    if not baselines and not runs:
+        print(f"error: no BENCH_*.json in {args.baseline} or {args.current}",
+              file=sys.stderr)
+        return 1
+
+    deviations = compare_trees(args.baseline, args.current,
+                               rel_tolerance=args.rel_tolerance,
+                               abs_tolerance=args.abs_tolerance)
+    failing = [d for d in deviations if d.failing]
+    notices = [d for d in deviations if not d.failing]
+
+    print(f"perf gate: {len(baselines)} baseline scenario(s), "
+          f"{len(runs)} run scenario(s), tolerance ±{args.rel_tolerance:.0%}")
+    for deviation in notices:
+        print(f"  note: {deviation.describe()}")
+    if failing:
+        print(f"\n{len(failing)} regression(s):", file=sys.stderr)
+        for deviation in failing:
+            print(f"  FAIL: {deviation.describe()}", file=sys.stderr)
+        return 2
+    print("ok: all gated metrics within tolerance")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.perf",
+        description="performance observatory tooling",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    compare = commands.add_parser(
+        "compare", help="diff BENCH_*.json runs against checked-in baselines")
+    compare.add_argument("--baseline", default=".",
+                         help="directory with baseline BENCH_*.json files")
+    compare.add_argument("--current", required=True,
+                         help="directory with the candidate run's files")
+    compare.add_argument("--rel-tolerance", type=float,
+                         default=DEFAULT_REL_TOLERANCE,
+                         help="two-sided relative tolerance band")
+    compare.add_argument("--abs-tolerance", type=float,
+                         default=DEFAULT_ABS_TOLERANCE,
+                         help="absolute slack for near-zero baselines")
+    compare.set_defaults(func=_cmd_compare)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

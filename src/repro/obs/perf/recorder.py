@@ -1,0 +1,121 @@
+"""The flight recorder: an always-on bounded ring over the obs event bus.
+
+Dump-everything event retention (the auditor keeps up to 200k events) is
+fine for tests but not for long runs; the flight recorder is the
+fixed-memory alternative that can stay attached under heavy load.  It
+subscribes to the hub's event bus and keeps the last ``capacity`` events
+in a ring, *probabilistically sampling* the high-volume kinds (span
+starts, lock traffic) at ``sample_rate`` while always retaining the rare,
+diagnosis-critical kinds (2PC lifecycle, restarts, routing decisions).
+
+Sampling is deterministic: decisions come from a seeded PRNG consuming one
+draw per sampled-kind event, never from wall-clock or global randomness,
+so a seeded simulation replays to an identical ring.
+
+When the online invariant auditor raises a finding, the recorder freezes a
+snapshot of the ring (the black box as of the failure); snapshots and the
+live ring both travel in ``Observability.save`` dumps, so a failing test's
+artifact contains the last-N-events context even when the full event log
+was truncated.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional
+
+from repro.obs.bus import ObsEvent
+
+#: kinds always retained regardless of sample_rate: low-volume, high-value
+CRITICAL_KINDS = frozenset((
+    "twopc.begin", "twopc.vote", "twopc.decision", "twopc.commit",
+    "twopc.abort", "twopc.decision_query", "twopc.end",
+    "commit.route", "colour.permanent", "node.restart",
+    "action.begin", "action.end",
+))
+
+#: at most this many finding snapshots are frozen per run
+MAX_SNAPSHOTS = 4
+
+
+class FlightRecorder:
+    """Bounded, sampled event ring attached to an Observability hub."""
+
+    def __init__(self, hub, capacity: int = 4096, sample_rate: float = 1.0,
+                 seed: int = 0, critical_kinds=CRITICAL_KINDS):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if not 0.0 <= sample_rate <= 1.0:
+            raise ValueError(f"sample_rate must be in [0, 1], got {sample_rate}")
+        self.hub = hub
+        self.capacity = capacity
+        self.sample_rate = sample_rate
+        self.critical_kinds = frozenset(critical_kinds)
+        self._rng = random.Random(seed)
+        self._mutex = threading.Lock()
+        self._seq = 0
+        self._ring: Deque[Dict[str, Any]] = deque(maxlen=capacity)
+        #: events that fell out of the ring / were not sampled
+        self.evicted = 0
+        self.skipped = 0
+        self.finding_snapshots: List[Dict[str, Any]] = []
+        hub.flight = self
+        hub.bus.subscribe(self.consume)
+        auditor = getattr(hub, "auditor", None)
+        if auditor is not None and hasattr(auditor, "add_finding_listener"):
+            auditor.add_finding_listener(self._on_finding)
+
+    # -- intake ---------------------------------------------------------------
+
+    def consume(self, event: ObsEvent) -> None:
+        with self._mutex:
+            self._seq += 1
+            if (event.kind not in self.critical_kinds
+                    and self.sample_rate < 1.0
+                    and self._rng.random() >= self.sample_rate):
+                self.skipped += 1
+                return
+            if len(self._ring) == self.capacity:
+                self.evicted += 1
+            self._ring.append({
+                "seq": self._seq, "tick": event.tick, "kind": event.kind,
+                "labels": dict(event.labels),
+            })
+
+    def detach(self) -> None:
+        self.hub.bus.unsubscribe(self.consume)
+        if getattr(self.hub, "flight", None) is self:
+            self.hub.flight = None
+
+    # -- black-box dumps -------------------------------------------------------
+
+    def _on_finding(self, finding) -> None:
+        """Freeze the ring as of this auditor finding (bounded)."""
+        if len(self.finding_snapshots) >= MAX_SNAPSHOTS:
+            return
+        self.finding_snapshots.append({
+            "finding": str(finding),
+            "kind": getattr(finding, "kind", ""),
+            "events": self.ring_events(),
+        })
+
+    def ring_events(self) -> List[Dict[str, Any]]:
+        """Current ring contents, oldest first."""
+        with self._mutex:
+            return [dict(entry) for entry in self._ring]
+
+    def dump(self) -> Dict[str, Any]:
+        """JSON-able section for ``Observability.save``."""
+        with self._mutex:
+            ring = [dict(entry) for entry in self._ring]
+        return {
+            "capacity": self.capacity,
+            "sample_rate": self.sample_rate,
+            "seen": self._seq,
+            "evicted": self.evicted,
+            "skipped": self.skipped,
+            "events": ring,
+            "finding_snapshots": list(self.finding_snapshots),
+        }

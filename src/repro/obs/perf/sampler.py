@@ -1,0 +1,152 @@
+"""Time-series sampling of hub metrics on the simulated clock.
+
+A :class:`TimeSeriesSampler` rides a :meth:`Kernel.every
+<repro.sim.kernel.Kernel.every>` periodic timer and, at each firing,
+appends one *point* to its timeline: per-colour commit/abort/permanence
+throughput over the interval (counter deltas), latency quantiles of the
+lock-wait and 2PC-prepare histograms, and whatever gauges the owner probed
+in (in-doubt object counts, live mirrors, pending RPCs).
+
+Everything is derived from the metrics registry and the sim clock, so the
+timeline of a seeded run is bit-for-bit reproducible.  Memory is bounded:
+when the timeline reaches ``max_points`` it is decimated (every second
+point dropped, sampling stride doubled), trading resolution for a fixed
+footprint — the same run always decimates at the same firings.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+#: counters summarised per colour at each point (label -> metric name)
+_COLOUR_COUNTERS = (
+    ("committed", "actions_committed_total"),
+    ("aborted", "actions_aborted_total"),
+    ("permanent", "colour_permanent_total"),
+    ("inherited", "colour_inherited_total"),
+)
+
+#: histograms whose colour-labelled quantiles enter each point
+_COLOUR_HISTOGRAMS = (
+    ("lock_wait", "lock_wait_time"),
+    ("twopc_prepare", "twopc_prepare_time"),
+)
+
+
+class TimeSeriesSampler:
+    """Periodic snapshots of an Observability hub into per-colour timelines."""
+
+    def __init__(self, hub, interval: float = 5.0, max_points: int = 2048):
+        if max_points < 2:
+            raise ValueError(f"max_points must be >= 2, got {max_points}")
+        self.hub = hub
+        self.interval = interval
+        self.max_points = max_points
+        self.points: List[Dict[str, Any]] = []
+        #: current sampling stride (1 = every firing; doubled on decimation)
+        self.stride = 1
+        self.decimations = 0
+        self._fires = 0
+        self._timer = None
+        self._probes: List[Tuple[str, Callable[[], float]]] = []
+        #: (metric, colour) -> cumulative value at the previous point
+        self._last_counts: Dict[Tuple[str, str], float] = {}
+        hub.sampler = self
+
+    # -- wiring ---------------------------------------------------------------
+
+    def add_probe(self, name: str, fn: Callable[[], float]) -> None:
+        """Sample ``fn()`` into the ``gauges`` section of every point."""
+        self._probes.append((name, fn))
+
+    def attach(self, kernel) -> "TimeSeriesSampler":
+        """Start sampling on ``kernel``'s clock (see ``Kernel.every``)."""
+        if self._timer is not None:
+            raise RuntimeError("sampler already attached")
+        self._timer = kernel.every(self.interval, self._tick)
+        return self
+
+    def detach(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    def _tick(self) -> None:
+        self._fires += 1
+        if self._fires % self.stride == 0:
+            self.sample()
+
+    # -- sampling -------------------------------------------------------------
+
+    def sample(self) -> Dict[str, Any]:
+        """Take one point now (also callable manually, e.g. at run end)."""
+        metrics = self.hub.metrics
+        point: Dict[str, Any] = {"tick": self.hub.now()}
+        colours: Dict[str, Dict[str, Any]] = {}
+        for key, metric in _COLOUR_COUNTERS:
+            for labels, instrument in sorted(
+                    metrics.series(metric), key=lambda kv: sorted(kv[0].items())):
+                colour = labels.get("colour")
+                if colour is None:
+                    continue
+                total = instrument.value
+                last = self._last_counts.get((metric, colour), 0.0)
+                self._last_counts[(metric, colour)] = total
+                delta = total - last
+                if delta:
+                    row = colours.setdefault(colour, {})
+                    row[key] = row.get(key, 0.0) + delta
+        for key, metric in _COLOUR_HISTOGRAMS:
+            merged: Dict[str, List] = {}
+            for labels, histogram in metrics.series(metric):
+                colour = labels.get("colour")
+                if colour is None:
+                    continue
+                merged.setdefault(colour, []).append(histogram)
+            for colour, histograms in sorted(merged.items()):
+                count = sum(h.count for h in histograms)
+                last = self._last_counts.get((metric, colour), 0.0)
+                self._last_counts[(metric, colour)] = count
+                if count == last:
+                    continue  # no new samples this interval: stay compact
+                row = colours.setdefault(colour, {})
+                row[f"{key}_count"] = count - last
+                # cumulative quantiles over the widest labelled series —
+                # cheap, deterministic, and good enough for a trend line
+                widest = max(histograms, key=lambda h: h.count)
+                row[f"{key}_p50"] = widest.percentile(50)
+                row[f"{key}_p95"] = widest.percentile(95)
+        if colours:
+            point["colours"] = {c: colours[c] for c in sorted(colours)}
+        if self._probes:
+            point["gauges"] = {name: float(fn())
+                               for name, fn in self._probes}
+        self.points.append(point)
+        if len(self.points) >= self.max_points:
+            self._decimate()
+        return point
+
+    def _decimate(self) -> None:
+        self.points = self.points[::2]
+        self.stride *= 2
+        self.decimations += 1
+
+    # -- export ---------------------------------------------------------------
+
+    def timeline(self) -> Dict[str, Any]:
+        """JSON-able view of the whole timeline."""
+        return {
+            "interval": self.interval,
+            "stride": self.stride,
+            "decimations": self.decimations,
+            "points": list(self.points),
+        }
+
+    def colour_series(self, colour: str, key: str) -> List[Tuple[float, float]]:
+        """(tick, value) pairs of one per-colour key across the timeline."""
+        out: List[Tuple[float, float]] = []
+        for point in self.points:
+            row = point.get("colours", {}).get(colour)
+            if row is not None and key in row:
+                out.append((point["tick"], row[key]))
+        return out

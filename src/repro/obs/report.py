@@ -5,11 +5,18 @@ Usage::
     python -m repro.obs.report run.trace.json            # metrics + span tree
     python -m repro.obs.report run.trace.json --timeline # ASCII timeline
     python -m repro.obs.report metrics.json --metrics-only
+    python -m repro.obs.report dumps/*.trace.json        # aggregated table
 
 The input is either a full trace document written by
 :func:`repro.obs.export.save_trace` / ``Observability.save`` (``spans`` +
 ``metrics`` keys) or a bare metrics dump as emitted by
 ``benchmarks/bench_util.emit_metrics_dump``.
+
+Several files (e.g. every ``REPRO_OBS_DUMP`` artifact of a CI run)
+aggregate into one metrics table: counters and gauges are summed across
+dumps, histograms are merged exactly on count/sum/min/max/mean
+(percentiles need the raw samples, which dumps don't carry, so merged rows
+omit them); spans are only rendered for single-file input.
 """
 
 from __future__ import annotations
@@ -29,6 +36,61 @@ def _as_document(raw: Dict[str, Any]) -> Dict[str, Any]:
     if any(key in raw for key in ("counters", "gauges", "histograms")):
         return {"metrics": raw}
     return raw
+
+
+def aggregate_documents(documents: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Merge the metrics of several dump documents into one.
+
+    Counters and gauges with the same name and labels are summed (across
+    runs, both are totals); histograms are merged exactly on count / sum /
+    min / max with the mean recomputed — percentiles are dropped because
+    they cannot be derived from summaries.  Returns a ``{"metrics": ...}``
+    document renderable by :func:`render`.
+    """
+    def key_of(row: Dict[str, Any]):
+        return (row["name"], tuple(sorted(row.get("labels", {}).items())))
+
+    sums: Dict[str, Dict[Any, Dict[str, Any]]] = {"counters": {}, "gauges": {}}
+    merged_hists: Dict[Any, Dict[str, Any]] = {}
+    for document in documents:
+        metrics = document.get("metrics", document)
+        for section in ("counters", "gauges"):
+            for row in metrics.get(section, []):
+                slot = sums[section].setdefault(key_of(row), {
+                    "name": row["name"],
+                    "labels": dict(row.get("labels", {})), "value": 0.0,
+                })
+                slot["value"] += row.get("value", 0.0)
+        for row in metrics.get("histograms", []):
+            slot = merged_hists.get(key_of(row))
+            if slot is None:
+                merged_hists[key_of(row)] = {
+                    "name": row["name"],
+                    "labels": dict(row.get("labels", {})),
+                    "count": row.get("count", 0),
+                    "sum": row.get("sum", 0.0),
+                    "min": row.get("min"),
+                    "max": row.get("max"),
+                    "merged_from": 1,
+                }
+                continue
+            slot["count"] += row.get("count", 0)
+            slot["sum"] += row.get("sum", 0.0)
+            for bound, pick in (("min", min), ("max", max)):
+                value = row.get(bound)
+                if value is not None:
+                    slot[bound] = (value if slot[bound] is None
+                                   else pick(slot[bound], value))
+            slot["merged_from"] += 1
+    histograms = []
+    for _key, slot in sorted(merged_hists.items()):
+        slot["mean"] = (slot["sum"] / slot["count"]) if slot["count"] else None
+        histograms.append(slot)
+    return {"metrics": {
+        "counters": [sums["counters"][k] for k in sorted(sums["counters"])],
+        "gauges": [sums["gauges"][k] for k in sorted(sums["gauges"])],
+        "histograms": histograms,
+    }}
 
 
 def render(document: Dict[str, Any], timeline: bool = False,
@@ -55,8 +117,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         prog="python -m repro.obs.report",
         description="Pretty-print a saved repro observability dump.",
     )
-    parser.add_argument("path", help="trace/metrics JSON file "
-                                     "(Observability.save or a metrics dump)")
+    parser.add_argument("paths", nargs="+", metavar="path",
+                        help="trace/metrics JSON file(s) (Observability.save "
+                             "or metrics dumps); several files aggregate "
+                             "into one table")
     parser.add_argument("--timeline", action="store_true",
                         help="also render the ASCII span timeline")
     parser.add_argument("--metrics-only", action="store_true",
@@ -66,17 +130,25 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--width", type=int, default=72,
                         help="timeline width in columns (default 72)")
     args = parser.parse_args(argv)
-    try:
-        raw = load_trace(args.path)
-    except (OSError, json.JSONDecodeError) as error:
-        print(f"error: cannot read {args.path}: {error}", file=sys.stderr)
-        return 1
-    if not isinstance(raw, dict):
-        print(f"error: {args.path} is not a trace/metrics document "
-              f"(expected a JSON object, got {type(raw).__name__})",
-              file=sys.stderr)
-        return 1
-    print(render(_as_document(raw), timeline=args.timeline,
+    documents: List[Dict[str, Any]] = []
+    for path in args.paths:
+        try:
+            raw = load_trace(path)
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"error: cannot read {path}: {error}", file=sys.stderr)
+            return 1
+        if not isinstance(raw, dict):
+            print(f"error: {path} is not a trace/metrics document "
+                  f"(expected a JSON object, got {type(raw).__name__})",
+                  file=sys.stderr)
+            return 1
+        documents.append(_as_document(raw))
+    if len(documents) == 1:
+        document = documents[0]
+    else:
+        print(f"(aggregating {len(documents)} dumps; spans omitted)\n")
+        document = aggregate_documents(documents)
+    print(render(document, timeline=args.timeline,
                  metrics_only=args.metrics_only, trace_id=args.trace,
                  width=args.width))
     return 0

@@ -251,6 +251,46 @@ class Process:
         return f"<Process {self.name} {state}>"
 
 
+class PeriodicTimer:
+    """Handle to a repeating callback created by :meth:`Kernel.every`.
+
+    The callback runs at ``start + k * interval`` for k = 1, 2, ... until
+    :meth:`cancel`.  Timer posts are *daemon* queue entries: they fire
+    interleaved with ordinary work but never keep the simulation alive on
+    their own — ``run()`` stops (and ``run_until_settled`` reports a drain)
+    once only daemon entries remain, exactly as if the timer were absent.
+    """
+
+    __slots__ = ("kernel", "interval", "fn", "alive", "fires")
+
+    def __init__(self, kernel: "Kernel", interval: float, fn: Callable[[], None]):
+        if interval <= 0:
+            raise SimulationError(f"periodic interval must be positive, got {interval}")
+        self.kernel = kernel
+        self.interval = interval
+        self.fn = fn
+        self.alive = True
+        self.fires = 0
+        self._arm()
+
+    def _arm(self) -> None:
+        self.kernel._post_at(self.kernel.now + self.interval, self._fire,
+                             daemon=True)
+
+    def _fire(self) -> None:
+        if not self.alive:
+            return
+        self.fires += 1
+        try:
+            self.fn()
+        finally:
+            if self.alive:
+                self._arm()
+
+    def cancel(self) -> None:
+        self.alive = False
+
+
 class Kernel:
     """The discrete-event scheduler.
 
@@ -272,6 +312,9 @@ class Kernel:
         self._queue: List[Tuple[float, int, Callable[[], None]]] = []
         self._sequence = itertools.count()
         self._event_names = itertools.count(1)
+        #: seq numbers of daemon (periodic-timer) queue entries; they run
+        #: interleaved but do not count as pending work
+        self._daemon_seqs: set = set()
         #: run statistics, exported by cluster observability dumps; the
         #: kernel is also the tick source (``lambda: kernel.now``) for
         #: every simulated-time metric and span.
@@ -313,6 +356,15 @@ class Kernel:
         self.schedule(delay, lambda: event.settled or event.trigger(value))
         return event
 
+    def every(self, interval: float, fn: Callable[[], None]) -> PeriodicTimer:
+        """Run ``fn()`` every ``interval`` simulated time units.
+
+        The sampling-timer hook: returns a :class:`PeriodicTimer` whose
+        firings interleave with ordinary events but never keep the
+        simulation alive by themselves (see :class:`PeriodicTimer`).
+        """
+        return PeriodicTimer(self, interval, fn)
+
     # -- execution -----------------------------------------------------------
 
     def run(self, until: Optional[float] = None) -> float:
@@ -321,11 +373,14 @@ class Kernel:
         Returns the simulated time at which execution stopped.
         """
         while self._queue:
-            when, _seq, fn = self._queue[0]
+            if len(self._daemon_seqs) == len(self._queue):
+                break  # only periodic timers remain: no real work left
+            when, seq, fn = self._queue[0]
             if until is not None and when > until:
                 self._now = until
                 return self._now
             heapq.heappop(self._queue)
+            self._daemon_seqs.discard(seq)
             self._now = when
             self.stats["callbacks_run"] += 1
             fn()
@@ -336,11 +391,12 @@ class Kernel:
     def run_until_settled(self, event: SimEvent, limit: float = 1e12) -> Any:
         """Run until ``event`` settles; raise if the simulation drains first."""
         while not event.settled:
-            if not self._queue:
+            if not self._queue or len(self._daemon_seqs) == len(self._queue):
                 raise SimulationError(f"simulation drained before {event!r} settled")
             if self._now > limit:
                 raise SimulationError(f"exceeded time limit waiting for {event!r}")
-            when, _seq, fn = heapq.heappop(self._queue)
+            when, seq, fn = heapq.heappop(self._queue)
+            self._daemon_seqs.discard(seq)
             self._now = when
             self.stats["callbacks_run"] += 1
             fn()
@@ -353,7 +409,8 @@ class Kernel:
     def _post(self, fn: Callable[..., None], *args: Any) -> None:
         self._post_at(self._now, fn, *args)
 
-    def _post_at(self, when: float, fn: Callable[..., None], *args: Any) -> None:
+    def _post_at(self, when: float, fn: Callable[..., None], *args: Any,
+                 daemon: bool = False) -> None:
         if args:
             bound_fn, bound_args = fn, args
 
@@ -363,7 +420,10 @@ class Kernel:
             entry: Callable[[], None] = call
         else:
             entry = fn
-        heapq.heappush(self._queue, (when, next(self._sequence), entry))
+        seq = next(self._sequence)
+        if daemon:
+            self._daemon_seqs.add(seq)
+        heapq.heappush(self._queue, (when, seq, entry))
 
 
 def any_of(kernel: Kernel, events: List[SimEvent]) -> SimEvent:

@@ -437,3 +437,83 @@ def test_report_cli_non_object_input_is_a_clean_error(tmp_path, capsys):
 def test_report_cli_missing_file_is_a_clean_error(tmp_path, capsys):
     assert report_main([str(tmp_path / "nope.json")]) == 1
     assert "error:" in capsys.readouterr().err
+
+
+# -- type-specific (semantic) lock grants --------------------------------------
+
+
+def semantic_grant(owner, obj, group, compatible, colour="c", node="local"):
+    """A grant event as the registry emits it for operation-group locks."""
+    return ("lock.granted", {"owner": owner, "object": obj, "mode": group,
+                             "colour": colour, "node": node,
+                             "semantic": "1", "compatible": compatible})
+
+
+def test_incompatible_semantic_grant_is_a_violation():
+    auditor = InvariantAuditor()
+    feed(auditor, [
+        begin("a1"),
+        begin("a2"),
+        semantic_grant("a1", "ctr", "update", compatible="update"),
+        # observe does not commute with update, and a2 is no ancestor of a1
+        semantic_grant("a2", "ctr", "observe", compatible="observe"),
+    ])
+    assert kinds_of(auditor) == {F.SEMANTIC_LOCK_RULE}
+    finding = auditor.report()[0]
+    assert "observe" in finding.message and "update" in finding.message
+
+
+def test_commuting_semantic_grants_are_clean():
+    auditor = InvariantAuditor()
+    feed(auditor, [
+        begin("a1"),
+        begin("a2"),
+        semantic_grant("a1", "ctr", "update", compatible="update"),
+        semantic_grant("a2", "ctr", "update", compatible="update"),
+    ])
+    assert auditor.report() == []
+
+
+def test_incompatible_semantic_grant_to_descendant_is_clean():
+    auditor = InvariantAuditor()
+    feed(auditor, [
+        begin("a1"),
+        begin("a2", parent="a1"),
+        semantic_grant("a1", "ctr", "update", compatible="update"),
+        # a1 is an inclusive ancestor of a2: §5.2 lets the child in
+        semantic_grant("a2", "ctr", "observe", compatible="observe"),
+    ])
+    assert auditor.report() == []
+
+
+def test_cluster_commuting_run_audits_clean_with_semantic_labels():
+    from repro.cluster.cluster import Cluster
+
+    cluster = Cluster(seed=0)
+    for name in ("c1", "c2", "server"):
+        cluster.add_node(name)
+    c1, c2 = cluster.client("c1", "c1"), cluster.client("c2", "c2")
+    refs = {}
+
+    def setup():
+        refs["ctr"] = yield from c1.create("server", "commuting_counter",
+                                           value=0)
+
+    def adder(client, label, amount):
+        action = client.top_level(label)
+        yield from client.invoke(action, refs["ctr"], "add", amount)
+        yield from client.commit(action)
+
+    cluster.run_process("c1", setup())
+    cluster.spawn("c1", adder(c1, "u1", 1))
+    cluster.spawn("c2", adder(c2, "u2", 10))
+    cluster.run()
+    assert cluster.obs.auditor.report() == []
+    semantic_grants = [
+        e for e in cluster.obs.auditor.event_dicts()
+        if e["kind"] == "lock.granted" and e["labels"].get("semantic")
+    ]
+    assert semantic_grants, "registry emitted no semantic grant events"
+    assert all("update" in g["labels"]["compatible"]
+               for g in semantic_grants
+               if g["labels"]["mode"] == "update")

@@ -1,0 +1,458 @@
+"""The performance observatory: sampler, flight recorder, overhead meter,
+perf-regression gate, and their kernel/cluster attach points."""
+
+import json
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.obs import Observability
+from repro.obs.perf import (
+    Deviation,
+    FlightRecorder,
+    ObsOverheadMeter,
+    TimeSeriesSampler,
+    compare_documents,
+    compare_trees,
+    load_bench_files,
+)
+from repro.obs.perf.__main__ import main as perf_main
+from repro.obs.perf.overhead import measure_noop_path
+from repro.obs.report import aggregate_documents
+from repro.sim.kernel import Kernel, Timeout
+from repro.errors import SimulationError
+
+
+# -- Kernel.every (daemon timers) ---------------------------------------------
+
+def test_periodic_timer_fires_and_never_keeps_run_alive():
+    kernel = Kernel()
+    ticks = []
+    timer = kernel.every(2.0, lambda: ticks.append(kernel.now))
+
+    def work():
+        yield Timeout(7.0)
+        return "done"
+
+    handle = kernel.spawn(work())
+    end = kernel.run()
+    # run() returned although the timer would fire forever
+    assert handle.result == "done"
+    assert ticks == [2.0, 4.0, 6.0]
+    assert timer.fires == 3
+    assert end == pytest.approx(7.0)
+
+
+def test_periodic_timer_cancel_stops_firing():
+    kernel = Kernel()
+    ticks = []
+    timer = kernel.every(1.0, lambda: ticks.append(kernel.now))
+
+    def work():
+        yield Timeout(2.5)
+        timer.cancel()
+        yield Timeout(5.0)
+
+    kernel.run_until_settled(kernel.spawn(work()).join())
+    assert ticks == [1.0, 2.0]
+
+
+def test_run_until_settled_reports_drain_with_daemon_only_queue():
+    kernel = Kernel()
+    kernel.every(1.0, lambda: None)
+    never = kernel.event("never")
+    with pytest.raises(SimulationError, match="drained"):
+        kernel.run_until_settled(never)
+
+
+def test_every_rejects_non_positive_interval():
+    kernel = Kernel()
+    with pytest.raises(SimulationError):
+        kernel.every(0.0, lambda: None)
+
+
+# -- TimeSeriesSampler --------------------------------------------------------
+
+def _sampled_cluster_run(seed: int):
+    cluster = Cluster(seed=seed)
+    for name in ("a", "b"):
+        cluster.add_node(name)
+    sampler, _recorder = cluster.attach_perf(interval=3.0, seed=seed)
+    client = cluster.client("a")
+
+    def app():
+        ref = yield from client.create("b", "counter", value=0)
+        for index in range(6):
+            action = client.top_level(f"t{index}")
+            yield from client.invoke(action, ref, "increment", 1)
+            yield from client.commit(action)
+            yield Timeout(2.0)
+
+    cluster.run_process("a", app())
+    return sampler.timeline()
+
+
+def test_sampler_timeline_is_deterministic_for_a_seed():
+    assert _sampled_cluster_run(5) == _sampled_cluster_run(5)
+
+
+def test_sampler_records_per_colour_deltas_and_gauges():
+    timeline = _sampled_cluster_run(5)
+    assert timeline["interval"] == 3.0
+    points = timeline["points"]
+    assert points, "sampler never fired"
+    committed = 0.0
+    saw_gauges = False
+    for point in points:
+        for row in point.get("colours", {}).values():
+            committed += row.get("committed", 0.0)
+        saw_gauges = saw_gauges or "gauges" in point
+    # counter deltas across the timeline sum to the cumulative total
+    assert committed == 6.0
+    assert saw_gauges
+
+
+def test_sampler_decimates_at_max_points():
+    hub = Observability()
+    sampler = TimeSeriesSampler(hub, interval=1.0, max_points=8)
+    for _ in range(20):
+        sampler.sample()
+    # every time the timeline fills, half the points drop and the stride
+    # doubles: 20 manual samples through an 8-point budget decimate 4 times
+    assert len(sampler.points) == 4
+    assert sampler.stride == 16
+    assert sampler.decimations == 4
+
+
+def test_sampler_rejects_tiny_max_points():
+    with pytest.raises(ValueError):
+        TimeSeriesSampler(Observability(), max_points=1)
+
+
+# -- FlightRecorder -----------------------------------------------------------
+
+def test_ring_evicts_oldest_first_and_keeps_sequence_order():
+    hub = Observability()
+    recorder = FlightRecorder(hub, capacity=5)
+    for index in range(12):
+        hub.emit("span.start", index=index)
+    events = recorder.ring_events()
+    assert [e["labels"]["index"] for e in events] == [7, 8, 9, 10, 11]
+    seqs = [e["seq"] for e in events]
+    assert seqs == sorted(seqs)
+    assert recorder.evicted == 7
+    assert recorder.dump()["seen"] == 12
+
+
+def test_sampling_is_deterministic_and_spares_critical_kinds():
+    def run(seed):
+        hub = Observability()
+        recorder = FlightRecorder(hub, capacity=100, sample_rate=0.3,
+                                  seed=seed)
+        for index in range(40):
+            hub.emit("span.start", index=index)
+            if index % 10 == 0:
+                hub.emit("twopc.decision", txn=f"t{index}")
+        return recorder.ring_events()
+
+    first, second = run(9), run(9)
+    assert first == second
+    kinds = [e["kind"] for e in first]
+    # every critical event survives the 30% sampling
+    assert kinds.count("twopc.decision") == 4
+    assert 0 < kinds.count("span.start") < 40
+
+
+def test_recorder_freezes_ring_on_auditor_finding():
+    hub = Observability()
+    recorder = FlightRecorder(hub, capacity=10)
+    # a grant after the owner began releasing = two-phase violation
+    hub.emit("lock.granted", node="n", owner="a1", object="o1",
+             mode="write", colour="c1")
+    hub.emit("lock.released", node="n", owner="a1", object="o1", colour="c1")
+    hub.emit("lock.granted", node="n", owner="a1", object="o2",
+             mode="write", colour="c1")
+    assert hub.auditor.findings
+    assert len(recorder.finding_snapshots) == len(hub.auditor.findings)
+    snapshot = recorder.finding_snapshots[0]
+    assert snapshot["kind"] == "two-phase-violation"
+    assert snapshot["events"], "snapshot must carry the ring contents"
+
+
+def test_recorder_dump_travels_in_hub_save(tmp_path):
+    hub = Observability()
+    FlightRecorder(hub, capacity=4)
+    hub.emit("span.start", name="x")
+    doc = hub.save(str(tmp_path / "dump.json"))
+    assert doc["extra"]["flight_recorder"]["seen"] == 1
+    assert "timeline" not in doc["extra"]    # no sampler attached
+
+
+def test_recorder_validates_parameters():
+    hub = Observability()
+    with pytest.raises(ValueError):
+        FlightRecorder(hub, capacity=0)
+    with pytest.raises(ValueError):
+        FlightRecorder(hub, sample_rate=1.5)
+
+
+# -- ObsOverheadMeter ---------------------------------------------------------
+
+def test_overhead_meter_accounts_events_and_restores_bus():
+    hub = Observability()
+    original_publish = hub.bus.publish
+    with ObsOverheadMeter(hub) as meter:
+        for _ in range(10):
+            hub.emit("span.start")
+    assert hub.bus.publish == original_publish
+    report = meter.report()
+    assert report["events_total"] == 10
+    assert 0.0 <= report["obs_share"] <= 1.0
+    assert report["obs_wall_seconds"] <= report["run_wall_seconds"]
+
+
+def test_overhead_meter_refuses_double_attach():
+    meter = ObsOverheadMeter(Observability()).attach()
+    with pytest.raises(RuntimeError):
+        meter.attach()
+    meter.detach()
+
+
+def test_noop_path_is_measurable():
+    result = measure_noop_path(iterations=1000)
+    assert result["nanos_per_call"] > 0.0
+
+
+# -- compare / perf gate ------------------------------------------------------
+
+def _bench(metrics, scenario="s", **extra):
+    doc = {"format": "repro-perf/1", "scenario": scenario,
+           "metrics": metrics}
+    doc.update(extra)
+    return doc
+
+
+def test_compare_within_tolerance_passes():
+    base = _bench({"latency": 10.0, "messages": 100.0})
+    run = _bench({"latency": 10.5, "messages": 95.0})
+    assert compare_documents("s", run, base) == []
+
+
+def test_compare_flags_two_sided_regressions():
+    base = _bench({"latency": 10.0})
+    for drifted in (12.0, 8.0):      # slower AND "faster" both gate
+        devs = compare_documents("s", _bench({"latency": drifted}), base)
+        assert [d.kind for d in devs] == ["regression"]
+        assert devs[0].failing
+
+
+def test_compare_missing_metric_fails_new_metric_passes():
+    base = _bench({"latency": 10.0})
+    run = _bench({"throughput": 5.0})
+    kinds = {d.kind: d.failing for d in compare_documents("s", run, base)}
+    assert kinds == {"missing-metric": True, "new-metric": False}
+
+
+def test_compare_per_metric_tolerance_override():
+    base = _bench({"latency": 10.0}, tolerances={"latency": 0.5})
+    assert compare_documents("s", _bench({"latency": 14.0}), base) == []
+    devs = compare_documents("s", _bench({"latency": 25.0}), base)
+    assert [d.kind for d in devs] == ["regression"]
+
+
+def test_compare_zero_baseline_requires_zero():
+    base = _bench({"aborted": 0.0})
+    assert compare_documents("s", _bench({"aborted": 0.0}), base) == []
+    devs = compare_documents("s", _bench({"aborted": 3.0}), base)
+    assert [d.kind for d in devs] == ["regression"]
+
+
+def test_compare_flattens_legacy_row_documents():
+    base = {"figure": "fanout", "rows": [{"participants": 1, "latency": 4.0}]}
+    run = {"figure": "fanout", "rows": [{"participants": 1, "latency": 9.0}]}
+    devs = compare_documents("fanout", run, base)
+    assert [d.metric for d in devs if d.failing] == ["rows[0].latency"]
+
+
+def _write_bench(directory, name, doc):
+    path = directory / f"BENCH_{name}.json"
+    path.write_text(json.dumps(doc))
+    return path
+
+
+def test_compare_trees_scenario_presence_rules(tmp_path):
+    baseline, current = tmp_path / "base", tmp_path / "run"
+    baseline.mkdir(), current.mkdir()
+    _write_bench(baseline, "kept", _bench({"x": 1.0}, scenario="kept"))
+    _write_bench(baseline, "lost", _bench({"x": 1.0}, scenario="lost"))
+    _write_bench(current, "kept", _bench({"x": 1.0}, scenario="kept"))
+    _write_bench(current, "fresh", _bench({"x": 1.0}, scenario="fresh"))
+    devs = compare_trees(str(baseline), str(current))
+    by_kind = {d.kind: d for d in devs}
+    # a skipped baselined scenario fails; a brand-new one only notices
+    assert by_kind["missing-scenario"].failing
+    assert by_kind["missing-scenario"].scenario == "lost"
+    assert not by_kind["new-scenario"].failing
+    assert by_kind["new-scenario"].scenario == "fresh"
+
+
+def test_load_bench_files_names_from_doc_or_filename(tmp_path):
+    _write_bench(tmp_path, "named", _bench({}, scenario="inner"))
+    (tmp_path / "BENCH_bare.json").write_text(json.dumps({"metrics": {}}))
+    found = load_bench_files(str(tmp_path))
+    assert set(found) == {"inner", "bare"}
+
+
+def test_perf_cli_exit_codes(tmp_path, capsys):
+    baseline, current = tmp_path / "base", tmp_path / "run"
+    baseline.mkdir(), current.mkdir()
+    _write_bench(baseline, "s", _bench({"x": 10.0}))
+    _write_bench(current, "s", _bench({"x": 10.2}))
+    assert perf_main(["compare", "--baseline", str(baseline),
+                      "--current", str(current)]) == 0
+    _write_bench(current, "s", _bench({"x": 20.0}))
+    assert perf_main(["compare", "--baseline", str(baseline),
+                      "--current", str(current)]) == 2
+    assert "regression" in capsys.readouterr().err
+    # operational error: no BENCH files anywhere
+    empty = tmp_path / "empty"
+    empty.mkdir()
+    assert perf_main(["compare", "--baseline", str(empty),
+                      "--current", str(empty)]) == 1
+
+
+def test_deviation_descriptions_cover_all_kinds():
+    cases = [
+        Deviation("s", "regression", "m", 10.0, 12.0, 0.1),
+        Deviation("s", "missing-metric", "m", baseline=10.0),
+        Deviation("s", "new-metric", "m", current=1.0),
+        Deviation("s", "missing-scenario"),
+        Deviation("s", "new-scenario"),
+    ]
+    for deviation in cases:
+        assert deviation.describe().startswith("[s]")
+
+
+# -- report aggregation -------------------------------------------------------
+
+def test_aggregate_documents_sums_counters_and_merges_histograms():
+    first = {"metrics": {
+        "counters": [{"name": "c", "labels": {"k": "a"}, "value": 2.0}],
+        "gauges": [],
+        "histograms": [{"name": "h", "labels": {}, "count": 2, "sum": 10.0,
+                        "min": 4.0, "max": 6.0}],
+    }}
+    second = {"metrics": {
+        "counters": [{"name": "c", "labels": {"k": "a"}, "value": 3.0},
+                     {"name": "c", "labels": {"k": "b"}, "value": 1.0}],
+        "gauges": [],
+        "histograms": [{"name": "h", "labels": {}, "count": 2, "sum": 30.0,
+                        "min": 14.0, "max": 16.0}],
+    }}
+    merged = aggregate_documents([first, second])["metrics"]
+    values = {tuple(sorted(r["labels"].items())): r["value"]
+              for r in merged["counters"]}
+    assert values == {(("k", "a"),): 5.0, (("k", "b"),): 1.0}
+    hist = merged["histograms"][0]
+    assert (hist["count"], hist["sum"]) == (4, 40.0)
+    assert (hist["min"], hist["max"]) == (4.0, 16.0)
+    assert hist["mean"] == 10.0
+    assert "p50" not in hist                  # unmergeable: omitted
+    assert hist["merged_from"] == 2
+
+
+def test_report_cli_aggregates_multiple_dumps(tmp_path, capsys):
+    from repro.obs.report import main as report_main
+    dump = {"metrics": {
+        "counters": [{"name": "ops", "labels": {}, "value": 4.0}],
+        "gauges": [], "histograms": [],
+    }}
+    paths = []
+    for index in range(2):
+        path = tmp_path / f"d{index}.json"
+        path.write_text(json.dumps(dump))
+        paths.append(str(path))
+    assert report_main(paths) == 0
+    out = capsys.readouterr().out
+    assert "aggregating 2 dumps" in out
+    assert "8" in out
+
+
+# -- batched prepare (multi-colour commit over call_many) ---------------------
+
+def _multi_colour_cluster():
+    from repro.objects.state import ObjectState
+
+    cluster = Cluster(seed=3)
+    for name in ("app", "s1", "s2"):
+        cluster.add_node(name)
+    client = cluster.client("app")
+
+    def committed_int(ref):
+        stored = cluster.nodes[ref.node].stable_store.read_committed(ref.uid)
+        return ObjectState.from_bytes(stored.payload).unpack_int()
+
+    return cluster, client, committed_int
+
+
+def _saved_rpcs(cluster):
+    return sum(instrument.value for _labels, instrument in
+               cluster.obs.metrics.series("prepare_batch_saved_rpcs_total"))
+
+
+def test_multi_colour_commit_batches_prepares_per_server():
+    cluster, client, committed_int = _multi_colour_cluster()
+    refs = {}
+
+    def app():
+        red = client.fresh_colour("red")
+        blue = client.fresh_colour("blue")
+        for key, node in (("r1", "s1"), ("r2", "s2"),
+                          ("b1", "s1"), ("b2", "s2")):
+            refs[key] = yield from client.create(node, "counter", value=0)
+        action = client.coloured([red, blue], name="multi")
+        for key, colour in (("r1", red), ("r2", red),
+                            ("b1", blue), ("b2", blue)):
+            yield from client.invoke(action, refs[key], "increment", 1,
+                                     colour=colour)
+        yield from client.commit(action)
+
+    cluster.run_process("app", app())
+    assert [committed_int(refs[k]) for k in ("r1", "r2", "b1", "b2")] \
+        == [1, 1, 1, 1]
+    # both colours span both servers: one batch of 2 sub-calls per server
+    # replaces 2 sequential prepare round trips -> 1 saved on each
+    assert _saved_rpcs(cluster) == 2.0
+    assert cluster.obs.auditor.report() == []
+
+
+def test_multi_colour_commit_fails_atomically_when_a_server_is_down():
+    from repro.errors import CommitError
+
+    cluster, client, committed_int = _multi_colour_cluster()
+    refs = {}
+    outcome = {}
+
+    def app():
+        red = client.fresh_colour("red")
+        blue = client.fresh_colour("blue")
+        refs["r1"] = yield from client.create("s1", "counter", value=7)
+        refs["r2"] = yield from client.create("s2", "counter", value=7)
+        refs["b2"] = yield from client.create("s2", "counter", value=7)
+        action = client.coloured([red, blue], name="doomed")
+        yield from client.invoke(action, refs["r1"], "increment", 1,
+                                 colour=red)
+        yield from client.invoke(action, refs["r2"], "increment", 1,
+                                 colour=red)
+        yield from client.invoke(action, refs["b2"], "increment", 1,
+                                 colour=blue)
+        cluster.crash("s2")
+        try:
+            yield from client.commit(action)
+        except CommitError as error:
+            outcome["error"] = error
+
+    cluster.run_process("app", app())
+    assert "error" in outcome, "commit against a crashed participant passed"
+    # nothing became permanent: the live server still holds the old value
+    assert committed_int(refs["r1"]) == 7
