@@ -27,9 +27,11 @@ Scenarios: ``contention_sweep`` (lock contention ladder, plus the
 observability layer's own measured overhead with the flight recorder
 attached), ``colour_sweep`` (commit cost vs colours per action),
 ``cluster_fanout`` (commit cost vs participant servers), ``chaos_mix``
-(crash/restart schedule with conservation checked), and
-``prepare_batching`` (round trips saved by batching multi-colour prepare
-sub-calls through ``call_many``).
+(crash/restart schedule with conservation checked), ``prepare_batching``
+(round trips saved by batching multi-colour prepare sub-calls through
+``call_many``), and ``twopc_fastpath`` (commit-protocol fast paths —
+piggybacked decision, read-only votes, one-phase commit — against the
+classic protocol on an identical workload).
 """
 
 from __future__ import annotations
@@ -376,12 +378,111 @@ def scenario_prepare_batching(seed: int = 31) -> Dict[str, Any]:
         })
 
 
+# -- 2PC fast paths -----------------------------------------------------------
+
+def _fastpath_mix(seed: int, fast_paths: bool) -> Dict[str, Any]:
+    """One seeded commit mix, classic or optimised.
+
+    Three transaction profiles over two object servers (the coordinator
+    hosts nothing): A — a single-server write (one-phase commit when
+    optimised); B — one writer plus one pure reader (one-phase commit and
+    a read-only vote); C — two writers (piggybacked decision at the last
+    agent).  Message and latency figures count the commit calls only.
+    """
+    cluster = Cluster(seed=seed, fast_paths=fast_paths,
+                      config=NetworkConfig(min_delay=1.0, max_delay=1.0))
+    for name in ("home", "s1", "s2"):
+        cluster.add_node(name)
+    client = cluster.client("home")
+    result = {"commit_messages": 0, "commit_time": 0.0, "commits": 0}
+
+    def run_commit(action):
+        before = cluster.network.sent_count
+        started = cluster.kernel.now
+        yield from client.commit(action)
+        result["commit_messages"] += cluster.network.sent_count - before
+        result["commit_time"] += cluster.kernel.now - started
+        result["commits"] += 1
+
+    def app():
+        a = yield from client.create("s1", "counter", value=0)
+        b = yield from client.create("s2", "counter", value=0)
+        for index in range(6):       # profile A: single-server write
+            action = client.top_level(f"A{index}")
+            yield from client.invoke(action, a, "increment", 1)
+            yield from run_commit(action)
+        for index in range(4):       # profile B: one writer + one reader
+            action = client.top_level(f"B{index}")
+            yield from client.invoke(action, a, "increment", 1)
+            yield from client.invoke(action, b, "get")
+            yield from run_commit(action)
+        for index in range(2):       # profile C: two writers
+            action = client.top_level(f"C{index}")
+            yield from client.invoke(action, a, "increment", 1)
+            yield from client.invoke(action, b, "increment", 1)
+            yield from run_commit(action)
+        result["a"], result["b"] = a, b
+
+    cluster.run_process("home", app())
+    assert _stable_int(cluster, result["a"]) == 12
+    assert _stable_int(cluster, result["b"]) == 2
+    fast_path_kinds: Dict[str, float] = {}
+    for labels, counter in cluster.obs.metrics.series("twopc_fast_path_total"):
+        kind = dict(labels).get("kind", "")
+        fast_path_kinds[kind] = fast_path_kinds.get(kind, 0) + counter.value
+    result["fast_path_kinds"] = fast_path_kinds
+    result["piggyback_saved"] = cluster.obs.metrics.value(
+        "decision_piggyback_saved_rpcs_total")
+    result["read_only_saved_finish"] = sum(
+        counter.value for _labels, counter in
+        cluster.obs.metrics.series("read_only_saved_finish_total"))
+    result["audit_findings"] = len(cluster.obs.auditor.report())
+    return result
+
+
+def scenario_twopc_fastpath(seed: int = 29) -> Dict[str, Any]:
+    """Commit-protocol fast paths vs the classic protocol, same workload.
+
+    Runs the A/B/C mix twice — ``fast_paths=False`` then ``True`` — on
+    identical seeds and gates the message-count reduction: the piggybacked
+    decision, read-only votes and one-phase commits must save at least 30%
+    of the commit-path traffic, with zero auditor findings either way.
+    """
+    classic = _fastpath_mix(seed, fast_paths=False)
+    fast = _fastpath_mix(seed, fast_paths=True)
+    reduction = 1.0 - fast["commit_messages"] / classic["commit_messages"]
+    assert reduction >= 0.30, (classic["commit_messages"],
+                               fast["commit_messages"])
+    assert classic["audit_findings"] == 0, classic["audit_findings"]
+    assert fast["audit_findings"] == 0, fast["audit_findings"]
+    kinds = fast["fast_path_kinds"]
+    return _document(
+        "twopc_fastpath", seed,
+        {"profile_a_commits": 6, "profile_b_commits": 4,
+         "profile_c_commits": 2, "servers": 2},
+        {
+            "classic.commit_messages": classic["commit_messages"],
+            "classic.commit_time": classic["commit_time"],
+            "fast.commit_messages": fast["commit_messages"],
+            "fast.commit_time": fast["commit_time"],
+            "message_reduction": reduction,
+            "fast.one_phase_commits": kinds.get("one_phase", 0),
+            "fast.piggyback_commits": kinds.get("piggyback", 0),
+            "fast.read_only_votes": kinds.get("read_only", 0),
+            "fast.piggyback_saved_rpcs": fast["piggyback_saved"],
+            "fast.read_only_saved_finishes": fast["read_only_saved_finish"],
+            "classic.audit_findings": classic["audit_findings"],
+            "fast.audit_findings": fast["audit_findings"],
+        })
+
+
 SCENARIOS: Dict[str, Callable[[], Dict[str, Any]]] = {
     "contention_sweep": scenario_contention_sweep,
     "colour_sweep": scenario_colour_sweep,
     "cluster_fanout": scenario_cluster_fanout,
     "chaos_mix": scenario_chaos_mix,
     "prepare_batching": scenario_prepare_batching,
+    "twopc_fastpath": scenario_twopc_fastpath,
 }
 
 

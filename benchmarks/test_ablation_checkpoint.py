@@ -66,8 +66,9 @@ def test_ablation_checkpointing(benchmark):
     checked = results[f"checkpoint every {CHECKPOINT_EVERY}"]
     assert plain["value_after_recovery"] == TRANSACTIONS
     assert checked["value_after_recovery"] == TRANSACTIONS
-    # unchecked log grows ~2 records per txn; checkpointed stays bounded
-    assert plain["final_log"] >= 2 * TRANSACTIONS
+    # unchecked log grows >= 1 record per txn (a single committed record
+    # under the one-phase fast path); checkpointed stays bounded
+    assert plain["final_log"] >= TRANSACTIONS
     assert checked["peak_log"] < plain["final_log"] / 2
     print_figure(
         f"A10 — participant WAL size over {TRANSACTIONS} transactions",

@@ -28,7 +28,7 @@ class ActionRuntime(ABC):
 
     @abstractmethod
     def fresh_action_uid(self) -> Uid:
-        ...
+        """A new unique id for an action being constructed."""
 
     @abstractmethod
     def next_undo_seq(self) -> int:

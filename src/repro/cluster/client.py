@@ -83,6 +83,12 @@ class ClusterAction:
         self.written: Dict[Colour, Dict[str, Set[Uid]]] = {}
         #: node -> epoch at first involvement
         self.server_epochs: Dict[str, int] = {}
+        #: node -> colours released early by a read-only vote (the node is
+        #: out of phase two for those colours)
+        self.vote_released: Dict[str, Set[Colour]] = {}
+        #: nodes whose finish/transfer routing rode a delegated prepare
+        #: (one-phase / piggybacked decision) — no finish_commit needed
+        self.finished_nodes: Set[str] = set()
         self.default_colour: Optional[Colour] = None
         self.companion_colour: Optional[Colour] = None
         if parent is not None:
@@ -119,6 +125,11 @@ class ClusterAction:
             nodes |= per_colour
         return nodes
 
+    def colours_at(self, node: str) -> Set[Colour]:
+        """The colours in which this action is involved at ``node``."""
+        return {colour for colour, nodes in self.involved.items()
+                if node in nodes}
+
     def check_epoch(self, node: str, epoch: int) -> None:
         recorded = self.server_epochs.setdefault(node, epoch)
         if recorded != epoch:
@@ -138,16 +149,23 @@ class ClusterClient:
     def __init__(self, node: Node, transport: RpcTransport,
                  action_uids: UidGenerator, colour_allocator,
                  class_registry: Dict[str, type], name: str = "client",
-                 observability=None):
+                 observability=None, fast_paths: bool = True):
         self.node = node
         self.kernel = node.kernel
         self.transport = transport
         self.name = name
         self.obs = observability
+        #: commit-protocol fast paths (piggybacked decision, read-only
+        #: votes, one-phase commit); False runs the classic protocol only
+        self.fast_paths = fast_paths
         self._action_uids = action_uids
         self._colours = colour_allocator
         self._classes = class_registry
         self._txn_seq = itertools.count(1)
+        #: node -> delegated txn_ids whose commit outcome is durably ours;
+        #: acknowledged lazily by riding the next prepare to that node, so
+        #: the delegate's checkpoint can drop its COMMITTED record
+        self._pending_forget: Dict[str, List[str]] = {}
         #: tracing/metrics observers (see repro.trace) — notified on action
         #: creation and termination
         self.observers: list = []
@@ -353,12 +371,12 @@ class ClusterClient:
         failed_colour: Optional[Colour] = None
         if len(permanent) == 1:
             colour, write_map = permanent[0]
-            txn_id = yield from self._two_phase_commit(
+            result = yield from self._two_phase_commit(
                 action, colour, write_map, parent_span=span)
-            if txn_id is None:
+            if result is None:
                 failed_colour = colour
             else:
-                decided.append((txn_id, set(write_map)))
+                decided.append(result)
                 if self.obs is not None:
                     self.obs.count("colour_permanent_total",
                                    colour=str(colour))
@@ -574,6 +592,15 @@ class ClusterClient:
         from our coordinator log via recovery, so we only log ``coord_end``
         — the record that lets checkpointing forget a transaction — for
         transactions whose *entire* participant set acked here.
+
+        Fast-path exclusions: a server whose finish routing rode a
+        delegated prepare (``action.finished_nodes``) and a server whose
+        every colour was released by read-only votes
+        (``action.vote_released``) have nothing left to do and are left
+        out of the fan-out entirely.  Neither can appear in a decided
+        transaction's participant set — a delegated server already applied
+        its commit, and a fully-released server was a pure reader — so the
+        ``coord_end`` accounting is unaffected.
         """
         encoded_routes = [
             {
@@ -582,7 +609,17 @@ class ClusterClient:
             }
             for colour, dest in sorted(routes.items(), key=lambda kv: kv[0].uid)
         ]
-        nodes = sorted(action.all_nodes())
+        nodes = []
+        for node_name in sorted(action.all_nodes()):
+            if node_name in action.finished_nodes:
+                continue
+            released = action.vote_released.get(node_name, set())
+            if released and released >= action.colours_at(node_name):
+                if self.obs is not None:
+                    self.obs.count("read_only_saved_finish_total",
+                                   node=node_name)
+                continue
+            nodes.append(node_name)
         calls_for: Dict[str, List[Tuple[str, Dict[str, Any]]]] = {}
         for node_name in nodes:
             calls = [("txn_commit", {"txn_id": txn_id})
@@ -673,13 +710,127 @@ class ClusterClient:
 
     # -- two-phase commit (coordinator) --------------------------------------------------------
 
+    def _prepare_payload(self, action: ClusterAction, txn_id: str,
+                         colour: Colour, node_name: str,
+                         object_uids: Iterable[Uid]) -> Dict[str, Any]:
+        """A txn_prepare payload, with any pending lazy acknowledgements
+        of earlier delegated commits to this node riding along."""
+        payload = {
+            "txn_id": txn_id,
+            "action_uid": encode_uid(action.uid),
+            "colour": encode_colour(colour),
+            "object_uids": [encode_uid(u) for u in sorted(object_uids)],
+            "expected_epoch": action.server_epochs.get(node_name),
+        }
+        forget = self._pending_forget.get(node_name)
+        if forget:
+            payload["forget"] = list(forget)
+        return payload
+
+    def _ack_forget(self, node_name: str, payload: Dict[str, Any]) -> None:
+        """The prepare carrying these forgets was answered: stop resending."""
+        sent = payload.get("forget")
+        if not sent:
+            return
+        pending = self._pending_forget.get(node_name)
+        if pending:
+            remaining = [t for t in pending if t not in set(sent)]
+            if remaining:
+                self._pending_forget[node_name] = remaining
+            else:
+                self._pending_forget.pop(node_name, None)
+
+    def _spawn_read_only_prepares(self, action: ClusterAction, txn_id: str,
+                                  colour: Colour, readers: List[str],
+                                  span=None) -> None:
+        """Fire-and-forget read-only prepares to the colour's pure readers.
+
+        Never gates the decision (the classic protocol does not contact
+        readers at all): a reader that answers ``read-only`` released its
+        locks at vote time and is skipped by the finish fan-out; one that
+        cannot be reached simply falls back to the classic finish path.
+        """
+
+        def read_only_one(node_name: str):
+            payload = self._prepare_payload(action, txn_id, colour,
+                                            node_name, ())
+            payload["read_only"] = True
+            try:
+                reply = yield from self.transport.call(
+                    node_name, "txn_prepare", payload, trace_parent=span)
+            except Exception:
+                return False
+            self._ack_forget(node_name, payload)
+            if reply.get("vote") == "read-only":
+                action.vote_released.setdefault(node_name, set()).add(colour)
+            return True
+
+        for node_name in readers:
+            self.kernel.spawn(read_only_one(node_name),
+                              name=f"ro-prepare:{txn_id}:{node_name}")
+
+    def _abort_round(self, txn_id: str, nodes: List[str]):
+        """Presumed abort: tell whoever may have prepared, in parallel,
+        reaping nodes we cannot reach."""
+        abort_payload = {"txn_id": txn_id}
+
+        def abort_one(node_name: str):
+            yield from self.transport.call(node_name, "txn_abort",
+                                           dict(abort_payload))
+
+        abort_handles = [
+            self.kernel.spawn(abort_one(n), name=f"txn-abort:{txn_id}:{n}")
+            for n in nodes
+        ]
+        outcomes = yield settle_all(
+            self.kernel, [h.join() for h in abort_handles])
+        for node_name, (ok, _value) in zip(nodes, outcomes):
+            if not ok:
+                self._spawn_reaper(
+                    node_name, [("txn_abort", dict(abort_payload))],
+                    label=f"txn-abort:{txn_id}")
+
+    def _resolve_delegated(self, txn_id: str, last_agent: str, span=None):
+        """The delegated prepare's reply was lost: the outcome is unknown
+        until the last agent answers.
+
+        Loops on ``txn_outcome_query`` — the last agent answers from its
+        log, force-aborting the transaction if the delegated prepare never
+        arrived, so the answer is always definitive.  Blocking here is
+        required for truthfulness: reporting an outcome the delegate may
+        contradict would split the decision.
+        """
+        while True:
+            try:
+                reply = yield from self.transport.call(
+                    last_agent, "txn_outcome_query", {"txn_id": txn_id},
+                    timeout=5.0, retries=1, trace_parent=span)
+            except Exception:
+                yield Timeout(5.0)
+                continue
+            return reply["decision"]
+
     def _two_phase_commit(self, action: ClusterAction, colour: Colour,
                           write_map: Dict[str, Set[Uid]], parent_span=None):
         """Presumed-abort 2PC prepare round for one colour's write set.
 
-        Returns the txn_id once the commit decision is *logged* (delivery
-        is the caller's merged fan-out, :meth:`_finish_commit`), or ``None``
-        when any participant voted rollback, timed out, or restarted.
+        Classic flow (``fast_paths=False``): one parallel prepare fan-out
+        over every writer; the commit decision is logged here and delivered
+        by the caller's merged finish fan-out.
+
+        Fast flow (the default): pure readers of the colour get non-gating
+        *read-only* prepares (they release their locks at vote time and
+        leave phase two); all writers but one run the classic parallel
+        round; then the commit decision rides *inside* the last writer's
+        prepare (the R* last-agent / piggybacked-decision optimisation) —
+        with a single writer that collapses to a one-phase commit.  When
+        that writer's entire involvement is this colour, its finish
+        routing rides along too and no termination message follows at all.
+
+        Returns ``(txn_id, phase_two_nodes)`` once the commit decision is
+        durable — the caller delivers ``txn_commit`` to exactly
+        ``phase_two_nodes`` in the merged finish fan-out — or ``None`` when
+        any writer voted rollback, timed out, or restarted.
         """
         txn_id = f"txn:{self.node.name}:{action.uid.sequence}:{colour.uid.sequence}:{next(self._txn_seq)}"
         participants = sorted(write_map)
@@ -692,21 +843,32 @@ class ClusterClient:
                           action=str(action.uid), colour=str(colour),
                           participants=",".join(participants),
                           node=self.node.name)
+        readers: List[str] = []
+        if self.fast_paths:
+            readers = sorted(action.involved.get(colour, set())
+                             - set(write_map))
+            if readers:
+                # concurrent with the writer round, never gating it
+                self._spawn_read_only_prepares(action, txn_id, colour,
+                                               readers, span=span)
+            plain = participants[:-1]
+            last_agent = participants[-1]
+        else:
+            plain = participants
+            last_agent = None
 
         def prepare_one(node_name: str):
-            reply = yield from self.transport.call(node_name, "txn_prepare", {
-                "txn_id": txn_id,
-                "action_uid": encode_uid(action.uid),
-                "colour": encode_colour(colour),
-                "object_uids": [encode_uid(u) for u in sorted(write_map[node_name])],
-                "expected_epoch": action.server_epochs.get(node_name),
-            }, trace_parent=span)
+            payload = self._prepare_payload(
+                action, txn_id, colour, node_name, write_map[node_name])
+            reply = yield from self.transport.call(
+                node_name, "txn_prepare", payload, trace_parent=span)
+            self._ack_forget(node_name, payload)
             return reply["vote"]
 
         prepare_started = self.kernel.now
         handles = [
             self.kernel.spawn(prepare_one(n), name=f"prepare:{txn_id}:{n}")
-            for n in participants
+            for n in plain
         ]
         votes: List[Optional[str]] = []
         prepared_ok = True
@@ -716,11 +878,6 @@ class ClusterClient:
             prepared_ok = all(v == "commit" for v in votes)
         except (PrepareFailed, RpcTimeout, ActionAborted, ClusterError):
             prepared_ok = False
-        if self.obs is not None:
-            # coordinator-observed latency of the whole prepare round
-            self.obs.observe("twopc_prepare_time",
-                             self.kernel.now - prepare_started,
-                             colour=str(colour))
         if not prepared_ok:
             # Cancel prepares still in flight *before* announcing the
             # abort: a killed task's transport cleanup runs immediately
@@ -731,43 +888,117 @@ class ClusterClient:
             for handle in handles:
                 handle.kill()
             if self.obs is not None:
+                self.obs.observe("twopc_prepare_time",
+                                 self.kernel.now - prepare_started,
+                                 colour=str(colour))
                 self.obs.count("twopc_rounds_total", colour=str(colour),
                                outcome="aborted")
                 self.obs.emit("twopc.decision", txn=txn_id,
                               decision="abort", node=self.node.name)
             if span is not None:
                 span.set(outcome="aborted").finish()
-            # presumed abort: no decision record needed; tell whoever may
-            # have prepared — in parallel, reaping nodes we cannot reach.
-            abort_payload = {"txn_id": txn_id}
-
-            def abort_one(node_name: str):
-                yield from self.transport.call(node_name, "txn_abort",
-                                               dict(abort_payload))
-
-            abort_handles = [
-                self.kernel.spawn(abort_one(n), name=f"txn-abort:{txn_id}:{n}")
-                for n in participants
-            ]
-            outcomes = yield settle_all(
-                self.kernel, [h.join() for h in abort_handles])
-            for node_name, (ok, _value) in zip(participants, outcomes):
-                if not ok:
-                    self._spawn_reaper(
-                        node_name, [("txn_abort", dict(abort_payload))],
-                        label=f"txn-abort:{txn_id}")
+            # the last agent never saw a prepare; only the plain round's
+            # participants may hold prepared state
+            yield from self._abort_round(txn_id, plain)
             return None
-        # decision: commit — logged before any participant is told.  The
-        # caller delivers it inside the merged per-server finish batch.
-        self.node.wal.append("coord_commit", txn_id=txn_id)
+        if last_agent is None:
+            if self.obs is not None:
+                # coordinator-observed latency of the whole prepare round
+                self.obs.observe("twopc_prepare_time",
+                                 self.kernel.now - prepare_started,
+                                 colour=str(colour))
+            # decision: commit — logged before any participant is told.
+            # The caller delivers it inside the merged finish batch.
+            self.node.wal.append("coord_commit", txn_id=txn_id)
+            if self.obs is not None:
+                self.obs.count("twopc_rounds_total", colour=str(colour),
+                               outcome="committed")
+                self.obs.emit("twopc.decision", txn=txn_id,
+                              decision="commit", node=self.node.name)
+            if span is not None:
+                span.set(outcome="committed").finish()
+            return txn_id, set(write_map)
+        # Delegate the decision to the remaining writer: its prepare both
+        # asks for and *carries* the decision (every earlier vote was
+        # commit, so a commit vote there decides the transaction).  The
+        # delegation is logged first — if we crash or lose the reply, the
+        # outcome is recoverable from the named last agent.
+        fast_kind = "one_phase" if len(participants) == 1 else "piggyback"
+        self.node.wal.append("coord_delegated", txn_id=txn_id,
+                             last_agent=last_agent)
+        payload = self._prepare_payload(
+            action, txn_id, colour, last_agent, write_map[last_agent])
+        payload["decide"] = True
+        payload["fast_path"] = fast_kind
+        if action.colours_at(last_agent) == {colour}:
+            # the node's entire involvement commits right here: ship its
+            # (trivial) finish routing inside the same message
+            payload["finish"] = [{"colour": encode_colour(colour),
+                                  "dest": None}]
+        finished = False
+        try:
+            reply = yield from self.transport.call(
+                last_agent, "txn_prepare", payload, trace_parent=span)
+            self._ack_forget(last_agent, payload)
+            vote = reply["vote"]
+            finished = bool(reply.get("finished"))
+        except (RpcTimeout, PrepareFailed, ActionAborted, ClusterError):
+            # The decision may or may not have landed — and not only on a
+            # timeout: an error reply can come from a *retransmission*
+            # after the first copy committed and the delegate crashed
+            # (the retry then hits the bumped epoch).  Never presume
+            # rollback past this point; resolve through the last agent
+            # (see _resolve_delegated), whose answer is definitive.
+            decision = yield from self._resolve_delegated(
+                txn_id, last_agent, span=span)
+            vote = "commit" if decision == "commit" else "rollback"
+            # a committed outcome proves the prepare arrived whole — the
+            # piggybacked finish (if any) was applied with it
+            finished = vote == "commit" and "finish" in payload
+        if self.obs is not None:
+            self.obs.observe("twopc_prepare_time",
+                             self.kernel.now - prepare_started,
+                             colour=str(colour))
+        if vote != "commit":
+            if self.node.wal.last(
+                "coord_abort", where=lambda r: r.payload["txn_id"] == txn_id
+            ) is None:
+                self.node.wal.append("coord_abort", txn_id=txn_id)
+            if self.obs is not None:
+                self.obs.count("twopc_rounds_total", colour=str(colour),
+                               outcome="aborted")
+                self.obs.emit("twopc.decision", txn=txn_id,
+                              decision="abort", node=self.node.name)
+            if span is not None:
+                span.set(outcome="aborted").finish()
+            yield from self._abort_round(txn_id, plain)
+            return None
+        if self.node.wal.last(
+            "coord_commit", where=lambda r: r.payload["txn_id"] == txn_id
+        ) is None:
+            self.node.wal.append("coord_commit", txn_id=txn_id)
+        # lazily acknowledge the delegate's COMMITTED record on the next
+        # prepare we send it, so its checkpoint can drop the record
+        self._pending_forget.setdefault(last_agent, []).append(txn_id)
+        if finished:
+            action.finished_nodes.add(last_agent)
+        if readers:
+            # Zero-time barrier: with a single writer the read-only
+            # replies land at the same instant as the delegated reply but
+            # later in the event queue; draining it here lets the caller's
+            # finish fan-out see those votes.  Costs no simulated time and
+            # never waits for a slow or dead reader.
+            yield Timeout(0.0)
         if self.obs is not None:
             self.obs.count("twopc_rounds_total", colour=str(colour),
                            outcome="committed")
-            self.obs.emit("twopc.decision", txn=txn_id,
-                          decision="commit", node=self.node.name)
+            # the decision event came from the delegate (labelled with the
+            # fast path); only the savings are counted here
+            self.obs.count("decision_piggyback_saved_rpcs_total",
+                           1 + (1 if finished else 0))
         if span is not None:
-            span.set(outcome="committed").finish()
-        return txn_id
+            span.set(outcome="committed", fast_path=fast_kind).finish()
+        return txn_id, set(plain)
 
     def _batched_prepare(self, action: ClusterAction,
                          permanent: List[Tuple[Colour, Dict[str, Set[Uid]]]],
@@ -790,6 +1021,15 @@ class ClusterClient:
         ``(decided, failed_colour)`` where ``decided`` is
         ``[(txn_id, participants, colour)]`` for the all-commit prefix and
         ``failed_colour`` is ``None`` on a clean run.
+
+        Fast paths here are deliberately narrower than the single-colour
+        round: the piggybacked decision and one-phase commit are *not*
+        attempted, because the colour-order failure semantics above need
+        every colour's votes in hand before any decision is taken.  The
+        read-only optimisation does apply — ``read_only`` prepare sub-calls
+        for a colour's pure readers ride the batches of servers the writer
+        round already visits (never widening the fan-out), and an answering
+        reader is dropped from that colour's phase two.
         """
         rounds = []
         for colour, write_map in permanent:
@@ -810,7 +1050,7 @@ class ClusterClient:
                                  kind="client", node=self.node.name,
                                  colours=len(rounds))
         calls_for: Dict[str, List[Tuple[str, Dict[str, Any]]]] = {}
-        index_for: Dict[str, List[int]] = {}
+        index_for: Dict[str, List[Tuple[str, int]]] = {}
         for i, r in enumerate(rounds):
             for node_name in r["participants"]:
                 calls_for.setdefault(node_name, []).append(("txn_prepare", {
@@ -821,12 +1061,37 @@ class ClusterClient:
                                     sorted(r["write_map"][node_name])],
                     "expected_epoch": action.server_epochs.get(node_name),
                 }))
-                index_for.setdefault(node_name, []).append(i)
-        nodes = sorted(calls_for)
+                index_for.setdefault(node_name, []).append(("prepare", i))
         if self.obs is not None:
+            # counted before the read-only riders join: the classic
+            # protocol never contacts readers, so only regrouped *writer*
+            # prepares are round trips saved over sequential rounds
             saved = sum(len(calls) - 1 for calls in calls_for.values())
             if saved:
                 self.obs.count("prepare_batch_saved_rpcs_total", saved)
+        if self.fast_paths:
+            # read-only riders: only on batches the writer round sends
+            # anyway — a sub-call is free, a widened fan-out is not
+            for i, r in enumerate(rounds):
+                readers = (action.involved.get(r["colour"], set())
+                           - set(r["write_map"]))
+                for node_name in sorted(readers & set(calls_for)):
+                    calls_for[node_name].append(("txn_prepare", {
+                        "txn_id": r["txn_id"],
+                        "action_uid": encode_uid(action.uid),
+                        "colour": encode_colour(r["colour"]),
+                        "object_uids": [],
+                        "expected_epoch": action.server_epochs.get(node_name),
+                        "read_only": True,
+                    }))
+                    index_for[node_name].append(("read_only", i))
+        forget_sent: Dict[str, Dict[str, Any]] = {}
+        for node_name, calls in calls_for.items():
+            pending = self._pending_forget.get(node_name)
+            if pending:
+                calls[0][1]["forget"] = list(pending)
+                forget_sent[node_name] = calls[0][1]
+        nodes = sorted(calls_for)
         prepare_started = self.kernel.now
 
         def prepare_batch(node_name: str):
@@ -843,9 +1108,18 @@ class ClusterClient:
         for node_name, (ok, value) in zip(nodes, outcomes):
             if not ok:  # whole batch undeliverable: no votes from this node
                 continue
-            for i, (sub_ok, sub_value) in zip(index_for[node_name], value):
-                if sub_ok:
-                    rounds[i]["votes"][node_name] = sub_value["vote"]
+            if node_name in forget_sent:
+                self._ack_forget(node_name, forget_sent[node_name])
+            for (role, i), (sub_ok, sub_value) in zip(index_for[node_name],
+                                                      value):
+                if not sub_ok:
+                    continue
+                if role == "read_only":
+                    if sub_value.get("vote") == "read-only":
+                        action.vote_released.setdefault(
+                            node_name, set()).add(rounds[i]["colour"])
+                    continue
+                rounds[i]["votes"][node_name] = sub_value["vote"]
         decided: List[Tuple[str, Set[str], Colour]] = []
         failed_index: Optional[int] = None
         for i, r in enumerate(rounds):

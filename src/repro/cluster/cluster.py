@@ -62,7 +62,8 @@ class Cluster:
                  lock_wait_timeout: float = 60.0,
                  rpc_timeout: float = 10.0, rpc_retries: int = 3,
                  edge_chasing: bool = True, probe_interval: float = 5.0,
-                 observability: Optional[Observability] = None):
+                 observability: Optional[Observability] = None,
+                 fast_paths: bool = True):
         self.kernel = Kernel()
         #: the cluster-wide observability hub, on simulated time.  Every
         #: layer (network, transport, servers, clients, deadlock chasers)
@@ -79,6 +80,10 @@ class Cluster:
         self.rpc_retries = rpc_retries
         self.edge_chasing = edge_chasing
         self.probe_interval = probe_interval
+        #: commit-protocol fast paths (piggybacked decision, read-only
+        #: votes, one-phase commit) for every client created here; False
+        #: pins the classic presumed-abort protocol
+        self.fast_paths = fast_paths
         self.nodes: Dict[str, Node] = {}
         self.transports: Dict[str, RpcTransport] = {}
         self.servers: Dict[str, ObjectServer] = {}
@@ -89,6 +94,11 @@ class Cluster:
     # -- topology ------------------------------------------------------------
 
     def add_node(self, name: str) -> Node:
+        """Create a node plus its transport and object server.
+
+        The node joins the shared network and observability hub; names
+        must be unique (:class:`ClusterError` otherwise).
+        """
         if name in self.nodes:
             raise ClusterError(f"node {name} already exists")
         node = Node(name, self.kernel, self.network)
@@ -113,15 +123,22 @@ class Cluster:
         return node
 
     def node(self, name: str) -> Node:
+        """The :class:`Node` called ``name`` (KeyError if unknown)."""
         return self.nodes[name]
 
     def client(self, node_name: str, name: str = "") -> ClusterClient:
+        """Create a :class:`ClusterClient` homed on ``node_name``.
+
+        The client shares the cluster's uid/colour allocators and
+        inherits its ``fast_paths`` setting and registered observers.
+        """
         node = self.nodes[node_name]
         client = ClusterClient(
             node, self.transports[node_name],
             self._action_uids, self.colours, self.classes,
             name=name or f"client@{node_name}",
             observability=self.obs,
+            fast_paths=self.fast_paths,
         )
         # the bridge gives every action a span (and per-colour outcome
         # counters) so the client's RPC spans have a parent to stitch to.
@@ -190,6 +207,7 @@ class Cluster:
         return self.nodes[node_name].spawn(body, name=name)
 
     def run(self, until: Optional[float] = None) -> float:
+        """Drive the event loop (to ``until``, or until idle); returns now."""
         return self.kernel.run(until=until)
 
     def run_process(self, node_name: str, body, name: str = "",
@@ -202,15 +220,19 @@ class Cluster:
     # -- fault injection ----------------------------------------------------------
 
     def crash(self, node_name: str) -> None:
+        """Fail-silent crash now: volatile state lost, processes killed."""
         self.nodes[node_name].crash()
 
     def restart(self, node_name: str) -> None:
+        """Restart a crashed node; recovery replays its WAL."""
         self.nodes[node_name].restart()
 
     def crash_at(self, node_name: str, when: float) -> None:
+        """Schedule :meth:`crash` at absolute simulated time ``when``."""
         self.kernel.schedule(max(0.0, when - self.kernel.now),
                              self.nodes[node_name].crash)
 
     def restart_at(self, node_name: str, when: float) -> None:
+        """Schedule :meth:`restart` at absolute simulated time ``when``."""
         self.kernel.schedule(max(0.0, when - self.kernel.now),
                              self.nodes[node_name].restart)

@@ -191,6 +191,11 @@ class ObjectServer:
         self.mirrors: Dict[Uid, ActionMirror] = {}
         self.prepared: Dict[str, Dict[str, Any]] = {}
         self.in_doubt_objects: Set[Uid] = set()
+        #: txn_ids whose piggybacked (delegated) commit the coordinator has
+        #: acknowledged — lazily, as ``forget`` lists riding later prepares.
+        #: Volatile on purpose: the checkpoint rewrite is the durability
+        #: point (a forgotten record is simply not carried forward).
+        self.forgotten: Set[str] = set()
         self._undo_seq = 0
         # metrics
         self.invocations = 0
@@ -207,6 +212,7 @@ class ObjectServer:
             ("txn_commit", self._h_txn_commit),
             ("txn_abort", self._h_txn_abort),
             ("txn_decision_query", self._h_txn_decision_query),
+            ("txn_outcome_query", self._h_txn_outcome_query),
         ]:
             transport.register(kind, handler)
         node.add_recovery_hook(self._recover)
@@ -465,8 +471,17 @@ class ObjectServer:
             # client's epoch check is responsible for safety; ack silently.
             respond(True, self._ok({"known": False}))
             return
+        self._finish_action(mirror, payload["routes"])
+        respond(True, self._ok({"known": True}))
+
+    def _finish_action(self, mirror: ActionMirror, routes: List[Dict[str, Any]]) -> None:
+        """Apply per-colour commit routing to a mirror and retire it.
+
+        Shared by the finish_commit handler and the delegated (piggybacked)
+        prepare path, where the routing rides inside the prepare itself.
+        """
         destinations: Dict[Colour, Optional[ActionMirror]] = {}
-        for route in payload["routes"]:
+        for route in routes:
             colour = decode_colour(route["colour"])
             if route["dest"] is None:
                 destinations[colour] = None
@@ -483,9 +498,8 @@ class ObjectServer:
         self.registry.transfer_on_commit(
             mirror.uid, lambda colour: destinations.get(colour)
         )
-        self.mirrors.pop(action_uid, None)
+        self.mirrors.pop(mirror.uid, None)
         self._retire_mirror(mirror, "committed")
-        respond(True, self._ok({"known": True}))
 
     def _h_abort_action(self, message: Message, respond: Responder) -> None:
         """Undo and release everything this node holds for an action."""
@@ -518,9 +532,30 @@ class ObjectServer:
                           vote=vote, colour=str(colour))
 
     def _h_txn_prepare(self, message: Message, respond: Responder) -> None:
-        """Phase one: stabilise new states as shadows, log PREPARED, vote."""
+        """Phase one: stabilise new states as shadows, log PREPARED, vote.
+
+        Three fast-path extensions ride on the same wire kind:
+
+        - ``read_only``: the participant's slice of the colour holds no
+          writes — release its locks now, vote ``read-only`` and stay out
+          of phase two entirely (nothing is logged; presumed abort covers
+          every failure).
+        - ``decide``/``fast_path``: the coordinator delegated the decision
+          (one-phase commit, or the piggybacked decision on the last
+          prepare of the round).  A commit vote here *is* the decision:
+          log COMMITTED directly (flagged ``delegated``) and promote the
+          shadows in the same step — no separate txn_commit round trip.
+        - ``finish``: commit routing for this node piggybacked on a
+          delegated prepare, applied right after promotion when the
+          committing colour is the node's entire involvement.
+
+        ``forget`` lists (lazy acknowledgement of earlier delegated
+        commits, R*-style) are absorbed on any prepare before voting.
+        """
         payload = message.payload
         txn_id = payload["txn_id"]
+        for old_txn in payload.get("forget", ()):
+            self.forgotten.add(old_txn)
         action_uid = decode_uid(payload["action_uid"])
         colour = decode_colour(payload["colour"])
         expected_epoch = payload.get("expected_epoch")
@@ -538,10 +573,28 @@ class ObjectServer:
             # here — this prepare is a straggler (its spawn raced the
             # abort decision).  Voting rollback instead of preparing keeps
             # it from sitting in doubt with stabilised shadows forever.
+            # A delegated prepare can race a forced abort (the coordinator
+            # gave up on the reply and resolved via txn_outcome_query)
+            # the same way; the check covers both.
             self._emit_vote(txn_id, "rollback", colour)
             respond(True, self._ok({"vote": "rollback"}))
             return
         mirror = self.mirrors.get(action_uid)
+        if payload.get("read_only"):
+            self.registry.release_colour(action_uid, colour)
+            if mirror is not None:
+                mirror.drop_colour(colour)
+                if (not mirror.undo and not mirror.op_undo
+                        and not mirror.written
+                        and not self.registry.objects_held_by(action_uid)):
+                    self.mirrors.pop(action_uid, None)
+                    self._retire_mirror(mirror, "read-only")
+            if self.obs is not None:
+                self.obs.count("twopc_fast_path_total", node=self.node.name,
+                               kind="read_only")
+            self._emit_vote(txn_id, "read-only", colour)
+            respond(True, self._ok({"vote": "read-only"}))
+            return
         written = mirror.written.get(colour, {}) if mirror is not None else {}
         wanted = {decode_uid(raw) for raw in payload["object_uids"]}
         if not wanted.issubset(set(written)):
@@ -554,6 +607,36 @@ class ObjectServer:
         for object_uid in sorted(wanted):
             obj = written[object_uid]
             self.node.stable_store.write_shadow(obj.stored_state())
+        if payload.get("decide"):
+            kind = payload.get("fast_path", "one_phase")
+            # The vote is the decision: one durable COMMITTED record
+            # replaces the classic prepared/committed pair.  Logged before
+            # promotion — recovery redoes the (idempotent) promotion from
+            # the record's object list if we crash in between.
+            self.node.wal.append(
+                "committed", txn_id=txn_id, delegated=True,
+                coordinator=message.src,
+                action_uid=encode_uid(action_uid),
+                object_uids=[encode_uid(u) for u in sorted(wanted)],
+            )
+            if self.obs is not None:
+                self.obs.count("twopc_fast_path_total", node=self.node.name,
+                               kind=kind)
+            self._emit_vote(txn_id, "commit", colour)
+            if self.obs is not None:
+                self.obs.emit("twopc.decision", txn=txn_id,
+                              decision="commit", fast_path=kind,
+                              node=self.node.name, colour=str(colour))
+            info = {"action_uid": action_uid, "colour": colour,
+                    "object_uids": sorted(wanted)}
+            self._apply_commit(txn_id, info, log_record=False)
+            finished = False
+            if payload.get("finish") is not None and mirror is not None:
+                self._finish_action(mirror, payload["finish"])
+                finished = True
+            respond(True, self._ok({"vote": "commit", "applied": True,
+                                    "finished": finished}))
+            return
         self.node.wal.append(
             "prepared", txn_id=txn_id, coordinator=message.src,
             action_uid=encode_uid(action_uid),
@@ -617,18 +700,111 @@ class ObjectServer:
         respond(True, self._ok())
 
     def _h_txn_decision_query(self, message: Message, respond: Responder) -> None:
-        """Coordinator side of recovery: presumed abort unless logged commit."""
+        """Coordinator side of recovery: presumed abort unless logged commit.
+
+        For a *delegated* transaction the answer may live at the last
+        agent, not here: presuming abort while the delegate committed
+        would split the decision.  The reply is deferred until the
+        outcome is resolved (the in-doubt participant keeps retrying, so
+        a lost deferral costs nothing but another query).
+        """
         txn_id = message.payload["txn_id"]
         committed = self.node.wal.last(
             "coord_commit", where=lambda r: r.payload["txn_id"] == txn_id
         )
-        decision = "commit" if committed is not None else "abort"
+        if committed is None:
+            if self.node.wal.last(
+                "coord_abort", where=lambda r: r.payload["txn_id"] == txn_id
+            ) is not None:
+                decision = "abort"
+            else:
+                delegated = self.node.wal.last(
+                    "coord_delegated",
+                    where=lambda r: r.payload["txn_id"] == txn_id,
+                )
+                if delegated is not None:
+                    self.node.spawn(
+                        self._answer_after_delegate(
+                            txn_id, delegated.payload["last_agent"], respond),
+                        name=f"delegated-query:{txn_id}",
+                    )
+                    return
+                decision = "abort"
+        else:
+            decision = "commit"
         if self.obs is not None:
             self.obs.emit("twopc.decision_query", txn=txn_id,
                           decision=decision, node=self.node.name)
         respond(True, self._ok({"decision": decision}))
 
-    def _apply_commit(self, txn_id: str, info: Dict[str, Any]) -> None:
+    def _answer_after_delegate(self, txn_id: str, last_agent: str,
+                               respond: Responder):
+        """Resolve a delegated transaction's outcome, then answer a query."""
+        decision = yield from self._resolve_delegated_decision(txn_id, last_agent)
+        if self.obs is not None:
+            self.obs.emit("twopc.decision_query", txn=txn_id,
+                          decision=decision, node=self.node.name)
+        respond(True, self._ok({"decision": decision}))
+
+    def _resolve_delegated_decision(self, txn_id: str, last_agent: str):
+        """Learn (and durably record) a delegated transaction's outcome.
+
+        Loops on ``txn_outcome_query`` to the last agent until it answers;
+        its answer is definitive (it force-aborts when it never saw the
+        delegated prepare).  Idempotent across concurrent resolvers.
+        """
+        while True:
+            if self.node.wal.last(
+                "coord_commit", where=lambda r: r.payload["txn_id"] == txn_id
+            ) is not None:
+                return "commit"
+            if self.node.wal.last(
+                "coord_abort", where=lambda r: r.payload["txn_id"] == txn_id
+            ) is not None:
+                return "abort"
+            try:
+                reply = yield from self.transport.call(
+                    last_agent, "txn_outcome_query", {"txn_id": txn_id},
+                    timeout=5.0, retries=1,
+                )
+            except Exception:
+                yield Timeout(5.0)
+                continue
+            decision = reply["decision"]
+            kind = "coord_commit" if decision == "commit" else "coord_abort"
+            if self.node.wal.last(
+                kind, where=lambda r: r.payload["txn_id"] == txn_id
+            ) is None:
+                self.node.wal.append(kind, txn_id=txn_id)
+            return decision
+
+    def _h_txn_outcome_query(self, message: Message, respond: Responder) -> None:
+        """Last-agent side of delegated recovery: did the piggybacked
+        decision ever land here?
+
+        COMMITTED on the log answers commit; otherwise the transaction is
+        dead — an ABORTED record is forced onto the log first, so a
+        straggling delegated prepare arriving later hits the presumed-abort
+        guard instead of committing a transaction already reported aborted.
+        """
+        txn_id = message.payload["txn_id"]
+        if self.node.wal.last(
+            "committed", where=lambda r: r.payload["txn_id"] == txn_id
+        ) is not None:
+            decision = "commit"
+        else:
+            decision = "abort"
+            if self.node.wal.last(
+                "aborted", where=lambda r: r.payload["txn_id"] == txn_id
+            ) is None:
+                self.node.wal.append("aborted", txn_id=txn_id)
+        if self.obs is not None:
+            self.obs.emit("twopc.decision_query", txn=txn_id,
+                          decision=decision, node=self.node.name)
+        respond(True, self._ok({"decision": decision}))
+
+    def _apply_commit(self, txn_id: str, info: Dict[str, Any],
+                      log_record: bool = True) -> None:
         for object_uid in info["object_uids"]:
             self.node.stable_store.commit_shadow(object_uid)
             self.in_doubt_objects.discard(object_uid)
@@ -638,7 +814,8 @@ class ObjectServer:
             if obj is not None:
                 stored = self.node.stable_store.read_committed(object_uid)
                 obj.restore_snapshot(stored.payload)
-        self.node.wal.append("committed", txn_id=txn_id)
+        if log_record:
+            self.node.wal.append("committed", txn_id=txn_id)
         if self.obs is not None:
             self.obs.count("twopc_committed_total", node=self.node.name)
             self.obs.emit(
@@ -675,23 +852,43 @@ class ObjectServer:
         """
         decided = set()
         ended = set()
+        coord_decided = set()
         for record in self.node.wal.records():
             if record.kind in ("committed", "aborted"):
                 decided.add(record.payload["txn_id"])
             elif record.kind == "coord_end":
                 ended.add(record.payload["txn_id"])
+            elif record.kind in ("coord_commit", "coord_abort"):
+                coord_decided.add(record.payload["txn_id"])
         needed_lsns = []
         for record in self.node.wal.records("prepared"):
             if record.payload["txn_id"] not in decided:
+                needed_lsns.append(record.lsn)
+        # a delegated COMMITTED record is the *only* durable copy of the
+        # decision until the coordinator acknowledges it (a piggybacked
+        # forget on a later prepare); keep it queryable until then
+        for record in self.node.wal.records("committed"):
+            if (record.payload.get("delegated")
+                    and record.payload["txn_id"] not in self.forgotten):
                 needed_lsns.append(record.lsn)
         # a coordinator's COMMIT decision must stay queryable until every
         # participant acked (coord_end)
         for record in self.node.wal.records("coord_commit"):
             if record.payload["txn_id"] not in ended:
                 needed_lsns.append(record.lsn)
+        # an unresolved delegation: the outcome still lives at the last
+        # agent; the record names it for decision queries after a crash
+        for record in self.node.wal.records("coord_delegated"):
+            if record.payload["txn_id"] not in coord_decided:
+                needed_lsns.append(record.lsn)
         marker = self.node.wal.append("checkpoint", decided=len(decided))
         horizon = min(needed_lsns) if needed_lsns else marker.lsn
         dropped = self.node.wal.truncate_before(horizon)
+        # forget bookkeeping for records that just left the log
+        remaining = {record.payload["txn_id"]
+                     for record in self.node.wal.records("committed")
+                     if record.payload.get("delegated")}
+        self.forgotten &= remaining
         return {"dropped": dropped, "kept": len(self.node.wal)}
 
     # -- recovery ---------------------------------------------------------------------
@@ -711,10 +908,46 @@ class ObjectServer:
         self.mirrors = {}
         self.prepared = {}
         self.in_doubt_objects = set()
+        self.forgotten = set()
         decided = set()
+        coord_decided = set()
         for record in self.node.wal.records():
             if record.kind in ("committed", "aborted"):
                 decided.add(record.payload["txn_id"])
+            elif record.kind in ("coord_commit", "coord_abort"):
+                coord_decided.add(record.payload["txn_id"])
+        # redo delegated commits: the COMMITTED record may precede the
+        # promotion (we log before applying).  The shadow slot is
+        # single-occupancy per object, so promote only when this record
+        # is the object's *latest* shadow writer — a later transaction
+        # may have re-prepared the object, and promoting its shadow here
+        # would commit a transaction that never decided.
+        last_shadow_writer: Dict[Uid, str] = {}
+        for record in self.node.wal.records():
+            if record.kind == "prepared" or (
+                    record.kind == "committed"
+                    and record.payload.get("delegated")):
+                for raw in record.payload.get("object_uids", ()):
+                    last_shadow_writer[decode_uid(raw)] = (
+                        record.payload["txn_id"])
+        for record in self.node.wal.records("committed"):
+            if record.payload.get("delegated"):
+                txn_id = record.payload["txn_id"]
+                for raw in record.payload.get("object_uids", ()):
+                    object_uid = decode_uid(raw)
+                    if last_shadow_writer.get(object_uid) == txn_id:
+                        self.node.stable_store.commit_shadow(object_uid)
+        # resolve delegations whose outcome we never learned, so decision
+        # queries from in-doubt participants get a real answer
+        for record in self.node.wal.records("coord_delegated"):
+            txn_id = record.payload["txn_id"]
+            if txn_id in coord_decided:
+                continue
+            self.node.spawn(
+                self._resolve_delegated_decision(
+                    txn_id, record.payload["last_agent"]),
+                name=f"resolve-delegated:{txn_id}",
+            )
         pending: List[Tuple[str, str, List[Uid]]] = []
         for record in self.node.wal.records("prepared"):
             txn_id = record.payload["txn_id"]

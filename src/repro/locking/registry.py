@@ -149,6 +149,43 @@ class LockRegistry:
                 self._collect(object_uid, table)
         return dropped
 
+    def release_colour(self, owner_uid: Uid, colour) -> int:
+        """Read-only vote: drop the owner's records in ``colour`` everywhere.
+
+        The 2PC read-only optimisation releases a participant's locks at
+        vote time; only records taken in the voted colour go — the owner may
+        still hold (and later route) records in other colours.  Returns the
+        number of records dropped.
+        """
+        dropped = 0
+        for object_uid in sorted(self._held_by.get(owner_uid, set())):
+            table = self._tables.get(object_uid)
+            if table is None:
+                continue
+            matching = [record for record in table.records_of(owner_uid)
+                        if record.colour == colour]
+            if not matching:
+                continue
+            if self.on_event is not None:
+                # emitted before the release so the wake-ups it triggers
+                # observe this owner's records as already gone
+                for record in matching:
+                    self.on_event(
+                        "lock.released", owner=str(owner_uid),
+                        object=str(object_uid),
+                        mode=_record_mode_label(record),
+                        colour=str(record.colour), reason="read-only-vote",
+                    )
+            dropped += table.release_colour(owner_uid, colour)
+            if not table.records_of(owner_uid):
+                held = self._held_by.get(owner_uid)
+                if held is not None:
+                    held.discard(object_uid)
+                    if not held:
+                        self._held_by.pop(owner_uid, None)
+            self._collect(object_uid, table)
+        return dropped
+
     def transfer_on_commit(self, owner_uid: Uid, router: ColourRouter) -> None:
         """Commit path: route every held record per colour across all tables."""
         for object_uid in sorted(self._held_by.pop(owner_uid, set())):

@@ -122,6 +122,23 @@ class LockTable:
             self._wake()
         return dropped
 
+    def release_colour(self, owner_uid: Uid, colour: Colour) -> int:
+        """Read-only vote: drop the owner's records in one colour only.
+
+        Used by the 2PC read-only participant optimisation — a voter whose
+        slice of the action holds no writes gives its locks up at vote time
+        instead of waiting for phase two.  Records in other colours are
+        untouched.  Returns the number of records dropped.
+        """
+        before = len(self.holders)
+        self.holders = [record for record in self.holders
+                        if not (record.owner.uid == owner_uid
+                                and record.colour == colour)]
+        dropped = before - len(self.holders)
+        if dropped:
+            self._wake()
+        return dropped
+
     def transfer(self, owner_uid: Uid, router: ColourRouter) -> Dict[Colour, Optional[Uid]]:
         """Commit path: route each of the owner's records per its colour.
 

@@ -16,8 +16,11 @@ and incrementally checks the paper's per-colour claims (§5.1):
   for that colour;
 - **termination** — a per-txn 2PC state machine: no commit decision after
   a rollback vote, no shadow promotion without a decision in evidence,
-  presumed abort never contradicting a logged commit, and no in-doubt
-  commit-voter once the coordinator has logged its end;
+  presumed abort never contradicting a logged commit, no in-doubt
+  commit-voter once the coordinator has logged its end, fast-path
+  (piggybacked / one-phase) decisions only with every other participant's
+  affirmative vote in evidence, and no read-only voter driven through
+  phase two;
 - **failure atomicity** — an aborted colour leaves no stable effects; a
   colour can only be made permanent by an action that possesses it.
 
@@ -468,10 +471,13 @@ class InvariantAuditor:
                 event_seqs=(state.decisions[opposite], seq),
             )
         if decision == "commit":
+            # read-only is affirmative: the voter consented and left the
+            # protocol, it does not gate the decision
             negative = [
                 (node, vote, vseq)
                 for node, votes in state.votes.items()
-                for vote, vseq in votes if vote != "commit"
+                for vote, vseq in votes
+                if vote not in ("commit", "read-only")
             ]
             if negative:
                 node, vote, vseq = negative[0]
@@ -481,6 +487,26 @@ class InvariantAuditor:
                     f"{vote}",
                     tick=tick, txn=state.txn, node=node,
                     colour=state.colour, event_seqs=(vseq, seq),
+                )
+        fast_path = str(event.label("fast_path", ""))
+        if decision == "commit" and fast_path and state.participants:
+            # a fast-path decision is taken *at a participant*: it is only
+            # sound if the coordinator delegated it after collecting every
+            # other participant's affirmative vote
+            decider = str(event.label("node", ""))
+            missing = sorted(
+                p for p in state.participants - {decider}
+                if not any(vote in ("commit", "read-only")
+                           for vote, _ in state.votes.get(p, []))
+            )
+            if missing:
+                self._finding(
+                    F.FAST_PATH_NO_QUORUM,
+                    f"{state.txn} decided commit via fast path "
+                    f"{fast_path} at {decider} without an affirmative "
+                    f"vote from {missing[0]}",
+                    tick=tick, txn=state.txn, node=decider,
+                    colour=state.colour, event_seqs=(seq,),
                 )
         state.decisions.setdefault(decision, seq)
 
@@ -506,6 +532,18 @@ class InvariantAuditor:
                 tick=event.tick, txn=state.txn, node=node,
                 colour=state.colour,
                 event_seqs=(state.decisions["abort"], seq),
+            )
+        read_only = [
+            vseq for vote, vseq in state.votes.get(node, [])
+            if vote == "read-only"
+        ]
+        if read_only:
+            self._finding(
+                F.READ_ONLY_IN_PHASE_TWO,
+                f"{node} voted read-only for {state.txn} (releasing its "
+                f"locks at vote time) yet went through phase two",
+                tick=event.tick, txn=state.txn, node=node,
+                colour=state.colour, event_seqs=(read_only[0], seq),
             )
         state.applies.setdefault(node, seq)
 

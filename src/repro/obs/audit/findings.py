@@ -41,6 +41,12 @@ SERIALIZATION_CYCLE = "serialization-cycle"
 #: coordinator logged its end-of-transaction although some participant
 #: that voted commit never saw the decision.
 IN_DOUBT_AFTER_END = "in-doubt-after-end"
+#: a fast-path (piggybacked / one-phase) commit decision was taken while
+#: some other participant's affirmative vote was not in evidence.
+FAST_PATH_NO_QUORUM = "fast-path-decision-without-quorum"
+#: a participant that voted read-only (and therefore left the protocol at
+#: vote time) was nevertheless driven through phase two.
+READ_ONLY_IN_PHASE_TWO = "read-only-participant-in-phase-two"
 
 ALL_KINDS = (
     TWO_PHASE,
@@ -54,6 +60,8 @@ ALL_KINDS = (
     DECISION_CONFLICT,
     SERIALIZATION_CYCLE,
     IN_DOUBT_AFTER_END,
+    FAST_PATH_NO_QUORUM,
+    READ_ONLY_IN_PHASE_TWO,
 )
 
 

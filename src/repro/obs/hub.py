@@ -53,6 +53,7 @@ class Observability:
         self.flight = None
 
     def now(self) -> float:
+        """Current time from the tick source (0.0 when none is attached)."""
         if self._tick_source is not None:
             return self._tick_source()
         return 0.0
@@ -60,13 +61,21 @@ class Observability:
     # -- recording shorthands ------------------------------------------------
 
     def count(self, name: str, amount: float = 1.0, **labels: Any) -> None:
+        """Increment the counter ``name{labels}`` by ``amount``."""
         self.metrics.counter(name, **labels).inc(amount)
 
     def observe(self, name: str, value: float, **labels: Any) -> None:
+        """Record ``value`` into the histogram ``name{labels}``."""
         self.metrics.histogram(name, **labels).observe(value)
 
     def span(self, name: str, parent: Optional[Any] = None,
              kind: str = "internal", node: str = "", **attrs: Any) -> Span:
+        """Start a trace span and announce it on the event bus.
+
+        ``parent`` is a :class:`~repro.obs.tracing.Span` or an encoded
+        span context carried over RPC; the returned span must be
+        ``finish()``-ed by the caller.
+        """
         span = self.tracer.start_span(name, parent=parent, kind=kind,
                                       node=node, **attrs)
         self.bus.emit(span.start, "span.start", name=name, node=node,
@@ -74,27 +83,39 @@ class Observability:
         return span
 
     def emit(self, kind: str, **labels: Any) -> None:
+        """Publish an event on the bus, stamped with :meth:`now`."""
         self.bus.emit(self.now(), kind, **labels)
 
     # -- export shorthands -----------------------------------------------------
 
     def dump(self) -> Dict[str, Any]:
+        """JSON-able snapshot of every metric instrument."""
         return self.metrics.dump()
 
     def report(self) -> str:
+        """Human-readable metrics summary (counters, gauges, quantiles)."""
         return text_report(self.metrics)
 
     def chrome_trace(self) -> Dict[str, Any]:
+        """Spans as a Chrome-trace document (chrome://tracing, Perfetto)."""
         return chrome_trace(self.tracer)
 
     def span_tree(self, trace_id: Optional[str] = None) -> str:
+        """Render finished spans as indented trees, one per trace."""
         return span_tree(self.tracer, trace_id=trace_id)
 
     def span_timeline(self, width: int = 60,
                       trace_id: Optional[str] = None) -> str:
+        """Render finished spans as an ASCII timeline ``width`` columns wide."""
         return span_timeline(self.tracer, width=width, trace_id=trace_id)
 
     def save(self, path: str, extra: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        """Write spans + metrics + retained events to ``path`` as one document.
+
+        Attached perf-observatory artifacts (flight-recorder ring,
+        sampler timeline) ride along under ``extra``; the result is what
+        ``python -m repro.obs.report`` / ``repro.obs.audit`` consume.
+        """
         extra = dict(extra) if extra else {}
         if self.flight is not None:
             extra.setdefault("flight_recorder", self.flight.dump())

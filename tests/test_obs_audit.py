@@ -309,6 +309,97 @@ def test_clean_twopc_round_has_no_findings():
     assert auditor.report() == []
 
 
+def test_fast_path_decision_without_quorum():
+    """A delegated (piggybacked) decision is only sound once every other
+    participant's affirmative vote is in evidence."""
+    auditor = InvariantAuditor()
+    feed(auditor, [
+        ("twopc.begin", {"txn": "t1", "action": "A", "colour": "c",
+                         "participants": "n1,n2", "node": "home"}),
+        # n1 never voted, yet the last agent decides commit
+        ("twopc.vote", {"txn": "t1", "node": "n2", "vote": "commit",
+                        "colour": "c"}),
+        ("twopc.decision", {"txn": "t1", "decision": "commit",
+                            "fast_path": "piggyback", "node": "n2",
+                            "colour": "c"}),
+    ])
+    assert kinds_of(auditor) == {F.FAST_PATH_NO_QUORUM}
+
+
+def test_fast_path_decision_with_quorum_is_clean():
+    auditor = InvariantAuditor()
+    feed(auditor, [
+        ("twopc.begin", {"txn": "t1", "action": "A", "colour": "c",
+                         "participants": "n1,n2", "node": "home"}),
+        ("twopc.vote", {"txn": "t1", "node": "n1", "vote": "commit",
+                        "colour": "c"}),
+        ("twopc.vote", {"txn": "t1", "node": "n2", "vote": "commit",
+                        "colour": "c"}),
+        ("twopc.decision", {"txn": "t1", "decision": "commit",
+                            "fast_path": "piggyback", "node": "n2",
+                            "colour": "c"}),
+        ("twopc.commit", {"txn": "t1", "node": "n2", "objects": "o2"}),
+        ("twopc.commit", {"txn": "t1", "node": "n1", "objects": "o1"}),
+        ("twopc.end", {"txn": "t1", "node": "home"}),
+    ])
+    assert auditor.report() == []
+
+
+def test_one_phase_decision_at_sole_participant_is_clean():
+    auditor = InvariantAuditor()
+    feed(auditor, [
+        ("twopc.begin", {"txn": "t1", "action": "A", "colour": "c",
+                         "participants": "n1", "node": "home"}),
+        ("twopc.vote", {"txn": "t1", "node": "n1", "vote": "commit",
+                        "colour": "c"}),
+        ("twopc.decision", {"txn": "t1", "decision": "commit",
+                            "fast_path": "one_phase", "node": "n1",
+                            "colour": "c"}),
+        ("twopc.commit", {"txn": "t1", "node": "n1", "objects": "o1"}),
+        ("twopc.end", {"txn": "t1", "node": "home"}),
+    ])
+    assert auditor.report() == []
+
+
+def test_read_only_voter_in_phase_two():
+    """A read-only voter released its locks at vote time; driving it
+    through phase two anyway is a protocol violation."""
+    auditor = InvariantAuditor()
+    feed(auditor, [
+        ("twopc.begin", {"txn": "t1", "action": "A", "colour": "c",
+                         "participants": "n1", "node": "home"}),
+        ("twopc.vote", {"txn": "t1", "node": "n1", "vote": "commit",
+                        "colour": "c"}),
+        ("twopc.vote", {"txn": "t1", "node": "n2", "vote": "read-only",
+                        "colour": "c"}),
+        ("twopc.decision", {"txn": "t1", "decision": "commit",
+                            "node": "home"}),
+        ("twopc.commit", {"txn": "t1", "node": "n1", "objects": "o1"}),
+        ("twopc.commit", {"txn": "t1", "node": "n2", "objects": "o2"}),
+        ("twopc.end", {"txn": "t1", "node": "home"}),
+    ])
+    assert kinds_of(auditor) == {F.READ_ONLY_IN_PHASE_TWO}
+
+
+def test_read_only_vote_is_affirmative_and_leaves_the_protocol():
+    """read-only neither negates a commit decision nor counts as an
+    in-doubt participant once the coordinator ends the transaction."""
+    auditor = InvariantAuditor()
+    feed(auditor, [
+        ("twopc.begin", {"txn": "t1", "action": "A", "colour": "c",
+                         "participants": "n1", "node": "home"}),
+        ("twopc.vote", {"txn": "t1", "node": "n1", "vote": "commit",
+                        "colour": "c"}),
+        ("twopc.vote", {"txn": "t1", "node": "n2", "vote": "read-only",
+                        "colour": "c"}),
+        ("twopc.decision", {"txn": "t1", "decision": "commit",
+                            "node": "home"}),
+        ("twopc.commit", {"txn": "t1", "node": "n1", "objects": "o1"}),
+        ("twopc.end", {"txn": "t1", "node": "home"}),
+    ])
+    assert auditor.report() == []
+
+
 def test_findings_are_counted_once_in_metrics():
     registry = MetricsRegistry()
     auditor = InvariantAuditor(metrics=registry)

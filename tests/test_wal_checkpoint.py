@@ -1,4 +1,10 @@
-"""Server write-ahead-log checkpointing."""
+"""Server write-ahead-log checkpointing.
+
+Pinned to the classic protocol (``fast_paths=False``): the record-count
+arithmetic below assumes one ``prepared`` + one ``committed`` record per
+transaction on the participant.  Checkpointing of the fast paths'
+``committed(delegated)`` records is covered in test_twopc_fastpath.py.
+"""
 
 from repro.cluster.cluster import Cluster
 from repro.cluster.message import encode_colour, encode_uid
@@ -6,7 +12,7 @@ from repro.objects.state import ObjectState
 
 
 def make_cluster():
-    cluster = Cluster(seed=0)
+    cluster = Cluster(seed=0, fast_paths=False)
     for name in ("coord", "part"):
         cluster.add_node(name)
     return cluster
