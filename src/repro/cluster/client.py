@@ -40,7 +40,11 @@ from repro.errors import (
     ActionAborted,
     ClusterError,
     CommitError,
+    DeadlockDetected,
     InvalidActionState,
+    LockRefused,
+    LockTimeout,
+    NodeDown,
     PrepareFailed,
     RpcTimeout,
 )
@@ -180,6 +184,56 @@ class ClusterClient:
         return self.obs.span(name, parent=getattr(action, "_obs_span", None),
                              kind="client", node=self.node.name, **attrs)
 
+    @staticmethod
+    def _failure_cause(error: BaseException) -> str:
+        """Postmortem taxonomy bucket for an operation failure (see
+        ``repro.obs.postmortem``): why did this call against an action
+        fail?"""
+        if isinstance(error, DeadlockDetected):
+            return "deadlock-victim"
+        if isinstance(error, (LockTimeout, LockRefused)):
+            return "lock-conflict"
+        if isinstance(error, ActionAborted):
+            if "restarted (epoch" in str(error):
+                return "server-restart"
+            return "action-aborted"
+        if isinstance(error, RpcTimeout):
+            return "rpc-timeout"
+        if isinstance(error, NodeDown):
+            return "node-down"
+        if isinstance(error, CommitError):
+            return "commit-failed"
+        return "app-error"
+
+    @staticmethod
+    def _round_failure_cause(votes, failure: Optional[BaseException]) -> str:
+        """Why did a prepare round fail: a real no-vote, or a casualty?"""
+        if any(v not in (None, "commit") for v in votes):
+            return "vote-rollback"
+        if isinstance(failure, PrepareFailed):
+            return "prepare-refused"
+        if isinstance(failure, ActionAborted):
+            return "action-aborted"
+        if failure is not None:  # RpcTimeout, NodeDown, other ClusterError
+            return "participant-unreachable"
+        return "vote-rollback"
+
+    def _note_failure(self, action: ClusterAction, error: BaseException,
+                      op: str, dst: str = "", object_uid: Any = "",
+                      colour: Optional[Colour] = None) -> None:
+        """Publish an ``action.failure`` event: the causal record the
+        postmortem engine attributes aborts from."""
+        if self.obs is None:
+            return
+        self.obs.emit(
+            "action.failure", action=str(action.uid), op=op,
+            cause=self._failure_cause(error),
+            error=type(error).__name__, detail=str(error),
+            dst=dst, object=str(object_uid) if object_uid else "",
+            colour=str(colour) if colour is not None else "",
+            node=self.node.name,
+        )
+
     def _notify_created(self, action: ClusterAction) -> ClusterAction:
         for observer in self.observers:
             observer.on_action_created(action)
@@ -253,8 +307,19 @@ class ClusterClient:
                 "args": list(args),
                 "colour": encode_colour(chosen),
             }, trace_parent=span)
-        except (RpcTimeout, ActionAborted):
+        except (RpcTimeout, ActionAborted) as error:
+            self._note_failure(action, error, op=f"invoke:{method}",
+                               dst=ref.node, object_uid=ref.uid,
+                               colour=chosen)
             yield from self.abort(action)
+            raise
+        except Exception as error:
+            # server-reported failures (lock refusals, deadlock victims,
+            # app exceptions) propagate to the caller without auto-abort;
+            # record the cause so the eventual abort is attributable
+            self._note_failure(action, error, op=f"invoke:{method}",
+                               dst=ref.node, object_uid=ref.uid,
+                               colour=chosen)
             raise
         finally:
             clear_waiting(self.node, action.uid)
@@ -265,9 +330,12 @@ class ClusterClient:
             action.note_write(chosen, ref.node, ref.uid)
         try:
             action.check_epoch(ref.node, reply["epoch"])
-        except ActionAborted:
+        except ActionAborted as error:
             # The server restarted under us; the grant we just received is
             # on the new epoch — the abort below reaches it.
+            self._note_failure(action, error, op=f"invoke:{method}",
+                               dst=ref.node, object_uid=ref.uid,
+                               colour=chosen)
             yield from self.abort(action)
             raise
         if action.companion_colour is not None and action.companion_colour != chosen:
@@ -302,8 +370,16 @@ class ClusterClient:
                 "mode": mode_label,
                 "colour": encode_colour(chosen),
             }, trace_parent=span)
-        except (RpcTimeout, ActionAborted):
+        except (RpcTimeout, ActionAborted) as error:
+            self._note_failure(action, error, op=f"lock:{mode_label}",
+                               dst=ref.node, object_uid=ref.uid,
+                               colour=chosen)
             yield from self.abort(action)
+            raise
+        except Exception as error:
+            self._note_failure(action, error, op=f"lock:{mode_label}",
+                               dst=ref.node, object_uid=ref.uid,
+                               colour=chosen)
             raise
         finally:
             clear_waiting(self.node, action.uid)
@@ -314,7 +390,10 @@ class ClusterClient:
             action.note_write(chosen, ref.node, ref.uid)
         try:
             action.check_epoch(ref.node, reply["epoch"])
-        except ActionAborted:
+        except ActionAborted as error:
+            self._note_failure(action, error, op=f"lock:{mode_label}",
+                               dst=ref.node, object_uid=ref.uid,
+                               colour=chosen)
             yield from self.abort(action)
             raise
         return True
@@ -392,6 +471,11 @@ class ClusterClient:
             action.status = ActionStatus.ACTIVE  # let abort run normally
             if span is not None:
                 span.set(outcome="2pc-failed").finish()
+            self._note_failure(
+                action,
+                CommitError(f"two-phase commit of colour {failed_colour} "
+                            f"failed"),
+                op="commit", colour=failed_colour)
             if decided:
                 # Earlier colours already decided commit; per-colour
                 # permanence means their updates survive the abort of
@@ -546,6 +630,14 @@ class ClusterClient:
                 return
             for child in active:
                 if child.colours & action.colours:
+                    if self.obs is not None:
+                        # the child dies because its parent settled, not
+                        # through any conflict of its own
+                        self.obs.emit("action.failure",
+                                      action=str(child.uid), op="settle",
+                                      cause="parent-settled",
+                                      detail=str(action.uid),
+                                      node=self.node.name)
                     yield from self.abort(child)
                 else:
                     self._detach(child)
@@ -759,6 +851,13 @@ class ClusterClient:
                 reply = yield from self.transport.call(
                     node_name, "txn_prepare", payload, trace_parent=span)
             except Exception:
+                # fast-path downgrade: this reader falls back to the
+                # classic finish fan-out (it never answered read-only)
+                if self.obs is not None:
+                    self.obs.emit("twopc.downgrade", txn=txn_id,
+                                  node=self.node.name, dst=node_name,
+                                  reason="read-only-unreachable",
+                                  resolution="classic-finish")
                 return False
             self._ack_forget(node_name, payload)
             if reply.get("vote") == "read-only":
@@ -872,12 +971,15 @@ class ClusterClient:
         ]
         votes: List[Optional[str]] = []
         prepared_ok = True
+        round_failure: Optional[BaseException] = None
         try:
             results = yield all_of(self.kernel, [h.join() for h in handles])
             votes = list(results)
             prepared_ok = all(v == "commit" for v in votes)
-        except (PrepareFailed, RpcTimeout, ActionAborted, ClusterError):
+        except (PrepareFailed, RpcTimeout, ActionAborted,
+                ClusterError) as error:
             prepared_ok = False
+            round_failure = error
         if not prepared_ok:
             # Cancel prepares still in flight *before* announcing the
             # abort: a killed task's transport cleanup runs immediately
@@ -894,7 +996,9 @@ class ClusterClient:
                 self.obs.count("twopc_rounds_total", colour=str(colour),
                                outcome="aborted")
                 self.obs.emit("twopc.decision", txn=txn_id,
-                              decision="abort", node=self.node.name)
+                              decision="abort", node=self.node.name,
+                              cause=self._round_failure_cause(
+                                  votes, round_failure))
             if span is not None:
                 span.set(outcome="aborted").finish()
             # the last agent never saw a prepare; only the plain round's
@@ -936,6 +1040,7 @@ class ClusterClient:
             payload["finish"] = [{"colour": encode_colour(colour),
                                   "dest": None}]
         finished = False
+        downgraded = False
         try:
             reply = yield from self.transport.call(
                 last_agent, "txn_prepare", payload, trace_parent=span)
@@ -952,6 +1057,13 @@ class ClusterClient:
             decision = yield from self._resolve_delegated(
                 txn_id, last_agent, span=span)
             vote = "commit" if decision == "commit" else "rollback"
+            downgraded = True
+            if self.obs is not None:
+                # the fast path degenerated into an outcome query loop
+                self.obs.emit("twopc.downgrade", txn=txn_id,
+                              node=self.node.name, dst=last_agent,
+                              reason="delegated-reply-lost",
+                              resolution=decision)
             # a committed outcome proves the prepare arrived whole — the
             # piggybacked finish (if any) was applied with it
             finished = vote == "commit" and "finish" in payload
@@ -968,7 +1080,9 @@ class ClusterClient:
                 self.obs.count("twopc_rounds_total", colour=str(colour),
                                outcome="aborted")
                 self.obs.emit("twopc.decision", txn=txn_id,
-                              decision="abort", node=self.node.name)
+                              decision="abort", node=self.node.name,
+                              cause=("fast-path-downgrade" if downgraded
+                                     else "vote-rollback"))
             if span is not None:
                 span.set(outcome="aborted").finish()
             yield from self._abort_round(txn_id, plain)
@@ -1148,12 +1262,19 @@ class ClusterClient:
         # tell whoever may have prepared, again one batch per server.
         to_abort = rounds[failed_index:]
         abort_calls: Dict[str, List[Tuple[str, Dict[str, Any]]]] = {}
-        for r in to_abort:
+        for i, r in enumerate(to_abort):
             if self.obs is not None:
+                if i > 0:
+                    cause = "colour-order-cascade"
+                elif any(v != "commit" for v in r["votes"].values()):
+                    cause = "vote-rollback"
+                else:
+                    cause = "participant-unreachable"
                 self.obs.count("twopc_rounds_total", colour=str(r["colour"]),
                                outcome="aborted")
                 self.obs.emit("twopc.decision", txn=r["txn_id"],
-                              decision="abort", node=self.node.name)
+                              decision="abort", node=self.node.name,
+                              cause=cause)
             for node_name in r["participants"]:
                 abort_calls.setdefault(node_name, []).append(
                     ("txn_abort", {"txn_id": r["txn_id"]}))

@@ -163,7 +163,7 @@ class Cluster:
 
     def attach_perf(self, interval: float = 5.0, max_points: int = 2048,
                     recorder_capacity: int = 4096, sample_rate: float = 1.0,
-                    seed: int = 0):
+                    seed: int = 0, process_probes: bool = False):
         """Attach the performance observatory (``repro.obs.perf``).
 
         Starts a :class:`~repro.obs.perf.TimeSeriesSampler` on the sim
@@ -177,7 +177,8 @@ class Cluster:
         from repro.obs.perf import FlightRecorder, TimeSeriesSampler
 
         sampler = TimeSeriesSampler(self.obs, interval=interval,
-                                    max_points=max_points)
+                                    max_points=max_points,
+                                    process_probes=process_probes)
         sampler.add_probe("in_doubt_objects", lambda: sum(
             len(s.in_doubt_objects) for s in self.servers.values()))
         sampler.add_probe("action_mirrors", lambda: sum(
@@ -190,6 +191,26 @@ class Cluster:
         recorder = FlightRecorder(self.obs, capacity=recorder_capacity,
                                   sample_rate=sample_rate, seed=seed)
         return sampler, recorder
+
+    def attach_postmortem(self, max_records: int = 10_000):
+        """Attach the causal-attribution engine (``repro.obs.postmortem``).
+
+        Subscribes a :class:`~repro.obs.postmortem.PostmortemEngine` to the
+        cluster's event bus: every finished action gets a postmortem record
+        (abort reason, blocker chain, txn history), aborts feed the
+        ``abort_reason_total`` histogram, and — when a flight recorder is
+        attached (see :meth:`attach_perf`) — guilty ring windows are frozen
+        alongside the auditor's finding snapshots.  Call before ``run()``.
+        Returns the engine; it also hangs off ``cluster.obs.postmortem``
+        and its records are included in ``obs.save()`` dumps.
+        """
+        from repro.obs.postmortem import PostmortemEngine
+
+        engine = PostmortemEngine(metrics=self.obs.metrics,
+                                  flight=self.obs.flight,
+                                  max_records=max_records)
+        engine.attach(self.obs)
+        return engine
 
     def metrics_dump(self) -> Dict:
         """One JSON-able snapshot of every metric, kernel and network stat."""
@@ -221,7 +242,12 @@ class Cluster:
 
     def crash(self, node_name: str) -> None:
         """Fail-silent crash now: volatile state lost, processes killed."""
-        self.nodes[node_name].crash()
+        node = self.nodes[node_name]
+        if node.alive:
+            # fail-silence means the node itself cannot announce its death;
+            # the injector can, so postmortems know a timeout hit a corpse
+            self.obs.emit("node.crash", node=node_name)
+        node.crash()
 
     def restart(self, node_name: str) -> None:
         """Restart a crashed node; recovery replays its WAL."""
@@ -230,7 +256,7 @@ class Cluster:
     def crash_at(self, node_name: str, when: float) -> None:
         """Schedule :meth:`crash` at absolute simulated time ``when``."""
         self.kernel.schedule(max(0.0, when - self.kernel.now),
-                             self.nodes[node_name].crash)
+                             lambda: self.crash(node_name))
 
     def restart_at(self, node_name: str, when: float) -> None:
         """Schedule :meth:`restart` at absolute simulated time ``when``."""

@@ -526,10 +526,14 @@ class ObjectServer:
 
     # -- handlers: two-phase commit participant ----------------------------------------
 
-    def _emit_vote(self, txn_id: str, vote: str, colour) -> None:
+    def _emit_vote(self, txn_id: str, vote: str, colour,
+                   reason: str = "") -> None:
         if self.obs is not None:
-            self.obs.emit("twopc.vote", txn=txn_id, node=self.node.name,
-                          vote=vote, colour=str(colour))
+            labels = {"txn": txn_id, "node": self.node.name,
+                      "vote": vote, "colour": str(colour)}
+            if reason:
+                labels["reason"] = reason
+            self.obs.emit("twopc.vote", **labels)
 
     def _h_txn_prepare(self, message: Message, respond: Responder) -> None:
         """Phase one: stabilise new states as shadows, log PREPARED, vote.
@@ -560,7 +564,7 @@ class ObjectServer:
         colour = decode_colour(payload["colour"])
         expected_epoch = payload.get("expected_epoch")
         if expected_epoch is not None and expected_epoch != self.node.epoch:
-            self._emit_vote(txn_id, "refused", colour)
+            self._emit_vote(txn_id, "refused", colour, reason="epoch-restart")
             respond(False, PrepareFailed(
                 f"{self.node.name} restarted (epoch {self.node.epoch} != "
                 f"{expected_epoch}); uncommitted state was lost"
@@ -576,7 +580,8 @@ class ObjectServer:
             # A delegated prepare can race a forced abort (the coordinator
             # gave up on the reply and resolved via txn_outcome_query)
             # the same way; the check covers both.
-            self._emit_vote(txn_id, "rollback", colour)
+            self._emit_vote(txn_id, "rollback", colour,
+                            reason="presumed-abort-straggler")
             respond(True, self._ok({"vote": "rollback"}))
             return
         mirror = self.mirrors.get(action_uid)
@@ -598,7 +603,8 @@ class ObjectServer:
         written = mirror.written.get(colour, {}) if mirror is not None else {}
         wanted = {decode_uid(raw) for raw in payload["object_uids"]}
         if not wanted.issubset(set(written)):
-            self._emit_vote(txn_id, "refused", colour)
+            self._emit_vote(txn_id, "refused", colour,
+                            reason="write-set-lost")
             respond(False, PrepareFailed(
                 f"{self.node.name} no longer holds the write set for "
                 f"{txn_id} (crash or premature release)"

@@ -102,6 +102,16 @@ class LockRegistry:
                             g for g in spec.groups
                             if spec.is_compatible(mode, g)))
                     self.on_event("lock.granted", **labels)
+            elif self.on_event is not None:
+                # refusal (timeout, deadlock victim, cancelled owner): the
+                # reason and error class let postmortems attribute the abort
+                self.on_event(
+                    "lock.refused", owner=str(owner_uid),
+                    object=str(object_uid), mode=_mode_label(mode),
+                    colour=str(colour), reason=str(req.refusal or ""),
+                    error=(type(req.error).__name__
+                           if req.error is not None else ""),
+                )
             if on_complete is not None:
                 on_complete(req)
 
@@ -109,7 +119,17 @@ class LockRegistry:
         # Registered as waiting up front; cleared again in `completed` for
         # immediate grants.
         self._waiting_by.setdefault(owner_uid, set()).add(object_uid)
-        self.table(object_uid).request(request)
+        table = self.table(object_uid)
+        table.request(request)
+        if not request.settled and self.on_event is not None:
+            # a wait-for edge: who is this request queued behind right now?
+            self.on_event(
+                "lock.blocked", owner=str(owner_uid),
+                object=str(object_uid), mode=_mode_label(mode),
+                colour=str(colour),
+                blockers=",".join(str(uid)
+                                  for uid in table.blocked_on(request)),
+            )
         return request
 
     def cancel_request(self, request: LockRequest, reason: str = "cancelled",

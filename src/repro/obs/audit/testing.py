@@ -7,7 +7,9 @@ would otherwise run dark.  On exit it collects the findings of every
 hub's auditor; any finding raises ``AssertionError`` — and when
 ``REPRO_OBS_DUMP`` names a directory, the offending hubs' full dumps
 (spans + metrics + event log) are saved there first so the failure can
-be replayed with ``python -m repro.obs.audit``.
+be replayed with ``python -m repro.obs.audit``, each with a sibling
+``*.why.txt`` abort-attribution report (the ``python -m repro.obs.why
+--aborts`` view) so the artifact answers *why* without a local replay.
 """
 
 from __future__ import annotations
@@ -64,6 +66,16 @@ def _assert_clean(hubs, dump_dir=None) -> None:
             except OSError:
                 continue
             saved.append(path)
+            why = _why_report(hub)
+            if why:
+                why_path = os.path.join(target,
+                                        f"audit-violation-{index}.why.txt")
+                try:
+                    with open(why_path, "w", encoding="utf-8") as handle:
+                        handle.write(why + "\n")
+                except OSError:
+                    continue
+                saved.append(why_path)
     lines = [
         f"online invariant auditor: "
         f"{sum(len(found) for _, found in guilty)} finding(s) "
@@ -76,3 +88,22 @@ def _assert_clean(hubs, dump_dir=None) -> None:
     if saved:
         lines.append("dumps: " + ", ".join(saved))
     raise AssertionError("\n".join(lines))
+
+
+def _why_report(hub) -> str:
+    """The ``why --aborts`` view of a hub's retained events (best effort)."""
+    try:
+        from repro.obs.bus import ObsEvent
+        from repro.obs.postmortem.engine import PostmortemEngine
+        from repro.obs.postmortem.render import abort_report
+
+        engine = PostmortemEngine.replay(
+            ObsEvent(tick=float(entry.get("tick", 0.0)),
+                     kind=str(entry.get("kind", "")),
+                     labels=dict(entry.get("labels") or {}))
+            for entry in hub.auditor.event_dicts())
+        lines, _gaps = abort_report(list(engine.records),
+                                    metrics_doc=hub.metrics.dump())
+        return "\n".join(lines)
+    except Exception:  # diagnosis must never mask the real failure
+        return ""

@@ -37,6 +37,7 @@ class ObservabilityBridge:
             f"action:{action.name}", parent=parent_span, kind="action",
             node=getattr(action, "home", "") or self.node,
             colours=colour_names(action.colours),
+            action=str(action.uid),
         )
         action._obs_span = span
         self.hub.count("actions_started_total", node=self.node)

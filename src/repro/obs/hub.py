@@ -51,6 +51,9 @@ class Observability:
         # TimeSeriesSampler / FlightRecorder constructors when used.
         self.sampler = None
         self.flight = None
+        # causal-attribution attach point (repro.obs.postmortem); populated
+        # by PostmortemEngine when one is attached to this hub.
+        self.postmortem = None
 
     def now(self) -> float:
         """Current time from the tick source (0.0 when none is attached)."""
@@ -121,6 +124,8 @@ class Observability:
             extra.setdefault("flight_recorder", self.flight.dump())
         if self.sampler is not None:
             extra.setdefault("timeline", self.sampler.timeline())
+        if self.postmortem is not None:
+            extra.setdefault("postmortem", self.postmortem.dump())
         return save_trace(path, tracer=self.tracer, metrics=self.metrics,
                           extra=extra or None,
                           events=self.auditor.event_dicts())

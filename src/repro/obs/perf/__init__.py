@@ -32,6 +32,7 @@ from repro.obs.perf.compare import (
 from repro.obs.perf.overhead import ObsOverheadMeter
 from repro.obs.perf.recorder import FlightRecorder
 from repro.obs.perf.sampler import TimeSeriesSampler
+from repro.obs.perf.timeline_view import timeline_html, timeline_text
 
 __all__ = [
     "Deviation",
@@ -41,4 +42,6 @@ __all__ = [
     "compare_documents",
     "compare_trees",
     "load_bench_files",
+    "timeline_html",
+    "timeline_text",
 ]

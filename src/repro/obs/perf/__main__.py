@@ -1,21 +1,29 @@
-"""The perf-gate CLI: ``python -m repro.obs.perf compare``.
+"""The performance-observatory CLI: perf gate and timeline rendering.
 
-Diffs a directory of freshly produced ``BENCH_*.json`` scenario documents
-(see ``benchmarks/scenarios.py``) against the checked-in baselines and
-exits non-zero on regression, so CI can gate merges on simulated-time
-performance:
+``compare`` diffs a directory of freshly produced ``BENCH_*.json``
+scenario documents (see ``benchmarks/scenarios.py``) against the
+checked-in baselines and exits non-zero on regression, so CI can gate
+merges on simulated-time performance:
 
     python benchmarks/scenarios.py --out /tmp/bench
     python -m repro.obs.perf compare --baseline . --current /tmp/bench
 
-Exit codes: 0 — within tolerance; 2 — at least one gated deviation
-(metric outside its band, metric vanished, scenario skipped); 1 —
-operational error (unreadable directory, malformed JSON).
+``timeline`` renders a sampler timeline (a raw ``sampler.timeline()``
+document or an ``Observability.save`` dump carrying ``extra.timeline``)
+as text sparklines, or as a self-contained HTML page with ``--html``:
+
+    python -m repro.obs.perf timeline run.trace.json
+    python -m repro.obs.perf timeline run.trace.json --html timeline.html
+
+Exit codes: 0 — within tolerance / rendered; 2 — at least one gated
+deviation (metric outside its band, metric vanished, scenario skipped);
+1 — operational error (unreadable input, malformed JSON, no timeline).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -25,6 +33,7 @@ from repro.obs.perf.compare import (
     compare_trees,
     load_bench_files,
 )
+from repro.obs.perf.timeline_view import timeline_html, timeline_text
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
@@ -64,6 +73,35 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_timeline(args: argparse.Namespace) -> int:
+    try:
+        with open(args.path, "r", encoding="utf-8") as handle:
+            raw = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot read {args.path}: {exc}", file=sys.stderr)
+        return 1
+    if not isinstance(raw, dict):
+        print(f"error: {args.path}: expected a JSON object "
+              f"(got {type(raw).__name__})", file=sys.stderr)
+        return 1
+    # a full Observability.save dump, or a bare sampler.timeline() doc
+    timeline = (raw.get("extra") or {}).get("timeline") \
+        if "points" not in raw else raw
+    if not isinstance(timeline, dict) or "points" not in timeline:
+        print(f"error: {args.path}: no timeline — pass a sampler "
+              f"timeline document or a dump saved with a sampler "
+              f"attached", file=sys.stderr)
+        return 1
+    if args.html:
+        document = timeline_html(timeline, title=args.title or args.path)
+        with open(args.html, "w", encoding="utf-8") as handle:
+            handle.write(document)
+        print(f"wrote {args.html}")
+    else:
+        print(timeline_text(timeline, width=args.width))
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs.perf",
@@ -84,6 +122,19 @@ def main(argv: Optional[List[str]] = None) -> int:
                          default=DEFAULT_ABS_TOLERANCE,
                          help="absolute slack for near-zero baselines")
     compare.set_defaults(func=_cmd_compare)
+
+    timeline = commands.add_parser(
+        "timeline", help="render a sampler timeline as text or HTML")
+    timeline.add_argument("path", help="obs dump (extra.timeline) or a raw "
+                                       "sampler timeline JSON")
+    timeline.add_argument("--html", metavar="OUT", default=None,
+                          help="write a self-contained HTML page here "
+                               "instead of printing text")
+    timeline.add_argument("--title", default=None,
+                          help="HTML page title (defaults to the path)")
+    timeline.add_argument("--width", type=int, default=60,
+                          help="sparkline width for text output")
+    timeline.set_defaults(func=_cmd_timeline)
 
     args = parser.parse_args(argv)
     return args.func(args)

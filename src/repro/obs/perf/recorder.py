@@ -31,9 +31,9 @@ from repro.obs.bus import ObsEvent
 #: kinds always retained regardless of sample_rate: low-volume, high-value
 CRITICAL_KINDS = frozenset((
     "twopc.begin", "twopc.vote", "twopc.decision", "twopc.commit",
-    "twopc.abort", "twopc.decision_query", "twopc.end",
-    "commit.route", "colour.permanent", "node.restart",
-    "action.begin", "action.end",
+    "twopc.abort", "twopc.decision_query", "twopc.end", "twopc.downgrade",
+    "commit.route", "colour.permanent", "node.restart", "node.crash",
+    "action.begin", "action.end", "action.failure", "lock.refused",
 ))
 
 #: at most this many finding snapshots are frozen per run

@@ -8,7 +8,9 @@ lock-wait and 2PC-prepare histograms, and whatever gauges the owner probed
 in (in-doubt object counts, live mirrors, pending RPCs).
 
 Everything is derived from the metrics registry and the sim clock, so the
-timeline of a seeded run is bit-for-bit reproducible.  Memory is bounded:
+timeline of a seeded run is bit-for-bit reproducible — unless the opt-in
+``process_probes`` are on, which add host-interpreter GC/allocation
+pressure (real memory, not simulated) to each point.  Memory is bounded:
 when the timeline reaches ``max_points`` it is decimated (every second
 point dropped, sampling stride doubled), trading resolution for a fixed
 footprint — the same run always decimates at the same firings.
@@ -16,6 +18,8 @@ footprint — the same run always decimates at the same firings.
 
 from __future__ import annotations
 
+import gc
+import sys
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 #: counters summarised per colour at each point (label -> metric name)
@@ -36,12 +40,19 @@ _COLOUR_HISTOGRAMS = (
 class TimeSeriesSampler:
     """Periodic snapshots of an Observability hub into per-colour timelines."""
 
-    def __init__(self, hub, interval: float = 5.0, max_points: int = 2048):
+    def __init__(self, hub, interval: float = 5.0, max_points: int = 2048,
+                 process_probes: bool = False):
         if max_points < 2:
             raise ValueError(f"max_points must be >= 2, got {max_points}")
         self.hub = hub
         self.interval = interval
         self.max_points = max_points
+        #: opt-in host-process pressure probes (``process`` section per
+        #: point): GC generation counters, cumulative collections, live
+        #: tracked objects and allocated blocks.  Off by default because
+        #: the values come from the *host* interpreter, not the simulation
+        #: — a timeline with them is no longer bit-for-bit reproducible.
+        self.process_probes = process_probes
         self.points: List[Dict[str, Any]] = []
         #: current sampling stride (1 = every firing; doubled on decimation)
         self.stride = 1
@@ -121,10 +132,34 @@ class TimeSeriesSampler:
         if self._probes:
             point["gauges"] = {name: float(fn())
                                for name, fn in self._probes}
+        if self.process_probes:
+            point["process"] = self._process_sample()
         self.points.append(point)
         if len(self.points) >= self.max_points:
             self._decimate()
         return point
+
+    @staticmethod
+    def _process_sample() -> Dict[str, float]:
+        """Host-interpreter allocation pressure at this instant.
+
+        ``gc_gen*`` are the collector's per-generation allocation counters,
+        ``gc_collections`` the cumulative collection count across
+        generations, ``objects`` the number of live GC-tracked objects
+        (the expensive probe — a full ``gc.get_objects()`` walk) and
+        ``alloc_blocks`` the interpreter's allocated memory blocks.
+        """
+        counts = gc.get_count()
+        collections = float(sum(s.get("collections", 0)
+                                for s in gc.get_stats()))
+        return {
+            "gc_gen0": float(counts[0]),
+            "gc_gen1": float(counts[1]),
+            "gc_gen2": float(counts[2]),
+            "gc_collections": collections,
+            "objects": float(len(gc.get_objects())),
+            "alloc_blocks": float(sys.getallocatedblocks()),
+        }
 
     def _decimate(self) -> None:
         self.points = self.points[::2]

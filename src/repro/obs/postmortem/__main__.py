@@ -1,0 +1,152 @@
+"""CLI: why did a transaction abort / what bounded a commit.
+
+Usage::
+
+    python -m repro.obs.why dump.json                 # summary
+    python -m repro.obs.why dump.json txn:n0:3:1:2    # one postmortem
+    python -m repro.obs.why dump.json --aborts        # full attribution
+    python -m repro.obs.why dump.json --slowest 5     # commit forensics
+    python -m repro.obs.why dump.json --aborts --json
+
+(``repro.obs.why`` and ``repro.obs.postmortem`` are the same program.)
+
+The input is a trace document written by ``Observability.save``; aborts
+are re-attributed by replaying its retained ``events`` through the
+:class:`~repro.obs.postmortem.engine.PostmortemEngine`, and commit
+critical paths come from its ``spans``.  Exit codes: 0 = clean, 1 =
+unusable input or no such transaction, 2 = attribution gaps (an abort
+classified ``unknown``, or totals that disagree with the dump's own
+per-colour abort counters).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.obs.bus import ObsEvent
+from repro.obs.postmortem import critical, render
+from repro.obs.postmortem.engine import PostmortemEngine
+
+
+def _load(path: str):
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            raw = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"error: cannot read {path}: {error}", file=sys.stderr)
+        return None
+    if not isinstance(raw, dict):
+        print(f"error: {path}: expected a JSON object "
+              f"(got {type(raw).__name__})", file=sys.stderr)
+        return None
+    if not isinstance(raw.get("events"), list):
+        print(f"error: {path}: no \"events\" list — was this dump "
+              f"written by Observability.save()?", file=sys.stderr)
+        return None
+    return raw
+
+
+def _replay(raw: dict) -> PostmortemEngine:
+    def events():
+        for entry in raw["events"]:
+            if not isinstance(entry, dict):
+                continue
+            labels = entry.get("labels")
+            yield ObsEvent(
+                tick=float(entry.get("tick", 0.0)),
+                kind=str(entry.get("kind", "")),
+                labels=dict(labels) if isinstance(labels, dict) else {},
+            )
+    return PostmortemEngine.replay(events())
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.why",
+        description="Causal postmortems over a saved obs dump: why did a "
+                    "transaction abort, what bounded a commit.",
+    )
+    parser.add_argument("path", help="trace JSON written by Observability.save")
+    parser.add_argument("query", nargs="?", default=None,
+                        help="a txn id, action uid or action name to explain")
+    parser.add_argument("--aborts", action="store_true",
+                        help="attribute every abort (exit 2 on gaps)")
+    parser.add_argument("--slowest", type=int, metavar="N", default=None,
+                        help="critical paths of the N slowest commits")
+    parser.add_argument("--json", action="store_true",
+                        help="print the result as JSON")
+    args = parser.parse_args(argv)
+    raw = _load(args.path)
+    if raw is None:
+        return 1
+    engine = _replay(raw)
+    spans = raw.get("spans") if isinstance(raw.get("spans"), list) else []
+    metrics = raw.get("metrics") if isinstance(raw.get("metrics"), dict) \
+        else {}
+
+    if args.query is not None:
+        record = engine.record_for(args.query)
+        if record is None:
+            print(f"error: no finished action or transaction matches "
+                  f"{args.query!r} in {args.path}", file=sys.stderr)
+            return 1
+        paths = [entry for entry in critical.slowest_commits(spans, count=1000)
+                 if entry["action"] == record.action]
+        if args.json:
+            doc = record.to_dict()
+            if paths:
+                doc["critical_path"] = paths[0]
+            print(json.dumps(doc, indent=2, sort_keys=True))
+        else:
+            for line in render.render_record(record):
+                print(line)
+            for entry in paths:
+                for line in critical.describe_path(entry):
+                    print(line)
+        return 0
+
+    if args.slowest is not None:
+        entries = critical.slowest_commits(spans, count=args.slowest)
+        if args.json:
+            print(json.dumps(entries, indent=2, sort_keys=True))
+        elif not entries:
+            print("no finished commit spans in the dump")
+        else:
+            for entry in entries:
+                for line in critical.describe_path(entry):
+                    print(line)
+        return 0
+
+    records = list(engine.records)
+    if args.aborts:
+        lines, failures = render.abort_report(records, metrics_doc=metrics)
+        if args.json:
+            print(json.dumps({
+                "records": [r.to_dict() for r in records
+                            if r.outcome == "aborted"],
+                "reasons": render.reason_histogram(records),
+                "gaps": failures,
+            }, indent=2, sort_keys=True))
+        else:
+            for line in lines:
+                print(line)
+        return 2 if failures else 0
+
+    # no flags: a one-screen summary
+    histogram = render.reason_histogram(records)
+    aborted = sum(histogram.values())
+    print(f"{len(records)} finished action(s), {aborted} aborted")
+    for reason, count in sorted(histogram.items(),
+                                key=lambda kv: (-kv[1], kv[0])):
+        print(f"  {reason}: {count}")
+    for entry in critical.slowest_commits(spans, count=3):
+        for line in critical.describe_path(entry):
+            print(line)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI tests
+    sys.exit(main())

@@ -1,0 +1,107 @@
+"""Commit critical-path analysis over saved span trees.
+
+Works on the plain span dicts of an ``Observability.save`` dump (or
+``Tracer.to_dicts()``): for every ``commit`` span it extracts the *gating
+chain* — starting at the commit, repeatedly descend into the child span
+that finished last, i.e. the one the parent actually waited for — which
+for a 2PC commit reads ``commit → 2pc:<colour> → rpc:txn_prepare →
+serve:txn_prepare`` and names the participant that bounded the round.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+Span = Dict[str, Any]
+
+
+def _by_parent(spans: List[Span]) -> Dict[Optional[str], List[Span]]:
+    children: Dict[Optional[str], List[Span]] = {}
+    for span in spans:
+        if not isinstance(span, dict):
+            continue
+        children.setdefault(span.get("parent_id"), []).append(span)
+    return children
+
+
+def _duration(span: Span) -> float:
+    start = float(span.get("start") or 0.0)
+    end = span.get("end")
+    return (float(end) - start) if end is not None else 0.0
+
+
+def _action_of(spans: List[Span], commit: Span) -> Dict[str, str]:
+    """The owning action's uid/name, read off the commit span's parent."""
+    parents = {s.get("span_id"): s for s in spans if isinstance(s, dict)}
+    parent = parents.get(commit.get("parent_id"))
+    if parent is None:
+        return {"action": "", "action_name": ""}
+    return {"action": str(parent.get("attrs", {}).get("action", "")),
+            "action_name": str(parent.get("name", ""))}
+
+
+def commit_spans(spans: List[Span]) -> List[Span]:
+    """Every finished client-side ``commit`` span in the document."""
+    return [s for s in spans
+            if isinstance(s, dict) and s.get("name") == "commit"
+            and s.get("kind") == "client" and s.get("end") is not None]
+
+
+def critical_path(spans: List[Span], commit: Span) -> List[Dict[str, Any]]:
+    """The gating chain under ``commit``: at each level, the child span
+    with the latest finish is the one the level actually waited on."""
+    children = _by_parent(spans)
+    steps: List[Dict[str, Any]] = []
+    current = commit
+    while current is not None:
+        attrs = current.get("attrs", {}) or {}
+        steps.append({
+            "name": str(current.get("name", "")),
+            "node": str(current.get("node", "")),
+            "dst": str(attrs.get("dst", "")),
+            "start": float(current.get("start") or 0.0),
+            "end": float(current.get("end") or 0.0),
+            "duration": _duration(current),
+        })
+        finished = [c for c in children.get(current.get("span_id"), [])
+                    if c.get("end") is not None]
+        current = (max(finished, key=lambda c: (float(c["end"]),
+                                                str(c.get("span_id"))))
+                   if finished else None)
+    return steps
+
+
+def slowest_commits(spans: List[Span], count: int = 5) -> List[Dict[str, Any]]:
+    """The ``count`` longest commits, each with its gating chain."""
+    ranked = sorted(commit_spans(spans), key=_duration, reverse=True)
+    out: List[Dict[str, Any]] = []
+    for commit in ranked[:max(0, count)]:
+        entry = _action_of(spans, commit)
+        entry.update({
+            "start": float(commit.get("start") or 0.0),
+            "duration": _duration(commit),
+            "outcome": str(commit.get("attrs", {}).get("outcome", "")),
+            "steps": critical_path(spans, commit),
+        })
+        out.append(entry)
+    return out
+
+
+def describe_path(entry: Dict[str, Any]) -> List[str]:
+    """Render one ``slowest_commits`` entry as indented text lines."""
+    head = (f"{entry.get('action') or entry.get('action_name') or '?'}: "
+            f"commit took {entry['duration']:g} ticks "
+            f"(start {entry['start']:g}")
+    if entry.get("outcome"):
+        head += f", {entry['outcome']}"
+    lines = [head + ")"]
+    total = entry["duration"] or 1.0
+    for depth, step in enumerate(entry["steps"]):
+        where = step["node"]
+        if step["dst"]:
+            where += f" -> {step['dst']}"
+        share = 100.0 * step["duration"] / total
+        lines.append("  " * (depth + 1)
+                     + f"{step['name']} [{where}] {step['duration']:g} "
+                       f"ticks ({share:.0f}%)")
+    return lines

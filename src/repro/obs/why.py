@@ -1,0 +1,14 @@
+"""``python -m repro.obs.why`` — alias for ``python -m repro.obs.postmortem``.
+
+The ISSUE-facing name of the postmortem CLI; both entry points run the
+same :func:`~repro.obs.postmortem.__main__.main`.
+"""
+
+from repro.obs.postmortem.__main__ import main
+
+__all__ = ["main"]
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI tests
+    import sys
+
+    sys.exit(main())

@@ -456,3 +456,90 @@ def test_multi_colour_commit_fails_atomically_when_a_server_is_down():
     assert "error" in outcome, "commit against a crashed participant passed"
     # nothing became permanent: the live server still holds the old value
     assert committed_int(refs["r1"]) == 7
+
+
+# -- process probes and the timeline renderer (text / HTML / CLI) -------------
+
+
+def test_process_probes_are_off_by_default():
+    timeline = _sampled_cluster_run(5)
+    assert all("process" not in point for point in timeline["points"])
+
+
+def test_process_probes_sample_host_gc_pressure():
+    hub = Observability()
+    sampler = TimeSeriesSampler(hub, interval=1.0, process_probes=True)
+    sampler.sample()
+    (point,) = sampler.points
+    process = point["process"]
+    assert {"gc_gen0", "gc_gen1", "gc_gen2", "gc_collections",
+            "objects", "alloc_blocks"} <= set(process)
+    assert process["objects"] > 0 and process["alloc_blocks"] > 0
+
+
+def _dumped_run(tmp_path, seed=5):
+    cluster = Cluster(seed=seed)
+    for name in ("a", "b"):
+        cluster.add_node(name)
+    cluster.attach_perf(interval=3.0, seed=seed)
+    client = cluster.client("a")
+
+    def app():
+        ref = yield from client.create("b", "counter", value=0)
+        for index in range(6):
+            action = client.top_level(f"t{index}")
+            yield from client.invoke(action, ref, "increment", 1)
+            yield from client.commit(action)
+            yield Timeout(2.0)
+
+    cluster.run_process("a", app())
+    path = str(tmp_path / "run.trace.json")
+    cluster.obs.save(path)
+    return path
+
+
+def test_timeline_text_renders_a_sparkline_per_series(tmp_path):
+    from repro.obs.perf import timeline_text
+
+    path = _dumped_run(tmp_path)
+    with open(path) as handle:
+        timeline = json.load(handle)["extra"]["timeline"]
+    text = timeline_text(timeline, width=40)
+    assert "colours:" in text and "gauges:" in text
+    committed_rows = [line for line in text.splitlines()
+                      if "/committed" in line]
+    assert committed_rows and "last" in committed_rows[0]
+    # an empty timeline degrades, not raises
+    assert "no series" in timeline_text({"points": []})
+
+
+def test_timeline_html_is_self_contained(tmp_path):
+    from repro.obs.perf import timeline_html
+
+    path = _dumped_run(tmp_path)
+    with open(path) as handle:
+        timeline = json.load(handle)["extra"]["timeline"]
+    page = timeline_html(timeline, title="run #5")
+    assert page.startswith("<!DOCTYPE html>")
+    assert "<svg" in page and "<polyline" in page
+    assert "run #5" in page
+    # self-contained: no scripts, no external fetches
+    assert "<script" not in page and "http" not in page.lower()
+
+
+def test_perf_timeline_cli_text_html_and_errors(tmp_path, capsys):
+    path = _dumped_run(tmp_path)
+    assert perf_main(["timeline", path]) == 0
+    assert "timeline:" in capsys.readouterr().out
+    out_html = str(tmp_path / "timeline.html")
+    assert perf_main(["timeline", path, "--html", out_html]) == 0
+    capsys.readouterr()
+    with open(out_html) as handle:
+        assert "<svg" in handle.read()
+    # operational errors: missing file, non-object, no timeline section
+    assert perf_main(["timeline", str(tmp_path / "nope.json")]) == 1
+    bare = tmp_path / "bare.json"
+    bare.write_text("{}")
+    assert perf_main(["timeline", str(bare)]) == 1
+    errors = capsys.readouterr().err
+    assert "no timeline" in errors
