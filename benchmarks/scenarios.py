@@ -31,7 +31,10 @@ attached), ``colour_sweep`` (commit cost vs colours per action),
 (round trips saved by batching multi-colour prepare sub-calls through
 ``call_many``), and ``twopc_fastpath`` (commit-protocol fast paths —
 piggybacked decision, read-only votes, one-phase commit — against the
-classic protocol on an identical workload).
+classic protocol on an identical workload), and ``commute_avoidance``
+(commutativity-based coordination avoidance: fully-commuting colours
+deciding locally in one round, against classic 2PC and against semantic
+locking without the commute path, on an identical workload).
 """
 
 from __future__ import annotations
@@ -89,8 +92,15 @@ def _stable_int(cluster, ref) -> int:
 # -- contention sweep ---------------------------------------------------------
 
 def _contention_run(seed: int, objects: int, workers: int, ops: int,
-                    metered: bool = False):
-    """Workers hammer a shared counter pool; fewer objects = more conflict."""
+                    metered: bool = False, abba: bool = False):
+    """Workers hammer a shared counter pool; fewer objects = more conflict.
+
+    Acquisition order is canonical (sorted by home node, then uid) so the
+    sweep measures lock *contention*, not deadlock: with two objects and
+    sampled order, symmetric ABBA cycles made the victim detector — not
+    lock waiting — the dominant cost.  ``abba=True`` keeps the sampled
+    (adversarial) order as an explicit deadlock-coverage variant.
+    """
     cluster = Cluster(seed=seed, lock_wait_timeout=40.0)
     nodes = ("n0", "n1", "n2")
     for name in nodes:
@@ -118,6 +128,8 @@ def _contention_run(seed: int, objects: int, workers: int, ops: int,
         rng = random.Random(seed * 1000 + worker_id)
         for op in range(ops):
             picks = rng.sample(refs, k=min(2, len(refs)))
+            if not abba:
+                picks.sort(key=lambda ref: (ref.node, ref.uid))
             action = client.top_level(f"w{worker_id}.op{op}")
             try:
                 for ref in picks:
@@ -212,9 +224,20 @@ def scenario_contention_sweep(seed: int = 11) -> Dict[str, Any]:
                 "nanos_per_call": round(
                     measure_noop_path()["nanos_per_call"], 1),
             }
+    # adversarial variant: sampled (non-canonical) acquisition order at two
+    # objects, where symmetric ABBA cycles keep deadlock detection honest
+    run = _contention_run(seed, 2, workers, ops, abba=True)
+    prefix = "objects=2-abba"
+    metrics[f"{prefix}.committed"] = run["committed"]
+    metrics[f"{prefix}.aborted"] = run["aborted"]
+    metrics[f"{prefix}.elapsed_sim"] = run["elapsed"]
+    metrics[f"{prefix}.lock_wait_mean"] = run["lock_wait_mean"]
+    for reason, count in sorted(run["postmortem"].reason_counts.items()):
+        metrics[f"{prefix}.aborts.{reason}"] = count
     return _document(
         "contention_sweep", seed,
-        {"workers": workers, "ops_per_worker": ops, "levels": list(levels)},
+        {"workers": workers, "ops_per_worker": ops, "levels": list(levels),
+         "order": "canonical (+ objects=2 abba variant)"},
         metrics, info)
 
 
@@ -517,6 +540,129 @@ def scenario_twopc_fastpath(seed: int = 29) -> Dict[str, Any]:
         })
 
 
+# -- commutativity-based coordination avoidance -------------------------------
+
+def _commute_run(seed: int, type_name: str, commute: bool,
+                 strict_conservation: bool = True) -> Dict[str, Any]:
+    """Six workers hammer two shared objects, every transaction updating
+    both: the contention sweep's objects=2 shape.  The arm is selected by
+    object type and the commute switch — ``counter`` serializes under
+    WRITE locks and commits with classic/fast-path 2PC;
+    ``commuting_counter`` runs updates concurrently (compatible groups)
+    and, with ``commute=True``, commits fully-commuting colours in one
+    local-decision round with no prepare phase.
+
+    ``strict_conservation=False`` is for the commute-off commuting arm:
+    snapshot permanence under concurrent compatible updates can lose
+    late-promoting effects (the race semantic.py documents as needing
+    operation-logged redo — which is what the commute path supplies), so
+    that arm reports the shortfall instead of asserting it away.
+    """
+    cluster = Cluster(seed=seed, lock_wait_timeout=40.0, commute=commute)
+    nodes = ("n0", "n1", "n2")
+    for name in nodes:
+        cluster.add_node(name)
+    workers, ops = 6, 5
+    refs: List[Any] = []
+    outcomes = {"committed": 0, "aborted": 0}
+
+    def setup():
+        client = cluster.client("n0")
+        for host in ("n1", "n2"):
+            ref = yield from client.create(host, type_name, value=0)
+            refs.append(ref)
+
+    cluster.run_process("n0", setup())
+    method = "add" if type_name == "commuting_counter" else "increment"
+
+    def worker(worker_id: int):
+        client = cluster.client(nodes[worker_id % len(nodes)],
+                                name=f"w{worker_id}")
+        rng = random.Random(seed * 1000 + worker_id)
+        for op in range(ops):
+            action = client.top_level(f"w{worker_id}.op{op}")
+            try:
+                for ref in refs:
+                    yield from client.invoke(action, ref, method, 1)
+                yield from client.commit(action)
+                outcomes["committed"] += 1
+            except Exception:
+                outcomes["aborted"] += 1
+                if not action.status.terminated:
+                    yield from client.abort(action)
+            yield Timeout(1.0 + rng.random())
+
+    messages_before = cluster.network.sent_count
+    for worker_id in range(workers):
+        cluster.spawn(nodes[worker_id % len(nodes)], worker(worker_id),
+                      name=f"worker{worker_id}")
+    cluster.run()
+    total = sum(_stable_int(cluster, ref) for ref in refs)
+    if strict_conservation:
+        assert total == outcomes["committed"] * 2, (total, outcomes)
+    commute_commits = 0.0
+    for labels, counter in cluster.obs.metrics.series("twopc_fast_path_total"):
+        if dict(labels).get("kind") == "commute":
+            commute_commits += counter.value
+    elapsed = cluster.kernel.now
+    return {
+        "committed": outcomes["committed"],
+        "aborted": outcomes["aborted"],
+        "elapsed": elapsed,
+        "throughput": outcomes["committed"] / elapsed if elapsed else 0.0,
+        "messages": cluster.network.sent_count - messages_before,
+        "commute_commits": commute_commits,
+        "audit_findings": len(cluster.obs.auditor.report()),
+        "stable_total": total,
+        "lost_updates": outcomes["committed"] * 2 - total,
+    }
+
+
+def scenario_commute_avoidance(seed: int = 37) -> Dict[str, Any]:
+    """Coordination avoidance for fully-commuting colours, same workload.
+
+    Three arms on identical seeds: *classic* (plain counters, WRITE locks,
+    classic/fast-path 2PC), *commute_off* (commuting counters — concurrent
+    execution, but every colour still runs a prepare round) and
+    *commute_on* (fully-commuting colours decide locally in one round).
+    Gates: the commute path must at least double committed throughput over
+    classic 2PC at this contention level, every commute-on commit must
+    actually take the commute path, and the auditor must stay silent in
+    every arm — in particular its commute-soundness check
+    (``commute-decision-not-commuting``) on the arm deciding locally.
+    """
+    classic = _commute_run(seed, "counter", commute=False)
+    off = _commute_run(seed, "commuting_counter", commute=False,
+                       strict_conservation=False)
+    on = _commute_run(seed, "commuting_counter", commute=True)
+    for arm in (classic, off, on):
+        assert arm["audit_findings"] == 0, arm
+    assert off["commute_commits"] == 0, off
+    assert on["commute_commits"] > 0, on
+    assert on["lost_updates"] == 0, on
+    speedup = on["throughput"] / classic["throughput"]
+    assert speedup >= 2.0, (classic, on)
+    metrics: Dict[str, float] = {}
+    for name, arm in (("classic", classic), ("commute_off", off),
+                      ("commute_on", on)):
+        metrics[f"{name}.committed"] = arm["committed"]
+        metrics[f"{name}.aborted"] = arm["aborted"]
+        metrics[f"{name}.elapsed_sim"] = arm["elapsed"]
+        metrics[f"{name}.throughput"] = arm["throughput"]
+        metrics[f"{name}.messages"] = arm["messages"]
+        metrics[f"{name}.audit_findings"] = arm["audit_findings"]
+    # the snapshot-permanence shortfall the commute path's operation-
+    # logged redo eliminates (commute_on must be exactly zero)
+    metrics["commute_off.lost_updates"] = off["lost_updates"]
+    metrics["commute_on.lost_updates"] = on["lost_updates"]
+    metrics["commute_on.commute_commits"] = on["commute_commits"]
+    metrics["throughput_speedup_vs_classic"] = speedup
+    return _document(
+        "commute_avoidance", seed,
+        {"workers": 6, "ops_per_worker": 5, "objects": 2, "servers": 2},
+        metrics)
+
+
 SCENARIOS: Dict[str, Callable[[], Dict[str, Any]]] = {
     "contention_sweep": scenario_contention_sweep,
     "colour_sweep": scenario_colour_sweep,
@@ -524,6 +670,7 @@ SCENARIOS: Dict[str, Callable[[], Dict[str, Any]]] = {
     "chaos_mix": scenario_chaos_mix,
     "prepare_batching": scenario_prepare_batching,
     "twopc_fastpath": scenario_twopc_fastpath,
+    "commute_avoidance": scenario_commute_avoidance,
 }
 
 

@@ -90,6 +90,14 @@ class ClusterAction:
         #: node -> colours released early by a read-only vote (the node is
         #: out of phase two for those colours)
         self.vote_released: Dict[str, Set[Colour]] = {}
+        #: colour -> node -> object uid -> [(method, args)] for updates in
+        #: declared-commuting operation groups: the redo log the commute
+        #: path ships inside its single-round decision
+        self.commute_ops: Dict[Colour, Dict[str, Dict[Uid, List[Tuple[str, list]]]]] = {}
+        #: colours that picked up a non-commuting update (plain WRITE or a
+        #: semantic group without a commuting declaration) — they fall back
+        #: to classic/fast-path 2PC, whatever else they contain
+        self.commute_blocked: Set[Colour] = set()
         #: nodes whose finish/transfer routing rode a delegated prepare
         #: (one-phase / piggybacked decision) — no finish_commit needed
         self.finished_nodes: Set[str] = set()
@@ -123,6 +131,16 @@ class ClusterAction:
         self.write_nodes.setdefault(colour, set()).add(node)
         self.written.setdefault(colour, {}).setdefault(node, set()).add(object_uid)
 
+    def note_commute_op(self, colour: Colour, node: str, object_uid: Uid,
+                        method: str, args: list) -> None:
+        """Record a successfully applied commuting update for redo."""
+        self.commute_ops.setdefault(colour, {}).setdefault(
+            node, {}).setdefault(object_uid, []).append((method, list(args)))
+
+    def block_commute(self, colour: Colour) -> None:
+        """A non-commuting update joined the colour: classic 2PC from here."""
+        self.commute_blocked.add(colour)
+
     def all_nodes(self) -> Set[str]:
         nodes: Set[str] = set()
         for per_colour in self.involved.values():
@@ -153,7 +171,8 @@ class ClusterClient:
     def __init__(self, node: Node, transport: RpcTransport,
                  action_uids: UidGenerator, colour_allocator,
                  class_registry: Dict[str, type], name: str = "client",
-                 observability=None, fast_paths: bool = True):
+                 observability=None, fast_paths: bool = True,
+                 commute: bool = True):
         self.node = node
         self.kernel = node.kernel
         self.transport = transport
@@ -162,6 +181,9 @@ class ClusterClient:
         #: commit-protocol fast paths (piggybacked decision, read-only
         #: votes, one-phase commit); False runs the classic protocol only
         self.fast_paths = fast_paths
+        #: commutativity-based coordination avoidance: fully-commuting
+        #: colours commit in one local-decision round (see _commute_commit)
+        self.commute = commute
         self._action_uids = action_uids
         self._colours = colour_allocator
         self._classes = class_registry
@@ -293,7 +315,7 @@ class ClusterClient:
         self._require_active(action)
         chosen = action.lock_colour(colour)
         self._check_colour(action, chosen)
-        _lock_key, is_update, is_semantic = self._operation_kind(
+        _lock_key, is_update, is_semantic, is_commuting = self._operation_kind(
             ref.type_name, method
         )
         span = self._op_span(action, f"invoke:{method}", dst=ref.node,
@@ -328,6 +350,13 @@ class ClusterClient:
         action.note_lock(chosen, ref.node)
         if is_update:
             action.note_write(chosen, ref.node, ref.uid)
+            if is_commuting:
+                # applied and totally ordered-free: remember the op so the
+                # commute path can redo it against committed state
+                action.note_commute_op(chosen, ref.node, ref.uid,
+                                       method, list(args))
+            else:
+                action.block_commute(chosen)
         try:
             action.check_epoch(ref.node, reply["epoch"])
         except ActionAborted as error:
@@ -388,6 +417,8 @@ class ClusterClient:
         action.note_lock(chosen, ref.node)
         if mode is LockMode.WRITE:
             action.note_write(chosen, ref.node, ref.uid)
+            # an explicit WRITE pin has no redo operation: classic 2PC
+            action.block_commute(chosen)
         try:
             action.check_epoch(ref.node, reply["epoch"])
         except ActionAborted as error:
@@ -448,25 +479,45 @@ class ClusterClient:
                 continue
             permanent.append((colour, write_map))
         failed_colour: Optional[Colour] = None
-        if len(permanent) == 1:
-            colour, write_map = permanent[0]
-            result = yield from self._two_phase_commit(
-                action, colour, write_map, parent_span=span)
-            if result is None:
-                failed_colour = colour
+        index = 0
+        while index < len(permanent) and failed_colour is None:
+            colour, write_map = permanent[index]
+            if self._commute_eligible(action, colour, write_map):
+                # fully-commuting colour: one guaranteed-commit round, no
+                # prepare phase, nothing left for the finish fan-out
+                yield from self._commute_commit(action, colour, write_map,
+                                                parent_span=span)
+                if self.obs is not None:
+                    self.obs.count("colour_permanent_total",
+                                   colour=str(colour))
+                index += 1
+                continue
+            # maximal run of classic colours, preserving colour-order
+            # failure semantics: a failure cascades over later colours
+            run: List[Tuple[Colour, Dict[str, Set[Uid]]]] = []
+            while index < len(permanent) and not self._commute_eligible(
+                    action, *permanent[index]):
+                run.append(permanent[index])
+                index += 1
+            if len(run) == 1:
+                colour, write_map = run[0]
+                result = yield from self._two_phase_commit(
+                    action, colour, write_map, parent_span=span)
+                if result is None:
+                    failed_colour = colour
+                else:
+                    decided.append(result)
+                    if self.obs is not None:
+                        self.obs.count("colour_permanent_total",
+                                       colour=str(colour))
             else:
-                decided.append(result)
-                if self.obs is not None:
-                    self.obs.count("colour_permanent_total",
-                                   colour=str(colour))
-        elif permanent:
-            newly_decided, failed_colour = yield from self._batched_prepare(
-                action, permanent, parent_span=span)
-            for txn_id, parts, colour in newly_decided:
-                decided.append((txn_id, parts))
-                if self.obs is not None:
-                    self.obs.count("colour_permanent_total",
-                                   colour=str(colour))
+                newly_decided, failed_colour = yield from self._batched_prepare(
+                    action, run, parent_span=span)
+                for txn_id, parts, colour in newly_decided:
+                    decided.append((txn_id, parts))
+                    if self.obs is not None:
+                        self.obs.count("colour_permanent_total",
+                                       colour=str(colour))
         if failed_colour is not None:
             action.status = ActionStatus.ACTIVE  # let abort run normally
             if span is not None:
@@ -609,18 +660,21 @@ class ClusterClient:
         return mode
 
     def _operation_kind(self, type_name: str, method: str):
-        """(lock key, is_update, is_semantic) for plain or semantic ops."""
+        """(lock key, is_update, is_semantic, is_commuting) for an op."""
         cls = self._classes.get(type_name)
         if cls is None:
             raise ClusterError(f"unknown type {type_name!r}")
         attr = getattr(cls, method, None)
         mode = getattr(attr, "__repro_mode__", None)
         if mode is not None:
-            return mode, mode is LockMode.WRITE, False
+            return mode, mode is LockMode.WRITE, False, False
         group = getattr(attr, "__repro_group__", None)
         if group is not None:
             updates = getattr(attr, "__repro_inverse__", None) is not None
-            return group, updates, True
+            spec = getattr(cls, "SEMANTICS", None)
+            commuting = (updates and spec is not None
+                         and spec.is_commuting(group))
+            return group, updates, True, commuting
         raise ClusterError(f"{type_name}.{method} is not an operation")
 
     def _settle_children(self, action: ClusterAction):
@@ -666,6 +720,13 @@ class ClusterClient:
         dest_written = destination.written.setdefault(colour, {})
         for node_name, uids in action.written.get(colour, {}).items():
             dest_written.setdefault(node_name, set()).update(uids)
+        if colour in action.commute_blocked:
+            destination.commute_blocked.add(colour)
+        for node_name, per_object in action.commute_ops.get(colour, {}).items():
+            dest_ops = destination.commute_ops.setdefault(
+                colour, {}).setdefault(node_name, {})
+            for object_uid, ops in per_object.items():
+                dest_ops.setdefault(object_uid, []).extend(ops)
         for node_name, epoch in action.server_epochs.items():
             destination.server_epochs.setdefault(node_name, epoch)
 
@@ -908,6 +969,144 @@ class ClusterClient:
                 yield Timeout(5.0)
                 continue
             return reply["decision"]
+
+    def _commute_eligible(self, action: ClusterAction, colour: Colour,
+                          write_map: Dict[str, Set[Uid]]) -> bool:
+        """May this colour commit on the commute path?
+
+        Yes iff commute is enabled, no non-commuting update ever joined the
+        colour, and every written object has a recorded redo op list — the
+        moment a plain WRITE or an undeclared semantic update touches the
+        colour it is blocked and falls back to classic/fast-path 2PC.
+        """
+        if not self.commute or colour in action.commute_blocked:
+            return False
+        ops = action.commute_ops.get(colour)
+        if not ops:
+            return False
+        for node_name, uids in write_map.items():
+            node_ops = ops.get(node_name, {})
+            if any(uid not in node_ops for uid in uids):
+                return False
+        return True
+
+    def _commute_commit(self, action: ClusterAction, colour: Colour,
+                        write_map: Dict[str, Set[Uid]], parent_span=None):
+        """Coordination avoidance for a fully-commuting colour (§2 pushed
+        into the commit protocol).
+
+        Every update in the colour belongs to a declared-commuting
+        operation group: the operations are *total* (re-applying them
+        against any committed state cannot fail — escrow bounds were
+        reserved at execute time) and order-independent.  Every
+        participant's vote is therefore guaranteed-yes, so the prepare
+        round degenerates to decision delivery: the commit decision is
+        logged *before* the fan-out, and each participant locally
+        vote-and-applies the colour's merged effects in the same round —
+        one RPC per participant, no phase two, no finish message for
+        single-colour participants.
+
+        The prepare carries the colour's redo op list, which is what keeps
+        the guarantee honest across failures: a participant that restarted
+        (losing its volatile effects) re-applies the operations from the
+        message against its committed state; one that cannot be reached
+        gets a background reaper redelivering the same idempotent message
+        (participants dedupe on txn_id against their COMMITTED records).
+        """
+        txn_id = f"txn:{self.node.name}:{action.uid.sequence}:{colour.uid.sequence}:{next(self._txn_seq)}"
+        participants = sorted(write_map)
+        span = None
+        if self.obs is not None:
+            span = self.obs.span(f"2pc:{colour}", parent=parent_span,
+                                 kind="client", node=self.node.name,
+                                 txn=txn_id, participants=len(participants),
+                                 fast_path="commute")
+            self.obs.emit("twopc.begin", txn=txn_id,
+                          action=str(action.uid), colour=str(colour),
+                          participants=",".join(participants),
+                          node=self.node.name)
+        ops_for = action.commute_ops.get(colour, {})
+        # decision first: with guaranteed-yes votes there is nothing to
+        # wait for, and a durable decision lets an unreachable participant
+        # be converged later by redelivery instead of presumed abort
+        self.node.wal.append("coord_commit", txn_id=txn_id, commute=True)
+        if self.obs is not None:
+            self.obs.emit("twopc.decision", txn=txn_id, decision="commit",
+                          node=self.node.name, commute="1")
+        readers = sorted(action.involved.get(colour, set()) - set(write_map))
+        if readers and self.fast_paths:
+            self._spawn_read_only_prepares(action, txn_id, colour, readers,
+                                           span=span)
+        payload_for: Dict[str, Dict[str, Any]] = {}
+        for node_name in participants:
+            payload = self._prepare_payload(
+                action, txn_id, colour, node_name, write_map[node_name])
+            payload["commute"] = True
+            # full context (not just the uid): a restarted participant
+            # rebuilds the action mirror to hold the redo's group locks
+            payload["action"] = encode_action_context(action)
+            payload["ops"] = {
+                encode_uid(uid): [[method, list(args)] for method, args
+                                  in ops_for[node_name][uid]]
+                for uid in sorted(write_map[node_name])
+            }
+            if action.colours_at(node_name) == {colour}:
+                payload["finish"] = [{"colour": encode_colour(colour),
+                                      "dest": None}]
+            payload_for[node_name] = payload
+
+        def commute_one(node_name: str):
+            reply = yield from self.transport.call(
+                node_name, "txn_prepare", payload_for[node_name],
+                trace_parent=span)
+            self._ack_forget(node_name, payload_for[node_name])
+            return reply
+
+        round_started = self.kernel.now
+        handles = [
+            self.kernel.spawn(commute_one(n), name=f"commute:{txn_id}:{n}")
+            for n in participants
+        ]
+        outcomes = yield settle_all(self.kernel, [h.join() for h in handles])
+        acked: Set[str] = set()
+        for node_name, (ok, reply) in zip(participants, outcomes):
+            if ok and reply.get("vote") == "commute":
+                acked.add(node_name)
+                # the participant's COMMITTED record is acknowledged
+                # lazily, riding our next prepare to it (checkpointing)
+                self._pending_forget.setdefault(node_name, []).append(txn_id)
+                if reply.get("finished"):
+                    action.finished_nodes.add(node_name)
+                else:
+                    # locks released at vote-and-apply time: the node is
+                    # out of this colour's phase two and finish routing
+                    action.vote_released.setdefault(
+                        node_name, set()).add(colour)
+            else:
+                # crash, partition or lost reply: the decision is durable
+                # and the message idempotent — redeliver until it lands
+                if self.obs is not None:
+                    self.obs.emit("twopc.downgrade", txn=txn_id,
+                                  node=self.node.name, dst=node_name,
+                                  reason="commute-unreachable",
+                                  resolution="redelivery")
+                self._spawn_reaper(
+                    node_name,
+                    [("txn_prepare", dict(payload_for[node_name]))],
+                    label=f"commute:{txn_id}")
+        if self.obs is not None:
+            self.obs.observe("twopc_prepare_time",
+                             self.kernel.now - round_started,
+                             colour=str(colour))
+            self.obs.count("twopc_rounds_total", colour=str(colour),
+                           outcome="committed")
+        if acked >= set(participants):
+            self.node.wal.append("coord_end", txn_id=txn_id)
+            if self.obs is not None:
+                self.obs.emit("twopc.end", txn=txn_id, node=self.node.name)
+        if span is not None:
+            span.set(outcome="committed", fast_path="commute").finish()
+        return txn_id
 
     def _two_phase_commit(self, action: ClusterAction, colour: Colour,
                           write_map: Dict[str, Set[Uid]], parent_span=None):

@@ -15,9 +15,11 @@ from repro.obs import Observability, ObservabilityBridge
 from repro.sim.kernel import Kernel
 from repro.stdobjects import (
     Account,
+    AppendLog,
     CommutingCounter,
     Counter,
     DiarySlot,
+    EscrowAccount,
     FifoQueue,
     FileObject,
     Register,
@@ -31,6 +33,8 @@ DEFAULT_CLASSES = {
     Register.type_name: Register,
     Account.type_name: Account,
     CommutingCounter.type_name: CommutingCounter,
+    EscrowAccount.type_name: EscrowAccount,
+    AppendLog.type_name: AppendLog,
     FifoQueue.type_name: FifoQueue,
     FileObject.type_name: FileObject,
     DiarySlot.type_name: DiarySlot,
@@ -63,7 +67,7 @@ class Cluster:
                  rpc_timeout: float = 10.0, rpc_retries: int = 3,
                  edge_chasing: bool = True, probe_interval: float = 5.0,
                  observability: Optional[Observability] = None,
-                 fast_paths: bool = True):
+                 fast_paths: bool = True, commute: bool = True):
         self.kernel = Kernel()
         #: the cluster-wide observability hub, on simulated time.  Every
         #: layer (network, transport, servers, clients, deadlock chasers)
@@ -84,6 +88,11 @@ class Cluster:
         #: votes, one-phase commit) for every client created here; False
         #: pins the classic presumed-abort protocol
         self.fast_paths = fast_paths
+        #: commutativity-based coordination avoidance: colours whose every
+        #: update belongs to a declared-commuting operation group commit in
+        #: a single local-decision round instead of a prepare round; False
+        #: routes every colour through classic/fast-path 2PC
+        self.commute = commute
         self.nodes: Dict[str, Node] = {}
         self.transports: Dict[str, RpcTransport] = {}
         self.servers: Dict[str, ObjectServer] = {}
@@ -139,6 +148,7 @@ class Cluster:
             name=name or f"client@{node_name}",
             observability=self.obs,
             fast_paths=self.fast_paths,
+            commute=self.commute,
         )
         # the bridge gives every action a span (and per-colour outcome
         # counters) so the client's RPC spans have a parent to stitch to.

@@ -34,6 +34,7 @@ from repro.colours.colour import Colour
 from repro.errors import (
     ClusterError,
     DeadlockDetected,
+    LockRefused,
     LockTimeout,
     ObjectNotFound,
     PrepareFailed,
@@ -427,6 +428,27 @@ class ObjectServer:
         if request.settled:
             return
         self.lock_waits += 1
+        # Lock-conflict fast abort: if queueing this very request closed a
+        # waits-for cycle through its own action, the wait is *certain* to
+        # deadlock — every holder ahead of it transitively waits on this
+        # action, and holders only release at commit/abort.  Refuse it now
+        # as a deterministic lock conflict instead of parking it for the
+        # deadlock chaser to victimise later.
+        cycle = self.detector.cycle_through(mirror.uid)
+        if cycle is not None:
+            if self.obs is not None:
+                self.obs.count("lock_fast_aborts_total", node=self.node.name)
+            self.registry.cancel_request(
+                request,
+                reason=("waiting would close a deadlock cycle: "
+                        + " -> ".join(str(uid) for uid in cycle)),
+                error=LockRefused(
+                    f"lock {mode_name} on {object_uid}: granting the wait "
+                    f"would deadlock with {max(len(cycle) - 1, 1)} other "
+                    f"action(s)"
+                ),
+            )
+            return
         # local deadlock detection now; edge-chasing probes catch cycles
         # across servers; the wait timeout is the last-resort backstop.
         self.detector.resolve_all()
@@ -538,7 +560,7 @@ class ObjectServer:
     def _h_txn_prepare(self, message: Message, respond: Responder) -> None:
         """Phase one: stabilise new states as shadows, log PREPARED, vote.
 
-        Three fast-path extensions ride on the same wire kind:
+        Four fast-path extensions ride on the same wire kind:
 
         - ``read_only``: the participant's slice of the colour holds no
           writes — release its locks now, vote ``read-only`` and stay out
@@ -549,6 +571,11 @@ class ObjectServer:
           prepare of the round).  A commit vote here *is* the decision:
           log COMMITTED directly (flagged ``delegated``) and promote the
           shadows in the same step — no separate txn_commit round trip.
+        - ``commute``: every update of the colour at this node belongs to
+          a declared-commuting operation group — the coordinator decided
+          *before* fan-out and this prepare carries the colour's redo op
+          list; vote ``commute`` and locally apply the merged effects in
+          the same step (see :meth:`_commute_prepare`).
         - ``finish``: commit routing for this node piggybacked on a
           delegated prepare, applied right after promotion when the
           committing colour is the node's entire involvement.
@@ -562,8 +589,29 @@ class ObjectServer:
             self.forgotten.add(old_txn)
         action_uid = decode_uid(payload["action_uid"])
         colour = decode_colour(payload["colour"])
+        if self.node.wal.last(
+            "committed", where=lambda r: r.payload["txn_id"] == txn_id
+        ) is not None:
+            # Retransmission-safe piggyback: a retried prepare under a
+            # fresh rpc id (reaper redelivery, a client retry after a lost
+            # reply — possibly in a later epoch) finds the durable commit
+            # and answers from it.  Never re-stabilise shadows or re-run
+            # promotion: the shadow slot may meanwhile belong to a *later*
+            # transaction, and the logged outcome must not be contradicted.
+            vote = "commute" if payload.get("commute") else "commit"
+            self._emit_vote(txn_id, vote, colour,
+                            reason="duplicate-delivery")
+            respond(True, self._ok({
+                "vote": vote, "applied": False,
+                "finished": (payload.get("finish") is not None
+                             and action_uid not in self.mirrors),
+            }))
+            return
         expected_epoch = payload.get("expected_epoch")
-        if expected_epoch is not None and expected_epoch != self.node.epoch:
+        if (expected_epoch is not None and expected_epoch != self.node.epoch
+                and not payload.get("commute")):
+            # (the commute path survives a restart: its prepare carries a
+            # redo op list, so it never refuses on a bumped epoch)
             self._emit_vote(txn_id, "refused", colour, reason="epoch-restart")
             respond(False, PrepareFailed(
                 f"{self.node.name} restarted (epoch {self.node.epoch} != "
@@ -599,6 +647,9 @@ class ObjectServer:
                                kind="read_only")
             self._emit_vote(txn_id, "read-only", colour)
             respond(True, self._ok({"vote": "read-only"}))
+            return
+        if payload.get("commute"):
+            self._commute_prepare(message, respond)
             return
         written = mirror.written.get(colour, {}) if mirror is not None else {}
         wanted = {decode_uid(raw) for raw in payload["object_uids"]}
@@ -658,6 +709,214 @@ class ObjectServer:
                            colour=str(colour))
         self._emit_vote(txn_id, "commit", colour)
         respond(True, self._ok({"vote": "commit"}))
+
+    # -- the commute path (coordination avoidance) -------------------------------------
+
+    def _commute_prepare(self, message: Message, respond: Responder) -> None:
+        """Commute path: local vote-and-apply with merged effects.
+
+        The coordinator logged its COMMIT *before* fan-out — it may do so
+        because every update of the colour belongs to a declared-commuting
+        operation group (total, no failing preconditions at commit), so
+        every participant's vote is guaranteed-yes.  The prepare carries
+        the colour's full redo op list per object; this node folds the
+        merged effects into committed state, logs one COMMITTED record
+        (flagged ``delegated`` — the coordinator forgets it lazily, like a
+        piggybacked decision), releases the colour's locks and leaves the
+        protocol.  No phase two, no prepared window, no in-doubt state.
+
+        A restarted participant (epoch mismatch) re-applies from the redo
+        list in the message instead of refusing: the decision is already
+        durable at the coordinator, so refusal could only delay the
+        inevitable.  Duplicate deliveries (reaper redelivery after a lost
+        reply) are absorbed by the COMMITTED dedupe guard upstream.
+        """
+        payload = message.payload
+        txn_id = payload["txn_id"]
+        colour = decode_colour(payload["colour"])
+        expected_epoch = payload.get("expected_epoch")
+        in_memory = (expected_epoch is None
+                     or expected_epoch == self.node.epoch)
+        mirror = self._mirror(decode_action_context(payload["action"]))
+        ops_by_object: Dict[Uid, List[Tuple[str, list]]] = {}
+        for raw_uid, raw_ops in payload["ops"].items():
+            ops_by_object[decode_uid(raw_uid)] = [
+                (method, list(args)) for method, args in raw_ops
+            ]
+        blocked = sorted(uid for uid in ops_by_object
+                         if uid in self.in_doubt_objects)
+        if blocked:
+            # another transaction's in-doubt shadow fences these objects;
+            # retryable — the coordinator's reaper redelivers once the
+            # in-doubt resolver settles the slot
+            respond(False, ClusterError(
+                "objects in doubt pending transaction recovery: "
+                + ", ".join(str(uid) for uid in blocked)
+            ))
+            return
+        plan: List[Tuple[Uid, StateManager, list, Set[str]]] = []
+        for object_uid in sorted(ops_by_object):
+            try:
+                obj = self._object(object_uid)
+            except ObjectNotFound as error:
+                respond(False, error)
+                return
+            spec = getattr(type(obj), "SEMANTICS", None)
+            groups: Set[str] = set()
+            for method_name, args in ops_by_object[object_uid]:
+                method = getattr(type(obj), method_name, None)
+                group = getattr(method, "__repro_group__", None)
+                # defence in depth: the client checked eligibility, but a
+                # local decision is only sound for declared-commuting ops
+                if (group is None or spec is None
+                        or not spec.is_commuting(group)):
+                    self._emit_vote(txn_id, "refused", colour,
+                                    reason="non-commuting")
+                    respond(False, PrepareFailed(
+                        f"{obj.type_name}.{method_name} is not a declared-"
+                        f"commuting operation; commute decision refused"
+                    ))
+                    return
+                groups.add(group)
+            plan.append((object_uid, obj, ops_by_object[object_uid], groups))
+        grants = [(object_uid, group)
+                  for object_uid, _obj, _ops, obj_groups in plan
+                  for group in sorted(obj_groups)]
+
+        def acquire(index: int) -> None:
+            # re-entrant (and therefore immediate) while the mirror still
+            # holds the grants from execution; a real wait only happens on
+            # a post-restart redo, where grants died with the epoch
+            if index == len(grants):
+                self._commute_apply(txn_id, mirror, colour, plan, payload,
+                                    message.src, in_memory, respond)
+                return
+            object_uid, group = grants[index]
+
+            def completed(request: LockRequest) -> None:
+                if request.status is not RequestStatus.GRANTED:
+                    self._emit_vote(txn_id, "refused", colour,
+                                    reason="redo-lock-lost")
+                    respond(False, request.error or LockTimeout(
+                        f"commute redo lock {group} on {object_uid}: "
+                        f"{request.refusal}"
+                    ))
+                    return
+                acquire(index + 1)
+
+            self._locked_request(mirror, object_uid, group, colour, completed)
+
+        acquire(0)
+
+    def _commute_apply(self, txn_id: str, mirror: ActionMirror,
+                       colour: Colour, plan: List, payload: Dict[str, Any],
+                       coordinator: str, in_memory: bool,
+                       respond: Responder) -> None:
+        """Fold a commute colour's merged effects into committed state."""
+        object_uids = [object_uid for object_uid, _, _, _ in plan]
+        for object_uid, _obj, ops, _groups in plan:
+            # merged stable state = committed image ⊕ this colour's ops,
+            # computed on a scratch instance so pending effects of *other*
+            # actions (alive only in the live instance) never leak into
+            # the committed image
+            scratch = self._scratch_instance(object_uid)
+            for method_name, args in ops:
+                self._apply_effect(scratch, method_name, args,
+                                   committed_target=True)
+            self.node.stable_store.write_shadow(scratch.stored_state())
+        self.node.wal.append(
+            "committed", txn_id=txn_id, delegated=True, commute=True,
+            coordinator=coordinator,
+            action_uid=encode_uid(mirror.uid),
+            object_uids=[encode_uid(u) for u in object_uids],
+        )
+        if self.obs is not None:
+            self.obs.count("twopc_fast_path_total", node=self.node.name,
+                           kind="commute")
+        self._emit_vote(txn_id, "commute", colour)
+        if self.obs is not None:
+            self.obs.emit(
+                "twopc.decision", txn=txn_id, decision="commit",
+                fast_path="commute", node=self.node.name,
+                colour=str(colour), action=str(mirror.uid),
+                groups=",".join(sorted(
+                    {g for _u, _o, _ops, gs in plan for g in gs})),
+            )
+        info = {"action_uid": mirror.uid, "colour": colour,
+                "object_uids": object_uids}
+        # Promotion must NOT refresh live instances from committed state:
+        # that would wipe other actions' pending in-memory commuting
+        # effects on the same objects.  The live image is reconciled by
+        # hand below instead.
+        self._apply_commit(txn_id, info, log_record=False, refresh_live=False)
+        for _object_uid, obj, ops, _groups in plan:
+            for method_name, args in ops:
+                method = getattr(type(obj), method_name)
+                if in_memory:
+                    # execution already ran the body on the live instance;
+                    # settle commit-time bookkeeping only (e.g. an escrow
+                    # credit becoming spendable)
+                    hook = getattr(method, "__repro_committed__", None)
+                    if hook is not None:
+                        getattr(obj, hook)(*args)
+                else:
+                    # post-restart redo: the in-memory effect died with the
+                    # old epoch — fold the full, already-settled effect in
+                    self._apply_effect(obj, method_name, args,
+                                       committed_target=False)
+        # vote-and-apply: the colour leaves this node now — no phase two
+        self.registry.release_colour(mirror.uid, colour,
+                                     reason="commute-commit")
+        finished = False
+        if payload.get("finish") is not None:
+            self._finish_action(mirror, payload["finish"])
+            finished = True
+        elif (not mirror.undo and not mirror.op_undo and not mirror.written
+              and not self.registry.objects_held_by(mirror.uid)):
+            self.mirrors.pop(mirror.uid, None)
+            self._retire_mirror(mirror, "committed")
+        respond(True, self._ok({"vote": "commute", "applied": True,
+                                "finished": finished}))
+
+    @staticmethod
+    def _apply_effect(target: StateManager, method_name: str, args,
+                      committed_target: bool) -> None:
+        """Run one op's durable effect on ``target``.
+
+        ``committed_target`` selects the merge method (just the committed
+        delta, no reservation bookkeeping) for scratch instances; live
+        instances being redone after a restart take the redo method (full
+        effect, settled, no precondition) instead.  Both default to the
+        operation body, which suffices for ops that are pure effects.
+        """
+        method = getattr(type(target), method_name)
+        hook_attr = "__repro_merge__" if committed_target else "__repro_redo__"
+        hook = getattr(method, hook_attr, None)
+        if hook is not None:
+            getattr(target, hook)(*args)
+        else:
+            method.__repro_body__(target, *args)
+
+    def _scratch_instance(self, object_uid: Uid) -> StateManager:
+        """A throwaway instance loaded from the committed state.
+
+        Construction registers into ``self.objects`` (every constructor
+        does); the live instance — which carries other actions' pending
+        in-memory effects — is swapped back immediately, so the scratch
+        never replaces it.
+        """
+        live = self.objects.get(object_uid)
+        stored = self.node.stable_store.read_committed(object_uid)
+        cls = self.classes.get(stored.type_name)
+        if cls is None:
+            raise ClusterError(f"no class registered for {stored.type_name!r}")
+        scratch = cls(self.host, uid=object_uid, persist=False)
+        if live is not None:
+            self.objects[object_uid] = live
+        else:
+            self.objects.pop(object_uid, None)
+        scratch.restore_snapshot(stored.payload)
+        return scratch
 
     def _h_txn_commit(self, message: Message, respond: Responder) -> None:
         """Decision = commit: promote shadows, release the colour."""
@@ -810,14 +1069,17 @@ class ObjectServer:
         respond(True, self._ok({"decision": decision}))
 
     def _apply_commit(self, txn_id: str, info: Dict[str, Any],
-                      log_record: bool = True) -> None:
+                      log_record: bool = True,
+                      refresh_live: bool = True) -> None:
         for object_uid in info["object_uids"]:
             self.node.stable_store.commit_shadow(object_uid)
             self.in_doubt_objects.discard(object_uid)
             # refresh any live instance from the committed state so later
-            # activations and reads agree
+            # activations and reads agree (skipped on the commute path,
+            # which reconciles live instances op-by-op so other actions'
+            # pending in-memory effects survive the promotion)
             obj = self.objects.get(object_uid)
-            if obj is not None:
+            if refresh_live and obj is not None:
                 stored = self.node.stable_store.read_committed(object_uid)
                 obj.restore_snapshot(stored.payload)
         if log_record:

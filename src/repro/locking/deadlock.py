@@ -79,6 +79,40 @@ class DeadlockDetector:
         graph = WaitsForGraph(self.registry.waits_for_edges())
         return graph.find_cycle()
 
+    def cycle_through(self, owner_uid: Uid) -> Optional[List[Uid]]:
+        """A current cycle that passes through ``owner_uid``, or None.
+
+        Used by the lock-conflict fast abort: when the request that just
+        queued closed a cycle through its own action, the wait is *certain*
+        to deadlock — there is no point parking it until the chaser or the
+        victim scan runs.  DFS restricted to paths reachable from the owner
+        that return to it.
+        """
+        graph = WaitsForGraph(self.registry.waits_for_edges())
+        if owner_uid not in graph.adjacency:
+            return None
+        stack: List[Tuple[Uid, List[Uid]]] = [
+            (owner_uid, sorted(graph.adjacency[owner_uid]))]
+        path = [owner_uid]
+        seen = {owner_uid}
+        while stack:
+            node, neighbours = stack[-1]
+            advanced = False
+            while neighbours:
+                nxt = neighbours.pop(0)
+                if nxt == owner_uid:
+                    return list(path)
+                if nxt not in seen:
+                    seen.add(nxt)
+                    path.append(nxt)
+                    stack.append((nxt, sorted(graph.adjacency[nxt])))
+                    advanced = True
+                    break
+            if not advanced:
+                stack.pop()
+                path.pop()
+        return None
+
     def choose_victim(self, cycle: Sequence[Uid]) -> Uid:
         """Youngest action (largest uid) in the cycle."""
         return max(cycle)

@@ -101,6 +101,11 @@ class LockRegistry:
                         labels["compatible"] = ",".join(sorted(
                             g for g in spec.groups
                             if spec.is_compatible(mode, g)))
+                        if spec.is_commuting(mode):
+                            # commute-path eligibility flows from the grant:
+                            # the auditor only accepts a local (no-prepare)
+                            # commit decision over grants carrying this flag
+                            labels["commuting"] = "1"
                     self.on_event("lock.granted", **labels)
             elif self.on_event is not None:
                 # refusal (timeout, deadlock victim, cancelled owner): the
@@ -169,13 +174,15 @@ class LockRegistry:
                 self._collect(object_uid, table)
         return dropped
 
-    def release_colour(self, owner_uid: Uid, colour) -> int:
-        """Read-only vote: drop the owner's records in ``colour`` everywhere.
+    def release_colour(self, owner_uid: Uid, colour,
+                       reason: str = "read-only-vote") -> int:
+        """Vote-time release: drop the owner's records in ``colour`` everywhere.
 
-        The 2PC read-only optimisation releases a participant's locks at
-        vote time; only records taken in the voted colour go — the owner may
-        still hold (and later route) records in other colours.  Returns the
-        number of records dropped.
+        Two 2PC shortcuts release a participant's locks at vote time: the
+        read-only optimisation and the commute path's local vote-and-apply
+        (``reason`` tells the event stream which).  Only records taken in
+        the voted colour go — the owner may still hold (and later route)
+        records in other colours.  Returns the number of records dropped.
         """
         dropped = 0
         for object_uid in sorted(self._held_by.get(owner_uid, set())):
@@ -194,7 +201,7 @@ class LockRegistry:
                         "lock.released", owner=str(owner_uid),
                         object=str(object_uid),
                         mode=_record_mode_label(record),
-                        colour=str(record.colour), reason="read-only-vote",
+                        colour=str(record.colour), reason=reason,
                     )
             dropped += table.release_colour(owner_uid, colour)
             if not table.records_of(owner_uid):

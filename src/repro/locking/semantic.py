@@ -39,22 +39,43 @@ class SemanticSpec:
     ``compatible`` lists unordered pairs that may run concurrently from
     *different* (non-ancestor) actions; everything else conflicts.  A group
     is compatible with itself only if the pair (g, g) is listed.
+
+    ``commuting`` names the subset of groups whose update operations are
+    *total and mutually commuting*: applying them in any order against any
+    reachable committed state yields the same result and cannot fail.
+    That is a strictly stronger contract than self-compatibility — it is
+    what lets the commit protocol decide such operations locally (the
+    "commute path") instead of running a prepare round, so a group may
+    only be declared commuting if it is also self-compatible.
     """
 
     groups: FrozenSet[str]
     compatible: FrozenSet[FrozenSet[str]]
+    commuting: FrozenSet[str] = frozenset()
 
     @classmethod
-    def build(cls, groups, compatible_pairs) -> "SemanticSpec":
+    def build(cls, groups, compatible_pairs,
+              commuting=()) -> "SemanticSpec":
         groups = frozenset(groups)
         pairs = frozenset(frozenset(pair) for pair in compatible_pairs)
         for pair in pairs:
             if not pair <= groups:
                 raise LockingError(f"compatibility pair {set(pair)} uses unknown groups")
-        return cls(groups=groups, compatible=pairs)
+        commuting = frozenset(commuting)
+        for group in commuting:
+            if group not in groups:
+                raise LockingError(
+                    f"commuting declaration names unknown group {group!r}")
+            if frozenset((group, group)) not in pairs:
+                raise LockingError(
+                    f"commuting group {group!r} must be self-compatible")
+        return cls(groups=groups, compatible=pairs, commuting=commuting)
 
     def is_compatible(self, group_a: str, group_b: str) -> bool:
         return frozenset((group_a, group_b)) in self.compatible
+
+    def is_commuting(self, group: str) -> bool:
+        return group in self.commuting
 
     def validate_group(self, group: str) -> None:
         if group not in self.groups:
@@ -193,6 +214,17 @@ class SemanticLockTable:
     def release_all(self, owner_uid: Uid) -> int:
         before = len(self.holders)
         self.holders = [r for r in self.holders if r.owner.uid != owner_uid]
+        dropped = before - len(self.holders)
+        if dropped:
+            self._wake()
+        return dropped
+
+    def release_colour(self, owner_uid: Uid, colour: Colour) -> int:
+        """Vote-time release (read-only vote, commute decision): only the
+        owner's records in ``colour`` go; other colours stay routable."""
+        before = len(self.holders)
+        self.holders = [r for r in self.holders
+                        if r.owner.uid != owner_uid or r.colour != colour]
         dropped = before - len(self.holders)
         if dropped:
             self._wake()

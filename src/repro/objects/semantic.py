@@ -52,6 +52,7 @@ def with_retain_group(spec: SemanticSpec) -> SemanticSpec:
     return SemanticSpec(
         groups=spec.groups | {RETAIN_GROUP},
         compatible=spec.compatible,
+        commuting=spec.commuting,
     )
 
 
@@ -79,13 +80,31 @@ class SemanticLockableObject(StateManager):
             getattr(self, method_name)(result, *args, **kwargs)
 
 
-def semantic_operation(group: str, inverse: Optional[str] = None) -> Callable:
+def semantic_operation(group: str, inverse: Optional[str] = None,
+                       merge: Optional[str] = None,
+                       committed: Optional[str] = None,
+                       redo: Optional[str] = None) -> Callable:
     """Declare an operation in a semantic group.
 
     ``inverse`` names a compensating method ``def _undo_x(self, result,
     *args, **kwargs)`` — required for any group that modifies state, since
     before-images cannot coexist with concurrent compatible updates.
     The decorated method takes the usual ``colour=``/``action=`` kwargs.
+
+    Two optional hooks serve the commit protocol's *commute path* (the
+    operation-logged redo sketched in the module docstring): ``merge``
+    names a method ``def _merge_x(self, *args)`` that applies just the
+    operation's durable effect to a committed state — no availability
+    bookkeeping, no preconditions (commuting operations are total by
+    declaration); when omitted, the operation body itself is re-run.
+    ``committed`` names a method ``def _settle_x(self, *args)`` invoked on
+    the *live* instance once the operation's transaction commits, for
+    types whose in-memory bookkeeping distinguishes committed from pending
+    effects (e.g. escrow availability).  ``redo`` names a method applying
+    the full, already-settled effect to a live instance that never saw the
+    operation execute (a participant redoing a committed colour after a
+    restart): effect *and* bookkeeping, but no precondition check and no
+    later ``committed`` hook; defaults to ``merge``, then to the body.
     """
 
     def wrap(fn: Callable) -> Callable:
@@ -111,6 +130,9 @@ def semantic_operation(group: str, inverse: Optional[str] = None) -> Callable:
         method.__repro_group__ = group
         method.__repro_inverse__ = inverse
         method.__repro_body__ = fn
+        method.__repro_merge__ = merge
+        method.__repro_committed__ = committed
+        method.__repro_redo__ = redo if redo is not None else merge
         return method
 
     return wrap

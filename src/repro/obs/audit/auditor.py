@@ -19,8 +19,9 @@ and incrementally checks the paper's per-colour claims (§5.1):
   presumed abort never contradicting a logged commit, no in-doubt
   commit-voter once the coordinator has logged its end, fast-path
   (piggybacked / one-phase) decisions only with every other participant's
-  affirmative vote in evidence, and no read-only voter driven through
-  phase two;
+  affirmative vote in evidence, no read-only voter driven through phase
+  two, and commute-path (local, no-prepare) decisions only over
+  commuting-flagged grants with no exclusive data record in the colour;
 - **failure atomicity** — an aborted colour leaves no stable effects; a
   colour can only be made permanent by an action that possesses it.
 
@@ -95,6 +96,9 @@ class InvariantAuditor:
         self._held: Dict[Tuple[str, str], Dict[str, Dict[str, str]]] = {}
         #: (node, owner) -> seq of first release/inheritance (shrink phase)
         self._closed: Dict[Tuple[str, str], int] = {}
+        #: (node, owner, colour, group) flagged ``commuting`` at grant time
+        #: — the evidence a commute-path local decision must rest on
+        self._commuting: Set[Tuple[str, str, str, str]] = set()
         #: (object, colour) -> [(seq, owner, mode)] grant history
         self._accesses: Dict[Tuple[str, str], List[Tuple[int, str, str]]] = {}
         self._max_accesses = max_accesses
@@ -230,6 +234,8 @@ class InvariantAuditor:
         elif event.label("semantic") is not None:
             self._check_semantic_grant(seq, event, node, owner, obj, mode,
                                        colour, held)
+            if event.label("commuting") is not None:
+                self._commuting.add((node, owner, colour, mode))
         own = held.setdefault(owner, {})
         if mode in DATA_MODES and own.get(colour) in DATA_MODES:
             own[colour] = max((own[colour], mode),
@@ -357,6 +363,7 @@ class InvariantAuditor:
             del self._held[key]
         for key in [k for k in self._closed if k[0] == node]:
             del self._closed[key]
+        self._commuting = {k for k in self._commuting if k[0] != node}
 
     # -- commit routing / permanence ------------------------------------------
 
@@ -471,13 +478,13 @@ class InvariantAuditor:
                 event_seqs=(state.decisions[opposite], seq),
             )
         if decision == "commit":
-            # read-only is affirmative: the voter consented and left the
-            # protocol, it does not gate the decision
+            # read-only and commute are affirmative: the voter consented
+            # and left the protocol, it does not gate the decision
             negative = [
                 (node, vote, vseq)
                 for node, votes in state.votes.items()
                 for vote, vseq in votes
-                if vote not in ("commit", "read-only")
+                if vote not in ("commit", "read-only", "commute")
             ]
             if negative:
                 node, vote, vseq = negative[0]
@@ -489,14 +496,19 @@ class InvariantAuditor:
                     colour=state.colour, event_seqs=(vseq, seq),
                 )
         fast_path = str(event.label("fast_path", ""))
-        if decision == "commit" and fast_path and state.participants:
+        if decision == "commit" and fast_path == "commute":
+            # commute decisions are taken locally and concurrently at every
+            # participant — there is no vote quorum to check; their
+            # soundness rests on the commutativity of the colour instead
+            self._check_commute_decision(seq, event, state)
+        elif decision == "commit" and fast_path and state.participants:
             # a fast-path decision is taken *at a participant*: it is only
             # sound if the coordinator delegated it after collecting every
             # other participant's affirmative vote
             decider = str(event.label("node", ""))
             missing = sorted(
                 p for p in state.participants - {decider}
-                if not any(vote in ("commit", "read-only")
+                if not any(vote in ("commit", "read-only", "commute")
                            for vote, _ in state.votes.get(p, []))
             )
             if missing:
@@ -509,6 +521,43 @@ class InvariantAuditor:
                     colour=state.colour, event_seqs=(seq,),
                 )
         state.decisions.setdefault(decision, seq)
+
+    def _check_commute_decision(self, seq: int, event: ObsEvent,
+                                state: _TxnState) -> None:
+        """A local (no-prepare) commute decision is only sound when the
+        colour is fully commuting at the decider: every operation group it
+        applied was granted with the registry's ``commuting`` flag, and
+        the action holds no exclusive data-mode record in the deciding
+        colour there (a plain WRITE means classic 2PC was required)."""
+        node = str(event.label("node", ""))
+        owner = str(event.label("action", ""))
+        colour = str(event.label("colour", ""))
+        if not node or not owner:
+            return
+        for group in str(event.label("groups", "")).split(","):
+            if group and (node, owner, colour, group) not in self._commuting:
+                self._finding(
+                    F.COMMUTE_UNSOUND,
+                    f"{state.txn} decided commit locally (commute path) at "
+                    f"{node} applying group {group}, which was never "
+                    f"granted to {owner} with the commuting flag",
+                    tick=event.tick, txn=state.txn, node=node,
+                    colour=colour, action=owner, event_seqs=(seq,),
+                )
+        for (held_node, obj), holders in sorted(self._held.items()):
+            if held_node != node:
+                continue
+            mode = holders.get(owner, {}).get(colour)
+            if mode in EXCLUSIVE_MODES:
+                self._finding(
+                    F.COMMUTE_UNSOUND,
+                    f"{state.txn} decided commit locally (commute path) at "
+                    f"{node} although {owner} holds exclusive {mode} on "
+                    f"{obj} in the deciding colour",
+                    tick=event.tick, txn=state.txn, node=node,
+                    colour=colour, action=owner, object=obj,
+                    event_seqs=(seq,),
+                )
 
     def _on_twopc_commit(self, seq: int, event: ObsEvent) -> None:
         state = self._txn(event)

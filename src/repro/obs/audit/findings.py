@@ -47,6 +47,11 @@ FAST_PATH_NO_QUORUM = "fast-path-decision-without-quorum"
 #: a participant that voted read-only (and therefore left the protocol at
 #: vote time) was nevertheless driven through phase two.
 READ_ONLY_IN_PHASE_TWO = "read-only-participant-in-phase-two"
+#: a commute-path (local, no-prepare) commit decision was taken although
+#: the colour was not fully commuting at the decider: an applied operation
+#: group lacked a commuting-flagged grant, or the action held an exclusive
+#: data-mode record in the deciding colour.
+COMMUTE_UNSOUND = "commute-decision-not-commuting"
 
 ALL_KINDS = (
     TWO_PHASE,
@@ -62,6 +67,7 @@ ALL_KINDS = (
     IN_DOUBT_AFTER_END,
     FAST_PATH_NO_QUORUM,
     READ_ONLY_IN_PHASE_TWO,
+    COMMUTE_UNSOUND,
 )
 
 

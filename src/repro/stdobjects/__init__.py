@@ -8,8 +8,10 @@ inside atomic, serializing, glued or independent actions without change.
 from repro.stdobjects.counter import Counter
 from repro.stdobjects.register import Register
 from repro.stdobjects.account import Account
+from repro.stdobjects.appendlog import AppendLog
 from repro.stdobjects.commuting import CommutingCounter
 from repro.stdobjects.directory import Directory
+from repro.stdobjects.escrow import EscrowAccount
 from repro.stdobjects.fifo import FifoQueue
 from repro.stdobjects.file import FileObject
 from repro.stdobjects.diary import Diary, DiarySlot
@@ -18,8 +20,10 @@ __all__ = [
     "Counter",
     "Register",
     "Account",
+    "AppendLog",
     "CommutingCounter",
     "Directory",
+    "EscrowAccount",
     "FifoQueue",
     "FileObject",
     "Diary",

@@ -1,0 +1,70 @@
+"""An append-only log whose appends commute across actions.
+
+FIFO *appends* are order-insensitive for readers that treat the log as a
+set of entries (mailboxes, audit trails, the bulletin board's post
+stream): two producers appending concurrently interfere with neither the
+entries nor each other, only the arbitrary interleaving order.  Declaring
+``append`` commuting lets the commit protocol decide such transactions
+locally (commute path) instead of running a prepare round — the entry
+order then follows commit order rather than invocation order, which is
+exactly the contract an unordered append-set offers.
+
+Contrast :class:`~repro.stdobjects.fifo.FifoQueue`, whose *consumers*
+(``pop``) do conflict and therefore keep classic WRITE locking.
+"""
+
+from __future__ import annotations
+
+from typing import ClassVar, List
+
+from repro.locking.semantic import SemanticSpec
+from repro.objects.semantic import SemanticLockableObject, semantic_operation
+from repro.objects.state import ObjectState
+
+
+class AppendLog(SemanticLockableObject):
+    """Append-only entry log with commuting appends."""
+
+    type_name: ClassVar[str] = "append_log"
+
+    SEMANTICS: ClassVar[SemanticSpec] = SemanticSpec.build(
+        groups={"observe", "append"},
+        compatible_pairs=[
+            ("observe", "observe"),
+            ("append", "append"),     # producers never conflict
+        ],
+        commuting={"append"},
+    )
+
+    def __init__(self, runtime, uid=None, persist: bool = True):
+        self.entries: List = []
+        super().__init__(runtime, uid=uid, persist=persist)
+
+    def save_state(self, state: ObjectState) -> None:
+        state.pack_value(list(self.entries))
+
+    def restore_state(self, state: ObjectState) -> None:
+        self.entries = list(state.unpack_value())
+
+    # -- operations ------------------------------------------------------------
+
+    @semantic_operation("observe")
+    def length(self) -> int:
+        return len(self.entries)
+
+    @semantic_operation("observe")
+    def read(self) -> List:
+        return list(self.entries)
+
+    @semantic_operation("append", inverse="_undo_append")
+    def append(self, entry) -> int:
+        self.entries.append(entry)
+        return len(self.entries)
+
+    def _undo_append(self, result: int, entry) -> None:
+        # compensate by value, not position: a concurrent committed append
+        # may have shifted indices since this action's write
+        for index in range(len(self.entries) - 1, -1, -1):
+            if self.entries[index] == entry:
+                del self.entries[index]
+                return

@@ -28,6 +28,9 @@ class CommutingCounter(SemanticLockableObject):
             ("observe", "observe"),   # reads share, as always
             ("update", "update"),     # add/subtract commute across actions
         ],
+        # add/subtract are total (no preconditions) and order-independent,
+        # so the commit protocol may decide them locally (commute path)
+        commuting={"update"},
     )
 
     def __init__(self, runtime, value: int = 0, uid=None, persist: bool = True):

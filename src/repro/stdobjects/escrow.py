@@ -1,0 +1,118 @@
+"""An account with escrow-split debits (the classic escrow-lock design).
+
+:class:`~repro.stdobjects.account.Account` serializes every deposit and
+withdrawal under WRITE locks.  :class:`EscrowAccount` instead splits the
+balance into a committed-spendable part (``escrow_available``) and
+pending effects: a debit *reserves* its amount out of the available funds
+at execute time, so two debits from different actions commute whenever
+both reservations fit — the bound check happens once, up front, and
+re-applying the debit against any committed state the protocol can reach
+is then guaranteed to succeed.  Credits always commute; their amount only
+becomes spendable once the crediting transaction commits (the
+``committed`` hook), so an aborted credit can never have backed a debit.
+
+This is what makes ``debit``/``credit`` safe to declare ``commuting``:
+the commit protocol's commute path decides them locally and merges their
+effects without a prepare round (see docs/PROTOCOL.md §"commute path").
+"""
+
+from __future__ import annotations
+
+from typing import ClassVar
+
+from repro.locking.semantic import SemanticSpec
+from repro.objects.semantic import SemanticLockableObject, semantic_operation
+from repro.objects.state import ObjectState
+from repro.stdobjects.account import InsufficientFunds
+
+
+class EscrowAccount(SemanticLockableObject):
+    """Balance with escrow-reserved debits and deferred-spend credits."""
+
+    type_name: ClassVar[str] = "escrow_account"
+
+    SEMANTICS: ClassVar[SemanticSpec] = SemanticSpec.build(
+        groups={"observe", "update"},
+        compatible_pairs=[
+            ("observe", "observe"),
+            ("update", "update"),     # escrow-bounded debits/credits commute
+        ],
+        commuting={"update"},
+    )
+
+    def __init__(self, runtime, owner: str = "", balance: int = 0,
+                 uid=None, persist: bool = True):
+        self.owner = owner
+        self.balance = balance
+        #: committed funds not yet reserved by a pending debit.  Pending
+        #: credits are excluded until their transaction commits, so this
+        #: never overstates what a debit may safely draw on.
+        self.escrow_available = balance
+        super().__init__(runtime, uid=uid, persist=persist)
+
+    def save_state(self, state: ObjectState) -> None:
+        state.pack_string(self.owner)
+        state.pack_int(self.balance)
+
+    def restore_state(self, state: ObjectState) -> None:
+        self.owner = state.unpack_string()
+        self.balance = state.unpack_int()
+        # committed states carry no pending operations: everything in the
+        # balance is spendable again
+        self.escrow_available = self.balance
+
+    # -- operations ------------------------------------------------------------
+
+    @semantic_operation("observe")
+    def read_balance(self) -> int:
+        return self.balance
+
+    @semantic_operation("observe")
+    def available(self) -> int:
+        return self.escrow_available
+
+    @semantic_operation("update", inverse="_undo_debit", merge="_merge_debit",
+                        redo="_redo_debit")
+    def debit(self, amount: int) -> int:
+        if amount > self.escrow_available:
+            raise InsufficientFunds(
+                f"{self.owner or self.uid}: debit {amount} > "
+                f"available {self.escrow_available}"
+            )
+        self.escrow_available -= amount
+        self.balance -= amount
+        return self.balance
+
+    def _undo_debit(self, result: int, amount: int) -> None:
+        self.escrow_available += amount
+        self.balance += amount
+
+    def _merge_debit(self, amount: int) -> None:
+        self.balance -= amount
+
+    def _redo_debit(self, amount: int) -> None:
+        # restart redo: the decision already committed, so no bound check —
+        # the reservation made at execute time died with the old epoch
+        self.escrow_available -= amount
+        self.balance -= amount
+
+    @semantic_operation("update", inverse="_undo_credit",
+                        merge="_merge_credit", committed="_settle_credit",
+                        redo="_redo_credit")
+    def credit(self, amount: int) -> int:
+        self.balance += amount
+        return self.balance
+
+    def _undo_credit(self, result: int, amount: int) -> None:
+        self.balance -= amount
+
+    def _merge_credit(self, amount: int) -> None:
+        self.balance += amount
+
+    def _settle_credit(self, amount: int) -> None:
+        self.escrow_available += amount
+
+    def _redo_credit(self, amount: int) -> None:
+        # restart redo applies the committed effect already settled
+        self.escrow_available += amount
+        self.balance += amount

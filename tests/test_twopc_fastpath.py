@@ -36,7 +36,7 @@ def metric_sum(cluster, name, **match):
 
 def assert_audit_clean(cluster):
     findings = cluster.obs.auditor.report()
-    assert findings == [], [f.as_dict() for f in findings]
+    assert findings == [], [f.to_dict() for f in findings]
 
 
 # -- success paths -----------------------------------------------------------
