@@ -110,6 +110,10 @@ def _contention_run(seed: int, objects: int, workers: int, ops: int,
     sampler, recorder = cluster.attach_perf(interval=5.0, seed=seed,
                                             process_probes=metered)
     postmortem = cluster.attach_postmortem()
+    # the metered level also carries the introspection prober, so the
+    # obs-share budget below covers live status_query fan-outs too
+    inspector = cluster.attach_introspection(interval=10.0) if metered \
+        else None
     refs: List[Any] = []
     outcomes = {"committed": 0, "aborted": 0}
 
@@ -151,6 +155,10 @@ def _contention_run(seed: int, objects: int, workers: int, ops: int,
     cluster.run()
     if meter is not None:
         meter.detach()
+    if inspector is not None:
+        # probing a healthy contended cluster must never invent drift
+        assert inspector.drift == [], [str(d) for d in inspector.drift]
+        assert inspector.probes > 0
     total = sum(_stable_int(cluster, ref) for ref in refs)
     assert total == outcomes["committed"] * 2 or len(refs) == 1, (
         total, outcomes)
@@ -160,7 +168,7 @@ def _contention_run(seed: int, objects: int, workers: int, ops: int,
     _check_attribution(cluster, postmortem, outcomes)
     return {
         "cluster": cluster, "sampler": sampler, "recorder": recorder,
-        "meter": meter, "postmortem": postmortem,
+        "meter": meter, "postmortem": postmortem, "inspector": inspector,
         "committed": outcomes["committed"], "aborted": outcomes["aborted"],
         "elapsed": cluster.kernel.now,
         "lock_wait_mean": (wait_sum / wait_count) if wait_count else 0.0,
@@ -208,6 +216,8 @@ def scenario_contention_sweep(seed: int = 11) -> Dict[str, Any]:
                 run["sampler"].points)
             metrics["max_contention.ring_events"] = len(
                 run["recorder"].ring_events())
+            metrics["max_contention.introspect_probes"] = (
+                run["inspector"].probes)
             report = run["meter"].report()
             # the full obs stack (auditor + sampler + flight recorder +
             # postmortem engine) must stay within the documented budget

@@ -9,7 +9,10 @@ glued-colour hand-off), then shows every exporter:
 - the distributed span tree, stitched client -> transport -> server,
 - the ASCII span timeline,
 - a Chrome ``chrome://tracing`` / Perfetto JSON trace,
-- a saved trace document replayed through ``python -m repro.obs.report``.
+- a saved trace document replayed through ``python -m repro.obs.report``,
+- live introspection: a ClusterInspector probing the cluster through a
+  partition (healthy -> degraded/stalled -> recovered) with the operator
+  console frames rendered inline.
 
 Run:  python examples/observability_tour.py
 """
@@ -19,6 +22,7 @@ import tempfile
 from pathlib import Path
 
 from repro.cluster.cluster import Cluster
+from repro.obs.introspect import render_snapshot
 from repro.obs.report import main as report_main
 
 
@@ -100,6 +104,25 @@ def main() -> None:
           "--metrics-only")
     print("=" * 72)
     report_main([str(trace_path), "--metrics-only"])
+
+    print()
+    print("=" * 72)
+    print("6. live introspection: partition the vault, watch the verdict "
+          "turn")
+    print("=" * 72)
+    inspector = cluster.attach_introspection(interval=0)
+    frames = [("all links up", inspector.probe_once())]
+    cluster.network.partition("teller", "vault")
+    cluster.run(until=cluster.kernel.now + 1.0)
+    frames.append(("teller/vault partitioned", inspector.probe_once()))
+    cluster.network.heal_all()
+    frames.append(("healed", inspector.probe_once()))
+    for title, snapshot in frames:
+        print(f"\n--- {title} ---")
+        for line in render_snapshot(snapshot):
+            print(line)
+    print("\n(the same frames, plus drift injection, via: "
+          "python -m repro.obs.top --arm partition --watch)")
 
 
 if __name__ == "__main__":

@@ -195,6 +195,16 @@ class ClusterClient:
         #: tracing/metrics observers (see repro.trace) — notified on action
         #: creation and termination
         self.observers: list = []
+        # -- coordinator-side view, read by the introspection layer --------
+        #: uid -> live (untermined) ClusterAction; the client half of the
+        #: "no txn a server thinks is in-flight that the client thinks is
+        #: finished" cross-check
+        self.live_actions: Dict[Uid, ClusterAction] = {}
+        #: txn_id -> {"state": decided|delegated|ended, "tick": when};
+        #: mirrors the coordinator WAL's decision records with timestamps
+        self.txn_log: Dict[str, Dict[str, Any]] = {}
+        #: node -> termination reapers currently retrying against it
+        self.reaper_backlog: Dict[str, int] = {}
 
     def add_observer(self, observer) -> None:
         self.observers.append(observer)
@@ -257,13 +267,27 @@ class ClusterClient:
         )
 
     def _notify_created(self, action: ClusterAction) -> ClusterAction:
+        self.live_actions[action.uid] = action
         for observer in self.observers:
             observer.on_action_created(action)
         return action
 
     def _notify_terminated(self, action: ClusterAction) -> None:
+        self.live_actions.pop(action.uid, None)
         for observer in self.observers:
             observer.on_action_terminated(action)
+
+    def _note_txn(self, txn_id: str, state: str) -> None:
+        """Record a coordinator-side transaction transition for introspection.
+
+        Tracks what this client believes about each transaction it drove
+        (``decided`` — commit/abort logged here; ``delegated`` — outcome
+        durable at the last agent; ``ended`` — every participant acked).
+        The ClusterInspector cross-checks these against what servers report
+        as still in flight; an ``ended``/long-``decided`` transaction a
+        server still holds prepared is a drift.
+        """
+        self.txn_log[txn_id] = {"state": state, "tick": self.kernel.now}
 
     # -- action factories -----------------------------------------------------
 
@@ -591,10 +615,24 @@ class ClusterClient:
         return Outcome.ABORTED
 
     def _spawn_reaper(self, node_name: str, calls, label: str) -> None:
-        self.kernel.spawn(
-            self._reap_termination(node_name, calls),
-            name=f"reap-{label}@{node_name}",
-        )
+        def reap_and_account():
+            # backlog bookkeeping brackets the reaper's whole life so the
+            # introspection layer can report how many terminations are
+            # still being chased per node (kill/crash included: the
+            # generator's close() runs the finally block)
+            self.reaper_backlog[node_name] = (
+                self.reaper_backlog.get(node_name, 0) + 1)
+            try:
+                result = yield from self._reap_termination(node_name, calls)
+            finally:
+                remaining = self.reaper_backlog.get(node_name, 1) - 1
+                if remaining > 0:
+                    self.reaper_backlog[node_name] = remaining
+                else:
+                    self.reaper_backlog.pop(node_name, None)
+            return result
+
+        self.kernel.spawn(reap_and_account(), name=f"reap-{label}@{node_name}")
         if self.obs is not None:
             self.obs.count("termination_reapers_total", node=node_name)
 
@@ -810,6 +848,7 @@ class ClusterClient:
         for txn_id, parts in decided:
             if parts <= acked:
                 self.node.wal.append("coord_end", txn_id=txn_id)
+                self._note_txn(txn_id, "ended")
                 if self.obs is not None:
                     self.obs.emit("twopc.end", txn=txn_id,
                                   node=self.node.name)
@@ -857,6 +896,7 @@ class ClusterClient:
         for txn_id, parts in decided:
             if parts <= acked:
                 self.node.wal.append("coord_end", txn_id=txn_id)
+                self._note_txn(txn_id, "ended")
                 if self.obs is not None:
                     self.obs.emit("twopc.end", txn=txn_id,
                                   node=self.node.name)
@@ -1030,6 +1070,7 @@ class ClusterClient:
         # wait for, and a durable decision lets an unreachable participant
         # be converged later by redelivery instead of presumed abort
         self.node.wal.append("coord_commit", txn_id=txn_id, commute=True)
+        self._note_txn(txn_id, "decided")
         if self.obs is not None:
             self.obs.emit("twopc.decision", txn=txn_id, decision="commit",
                           node=self.node.name, commute="1")
@@ -1102,6 +1143,7 @@ class ClusterClient:
                            outcome="committed")
         if acked >= set(participants):
             self.node.wal.append("coord_end", txn_id=txn_id)
+            self._note_txn(txn_id, "ended")
             if self.obs is not None:
                 self.obs.emit("twopc.end", txn=txn_id, node=self.node.name)
         if span is not None:
@@ -1213,6 +1255,7 @@ class ClusterClient:
             # decision: commit — logged before any participant is told.
             # The caller delivers it inside the merged finish batch.
             self.node.wal.append("coord_commit", txn_id=txn_id)
+            self._note_txn(txn_id, "decided")
             if self.obs is not None:
                 self.obs.count("twopc_rounds_total", colour=str(colour),
                                outcome="committed")
@@ -1229,6 +1272,7 @@ class ClusterClient:
         fast_kind = "one_phase" if len(participants) == 1 else "piggyback"
         self.node.wal.append("coord_delegated", txn_id=txn_id,
                              last_agent=last_agent)
+        self._note_txn(txn_id, "delegated")
         payload = self._prepare_payload(
             action, txn_id, colour, last_agent, write_map[last_agent])
         payload["decide"] = True
@@ -1275,6 +1319,7 @@ class ClusterClient:
                 "coord_abort", where=lambda r: r.payload["txn_id"] == txn_id
             ) is None:
                 self.node.wal.append("coord_abort", txn_id=txn_id)
+                self._note_txn(txn_id, "decided")
             if self.obs is not None:
                 self.obs.count("twopc_rounds_total", colour=str(colour),
                                outcome="aborted")
@@ -1290,6 +1335,7 @@ class ClusterClient:
             "coord_commit", where=lambda r: r.payload["txn_id"] == txn_id
         ) is None:
             self.node.wal.append("coord_commit", txn_id=txn_id)
+            self._note_txn(txn_id, "decided")
         # lazily acknowledge the delegate's COMMITTED record on the next
         # prepare we send it, so its checkpoint can drop the record
         self._pending_forget.setdefault(last_agent, []).append(txn_id)
@@ -1443,6 +1489,7 @@ class ClusterClient:
                              for p in r["participants"])
             if failed_index is None and all_commit:
                 self.node.wal.append("coord_commit", txn_id=r["txn_id"])
+                self._note_txn(r["txn_id"], "decided")
                 if self.obs is not None:
                     self.obs.count("twopc_rounds_total",
                                    colour=str(r["colour"]),

@@ -99,6 +99,11 @@ class Cluster:
         self._action_uids = UidGenerator("caction")
         self.colours = ColourAllocator("ccolour")
         self._observers: list = []
+        #: every client created via :meth:`client`, in creation order; the
+        #: introspection layer reads their coordinator-side views (live
+        #: actions, txn decision log, reaper backlog) to cross-check what
+        #: servers report.
+        self.clients: list = []
 
     # -- topology ------------------------------------------------------------
 
@@ -155,6 +160,7 @@ class Cluster:
         client.add_observer(ObservabilityBridge(self.obs, node=node_name))
         for observer in self._observers:
             client.add_observer(observer)
+        self.clients.append(client)
         return client
 
     def add_observer(self, observer) -> None:
@@ -196,7 +202,7 @@ class Cluster:
         sampler.add_probe("prepared_txns", lambda: sum(
             len(s.prepared) for s in self.servers.values()))
         sampler.add_probe("pending_rpcs", lambda: sum(
-            len(t._pending) for t in self.transports.values()))
+            t.pending_count() for t in self.transports.values()))
         sampler.attach(self.kernel)
         recorder = FlightRecorder(self.obs, capacity=recorder_capacity,
                                   sample_rate=sample_rate, seed=seed)
@@ -221,6 +227,35 @@ class Cluster:
                                   max_records=max_records)
         engine.attach(self.obs)
         return engine
+
+    def attach_introspection(self, interval: float = 10.0,
+                             probe_timeout: float = 3.0,
+                             queue_depth_threshold: int = 8,
+                             in_doubt_age_threshold: float = 50.0,
+                             max_snapshots: int = 32):
+        """Attach the live-introspection layer (``repro.obs.introspect``).
+
+        Wires a :class:`~repro.obs.introspect.ClusterInspector` to this
+        cluster: it fans ``status_query`` probes out to every server,
+        stitches the answers into one cluster snapshot, cross-checks them
+        against the coordinator-side view (drift detection) and derives a
+        per-server health verdict (``cluster_health`` gauge).  ``interval``
+        > 0 starts a periodic probe on the sim clock (first probe fires
+        immediately); pass ``interval=0`` for manual probing via
+        :meth:`~repro.obs.introspect.ClusterInspector.probe_once`.  Returns
+        the inspector; it also hangs off ``cluster.obs.inspector`` and its
+        snapshots are included in ``obs.save()`` dumps.
+        """
+        from repro.obs.introspect import ClusterInspector
+
+        inspector = ClusterInspector(
+            self, probe_timeout=probe_timeout,
+            queue_depth_threshold=queue_depth_threshold,
+            in_doubt_age_threshold=in_doubt_age_threshold,
+            max_snapshots=max_snapshots)
+        if interval and interval > 0:
+            inspector.attach(interval=interval)
+        return inspector
 
     def metrics_dump(self) -> Dict:
         """One JSON-able snapshot of every metric, kernel and network stat."""

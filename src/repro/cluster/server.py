@@ -192,6 +192,11 @@ class ObjectServer:
         self.mirrors: Dict[Uid, ActionMirror] = {}
         self.prepared: Dict[str, Dict[str, Any]] = {}
         self.in_doubt_objects: Set[Uid] = set()
+        #: txn_id -> {coordinator, object_uids, since} for transactions
+        #: recovered in doubt (PREPARED on the log, no decision yet); the
+        #: introspection layer reports these with their age.  Mirrors the
+        #: lifetime of the corresponding ``in_doubt_objects`` fences.
+        self.in_doubt_txns: Dict[str, Dict[str, Any]] = {}
         #: txn_ids whose piggybacked (delegated) commit the coordinator has
         #: acknowledged — lazily, as ``forget`` lists riding later prepares.
         #: Volatile on purpose: the checkpoint rewrite is the durability
@@ -214,6 +219,7 @@ class ObjectServer:
             ("txn_abort", self._h_txn_abort),
             ("txn_decision_query", self._h_txn_decision_query),
             ("txn_outcome_query", self._h_txn_outcome_query),
+            ("status_query", self._h_status_query),
         ]:
             transport.register(kind, handler)
         node.add_recovery_hook(self._recover)
@@ -703,6 +709,7 @@ class ObjectServer:
             "action_uid": action_uid,
             "colour": colour,
             "object_uids": sorted(wanted),
+            "since": self.kernel.now,
         }
         if self.obs is not None:
             self.obs.count("twopc_prepared_total", node=self.node.name,
@@ -956,6 +963,7 @@ class ObjectServer:
                 self.obs.count("twopc_aborted_total", node=self.node.name)
             for object_uid in info["object_uids"]:
                 self.in_doubt_objects.discard(object_uid)
+        self.in_doubt_txns.pop(txn_id, None)
         if self.node.wal.last(
             "aborted", where=lambda r: r.payload["txn_id"] == txn_id
         ) is None:  # reaper retries use fresh rpc ids; log once
@@ -1071,6 +1079,7 @@ class ObjectServer:
     def _apply_commit(self, txn_id: str, info: Dict[str, Any],
                       log_record: bool = True,
                       refresh_live: bool = True) -> None:
+        self.in_doubt_txns.pop(txn_id, None)
         for object_uid in info["object_uids"]:
             self.node.stable_store.commit_shadow(object_uid)
             self.in_doubt_objects.discard(object_uid)
@@ -1106,6 +1115,85 @@ class ObjectServer:
             "colour": None,
             "object_uids": [decode_uid(raw) for raw in record.payload["object_uids"]],
         }
+
+    # -- introspection -----------------------------------------------------------------
+
+    def status_summary(self) -> Dict[str, Any]:
+        """The live :class:`ServerStatus` image served to ``status_query``.
+
+        One synchronous pass over the volatile structures — lock registry,
+        action mirrors, prepared/in-doubt transactions — plus the stable
+        log's shape.  Strictly read-only: no locks are taken, nothing is
+        activated or mutated, so probing a server mid-protocol can never
+        perturb the protocol (the introspection layer's contract).
+        """
+        now = self.kernel.now
+        wal = self.node.wal.summary()
+        checkpoint = self.node.wal.last("checkpoint")
+        wal["checkpoint_lsn"] = checkpoint.lsn if checkpoint is not None else 0
+        in_flight = []
+        for txn_id in sorted(self.prepared):
+            info = self.prepared[txn_id]
+            object_uids = info.get("object_uids", [])
+            in_doubt = any(uid in self.in_doubt_objects for uid in object_uids)
+            in_flight.append({
+                "txn": txn_id,
+                "phase": "in-doubt" if in_doubt else "prepared",
+                "colour": str(info["colour"]) if info.get("colour") else "",
+                "action": (str(info["action_uid"])
+                           if info.get("action_uid") else ""),
+                "objects": len(object_uids),
+                "age": now - info.get("since", now),
+            })
+        for txn_id in sorted(self.in_doubt_txns):
+            if txn_id in self.prepared:
+                continue
+            info = self.in_doubt_txns[txn_id]
+            in_flight.append({
+                "txn": txn_id,
+                "phase": "in-doubt",
+                "colour": "",
+                "action": "",
+                "coordinator": info.get("coordinator", ""),
+                "objects": len(info.get("object_uids", [])),
+                "age": now - info.get("since", now),
+            })
+        mirrors = [
+            {
+                "action": str(mirror.uid),
+                "name": f"caction-{mirror.uid.sequence}",
+                "home": mirror.home,
+                "colours": sorted(str(c) for c in mirror.colours),
+                "depth": len(mirror.path),
+                "age": now - mirror.created_tick,
+            }
+            for uid in sorted(self.mirrors)
+            for mirror in (self.mirrors[uid],)
+        ]
+        return {
+            "node": self.node.name,
+            "epoch": self.node.epoch,
+            "now": now,
+            "wal": wal,
+            "objects": len(self.objects),
+            "locks": self.registry.snapshot(),
+            "mirrors": mirrors,
+            "in_flight": in_flight,
+            "in_doubt_objects": sorted(str(u) for u in self.in_doubt_objects),
+            "forgotten": len(self.forgotten),
+            "invocations": self.invocations,
+            "lock_waits": self.lock_waits,
+            "pending_rpcs": self.transport.pending_count(),
+        }
+
+    def _h_status_query(self, message: Message, respond: Responder) -> None:
+        """Introspection probe: answer with the live state image, read-only.
+
+        Responds synchronously — a status query never waits on locks or
+        other transactions, so a probe cannot deadlock with (or delay) the
+        workload it is observing.
+        """
+        respond(True, self._ok({"status": self.status_summary()}))
 
     # -- log management ---------------------------------------------------------------
 
@@ -1176,6 +1264,7 @@ class ObjectServer:
         self.mirrors = {}
         self.prepared = {}
         self.in_doubt_objects = set()
+        self.in_doubt_txns = {}
         self.forgotten = set()
         decided = set()
         coord_decided = set()
@@ -1230,6 +1319,11 @@ class ObjectServer:
                                node=self.node.name)
         for txn_id, coordinator, object_uids in pending:
             self.in_doubt_objects.update(object_uids)
+            self.in_doubt_txns[txn_id] = {
+                "coordinator": coordinator,
+                "object_uids": list(object_uids),
+                "since": self.kernel.now,
+            }
             self.node.spawn(
                 self._resolve_in_doubt(txn_id, coordinator, object_uids),
                 name=f"resolve:{txn_id}",
@@ -1260,4 +1354,5 @@ class ObjectServer:
                                   node=self.node.name)
             for object_uid in object_uids:
                 self.in_doubt_objects.discard(object_uid)
+            self.in_doubt_txns.pop(txn_id, None)
             return decision

@@ -101,6 +101,15 @@ class RpcTransport:
         self._rpc_seq = itertools.count(1)
         node.add_dispatcher(self._dispatch)
 
+    def pending_count(self) -> int:
+        """RPCs issued from this transport still awaiting a reply.
+
+        A read-only depth probe for the perf sampler and the introspection
+        layer; counts calls in either phase (awaiting ACK or awaiting the
+        completion reply).
+        """
+        return len(self._pending)
+
     # -- server side -------------------------------------------------------------
 
     def register(self, kind: str, handler: Handler) -> None:

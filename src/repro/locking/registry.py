@@ -286,6 +286,33 @@ class LockRegistry:
                 return True
         return False
 
+    def snapshot(self) -> Dict[str, object]:
+        """Read-only image of every table plus the waits-for edges.
+
+        Built for the introspection layer: one pass over the live tables
+        (sorted by object uid for determinism), no locks taken, nothing
+        mutated.  ``waits_for`` carries the object each edge contends on so
+        a cluster-level stitcher can attribute the global graph.
+        """
+        objects = []
+        held = queued = 0
+        waits_for: List[Dict[str, str]] = []
+        for object_uid in sorted(self._tables):
+            table = self._tables[object_uid]
+            image = table.snapshot()
+            held += len(image["holders"])
+            queued += len(image["queued"])
+            objects.append(image)
+            for request in table.queue:
+                for holder_uid in table.blocked_on(request):
+                    waits_for.append({
+                        "waiter": str(request.owner.uid),
+                        "holder": str(holder_uid),
+                        "object": str(object_uid),
+                    })
+        return {"objects": objects, "held": held, "queued": queued,
+                "waits_for": waits_for}
+
     def waits_for_edges(self) -> List[Tuple[Uid, Uid]]:
         """(waiter, holder) edges across all tables, for deadlock detection."""
         edges: List[Tuple[Uid, Uid]] = []

@@ -44,6 +44,35 @@ class LockTable:
         """True when nothing is held or queued (table may be garbage collected)."""
         return not self.holders and not self.queue
 
+    def snapshot(self) -> Dict[str, object]:
+        """Read-only wire-friendly image of this table (introspection).
+
+        Walks ``holders`` and ``queue`` without mutating either — safe to
+        serve off the live structure mid-protocol.  Works for both data-mode
+        and semantic (operation-group) records: the mode label falls back to
+        the record's group name when there is no :class:`LockMode`.
+        """
+        def label(record) -> str:
+            mode = getattr(record, "mode", None)
+            value = getattr(mode, "value", None)
+            if value:
+                return str(value)
+            return str(getattr(record, "group", "") or mode or "")
+
+        return {
+            "object": str(self.object_uid),
+            "holders": [
+                {"owner": str(record.owner.uid), "mode": label(record),
+                 "colour": str(record.colour)}
+                for record in self.holders
+            ],
+            "queued": [
+                {"owner": str(queued.owner.uid), "mode": label(queued),
+                 "colour": str(queued.colour)}
+                for queued in self.queue
+            ],
+        }
+
     def blocked_on(self, request: LockRequest) -> List[Uid]:
         """Owner uids this queued request is currently waiting for.
 

@@ -54,6 +54,9 @@ class Observability:
         # causal-attribution attach point (repro.obs.postmortem); populated
         # by PostmortemEngine when one is attached to this hub.
         self.postmortem = None
+        # live-introspection attach point (repro.obs.introspect); populated
+        # by ClusterInspector when one is attached to this hub's cluster.
+        self.inspector = None
 
     def now(self) -> float:
         """Current time from the tick source (0.0 when none is attached)."""
@@ -126,6 +129,8 @@ class Observability:
             extra.setdefault("timeline", self.sampler.timeline())
         if self.postmortem is not None:
             extra.setdefault("postmortem", self.postmortem.dump())
+        if self.inspector is not None:
+            extra.setdefault("introspection", self.inspector.dump())
         return save_trace(path, tracer=self.tracer, metrics=self.metrics,
                           extra=extra or None,
                           events=self.auditor.event_dicts())

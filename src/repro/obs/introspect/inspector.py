@@ -1,0 +1,365 @@
+"""Live cluster introspection: health probes, snapshots, drift detection.
+
+A :class:`ClusterInspector` looks at a running cluster from the outside,
+through the same at-most-once RPC plane the workload uses: it fans a
+``status_query`` out to every server (one batched probe per node, from an
+observer vantage on the first live node), stitches the per-server answers
+into one :data:`ClusterSnapshot`, and derives a health verdict per server
+and for the cluster.
+
+Two things make it more than a pretty printer:
+
+* **Drift detection** — every snapshot is cross-checked against the
+  coordinator-side view kept by the cluster's clients (live actions with
+  their first-contact epochs, the transaction decision log, the reaper
+  backlog).  A server whose epoch moved under a live action, or that still
+  holds a transaction prepared long after its coordinator decided it, is
+  reported as a structured :class:`Drift` record.  Drift is an expected
+  symptom of injected faults, so it is kept separate from the invariant
+  auditor's findings (chaos suites hard-fail on those) and rendered as
+  auditor-style findings only on demand (:meth:`ClusterInspector.findings`).
+* **Non-disruption** — ``status_query`` answers synchronously off live
+  structures without taking locks, and probes are plain RPCs: observing a
+  cluster mid-protocol never blocks, aborts or reorders the workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generator, List, Optional, Set, Tuple
+
+from repro.obs.audit.findings import INTROSPECT_DRIFT, Finding
+from repro.sim.kernel import settle_all
+
+#: a server's reported epoch differs from the epoch a live action recorded
+#: at first contact — the server restarted underneath the action, whose
+#: locks and mirrors there died with the old epoch.
+EPOCH_DRIFT = "epoch-drift"
+#: a server still carries a transaction as prepared/in-doubt although its
+#: coordinator decided it longer ago than the decision-propagation grace —
+#: phase two is not reaching the participant (partition, lost fanout).
+FINISHED_IN_FLIGHT = "finished-txn-in-flight"
+
+#: health verdicts, in increasing order of badness.
+HEALTHY, DEGRADED, STALLED = "healthy", "degraded", "stalled"
+_RANK = {HEALTHY: 0, DEGRADED: 1, STALLED: 2}
+
+
+@dataclass(frozen=True)
+class Drift:
+    """One observed disagreement between a server and the coordinator view."""
+
+    kind: str
+    node: str
+    message: str
+    tick: float = 0.0
+    txn: str = ""
+    action: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"kind": self.kind, "node": self.node,
+                               "message": self.message, "tick": self.tick}
+        if self.txn:
+            out["txn"] = self.txn
+        if self.action:
+            out["action"] = self.action
+        return out
+
+    def to_finding(self) -> Finding:
+        """Render as an auditor-style finding (kind ``introspection-drift``).
+
+        The sub-kind rides in the message; drift findings never join the
+        auditor's own list — see the note on
+        :data:`~repro.obs.audit.findings.INTROSPECT_DRIFT`.
+        """
+        return Finding(kind=INTROSPECT_DRIFT,
+                       message=f"{self.kind}: {self.message}",
+                       tick=self.tick, node=self.node, txn=self.txn,
+                       action=self.action)
+
+    @property
+    def key(self) -> Tuple[str, str, str, str]:
+        return (self.kind, self.node, self.txn, self.action)
+
+
+@dataclass
+class ServerHealth:
+    """Verdict plus the causes that produced it, for one server."""
+
+    verdict: str = HEALTHY
+    causes: List[str] = field(default_factory=list)
+
+    def worsen(self, verdict: str, cause: str) -> None:
+        self.causes.append(cause)
+        if _RANK[verdict] > _RANK[self.verdict]:
+            self.verdict = verdict
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"verdict": self.verdict, "causes": list(self.causes)}
+
+
+class ClusterInspector:
+    """Probes a live cluster and stitches the answers into snapshots.
+
+    Attach via :meth:`~repro.cluster.cluster.Cluster.attach_introspection`
+    (periodic, on the sim clock) or drive manually with :meth:`probe_once`.
+    Snapshots, drift records and probe counters are all JSON-able
+    (:meth:`dump`) and ride along in ``Observability.save`` dumps under
+    ``extra["introspection"]`` — what ``python -m repro.obs.top`` consumes.
+    """
+
+    def __init__(self, cluster, probe_timeout: float = 3.0,
+                 queue_depth_threshold: int = 8,
+                 in_doubt_age_threshold: float = 50.0,
+                 max_snapshots: int = 32,
+                 decision_grace: Optional[float] = None):
+        self.cluster = cluster
+        self.obs = cluster.obs
+        self.obs.inspector = self
+        self.probe_timeout = probe_timeout
+        self.queue_depth_threshold = queue_depth_threshold
+        self.in_doubt_age_threshold = in_doubt_age_threshold
+        self.max_snapshots = max_snapshots
+        #: how long a decided transaction may legitimately linger prepared
+        #: at a participant: the probe can interleave between the
+        #: coordinator's decision log write and phase-two delivery, so
+        #: anything younger than two RPC rounds is not drift yet.
+        self.decision_grace = (decision_grace if decision_grace is not None
+                               else 2.0 * cluster.rpc_timeout)
+        self.snapshots: List[Dict[str, Any]] = []
+        self.drift: List[Drift] = []
+        self._seen_drift: Set[Tuple[str, str, str, str]] = set()
+        self.probes = 0
+        self._probing = False
+        self._timer = None
+
+    # -- probing -------------------------------------------------------------
+
+    def attach(self, interval: float = 10.0) -> "ClusterInspector":
+        """Start a periodic probe on the sim clock (daemon; fires at once).
+
+        The timer only *starts* probes: an overlap guard skips a tick while
+        the previous probe's RPCs are still in flight, so a slow/partitioned
+        cluster is never hammered with stacked probes.
+        """
+        self._timer = self.cluster.kernel.every(interval, self._fire,
+                                                immediate=True)
+        return self
+
+    def detach(self) -> None:
+        """Stop the periodic probe (snapshots and drift are retained)."""
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    def _fire(self) -> None:
+        if self._probing:
+            return
+        self._probing = True
+
+        def body():
+            try:
+                yield from self.probe()
+            finally:
+                self._probing = False
+
+        self.cluster.kernel.spawn(body(), name="introspect-probe")
+
+    def probe(self) -> Generator[Any, Any, Dict[str, Any]]:
+        """Generator: one full probe round; returns the stitched snapshot.
+
+        Every configured node is asked concurrently (a one-element
+        ``rpc_batch`` from the first live node's transport, short timeout,
+        one retry); nodes that do not answer appear as ``None`` statuses
+        and are verdicted ``stalled: unreachable``.
+        """
+        kernel = self.cluster.kernel
+        targets = sorted(self.cluster.nodes)
+        statuses: Dict[str, Optional[Dict[str, Any]]] = {
+            name: None for name in targets}
+        home = next((name for name in targets
+                     if self.cluster.nodes[name].alive), None)
+        if home is not None:
+            transport = self.cluster.transports[home]
+
+            def ask(target: str):
+                outcomes = yield from transport.call_many(
+                    target, [("status_query", {})],
+                    timeout=self.probe_timeout, retries=1,
+                    completion_timeout=4.0 * self.probe_timeout)
+                ok, value = outcomes[0]
+                if not ok:
+                    raise value
+                return value["status"]
+
+            handles = [kernel.spawn(ask(t), name=f"introspect-probe@{t}")
+                       for t in targets]
+            outcomes = yield settle_all(kernel,
+                                        [h.join() for h in handles])
+            for target, (ok, value) in zip(targets, outcomes):
+                statuses[target] = value if ok else None
+        return self._assemble(statuses)
+
+    def probe_once(self, limit: float = 500.0) -> Dict[str, Any]:
+        """Run one probe round to completion on an otherwise idle kernel."""
+        handle = self.cluster.kernel.spawn(self.probe(),
+                                           name="introspect-once")
+        self.cluster.kernel.run_until_settled(handle.join(), limit=limit)
+        return handle.result
+
+    # -- stitching -----------------------------------------------------------
+
+    def _coordinator_view(self) -> Dict[str, Any]:
+        """Merge every client's coordinator-side view into one image."""
+        live: Dict[str, Dict[str, int]] = {}
+        txn_states: Dict[str, Dict[str, Any]] = {}
+        backlog: Dict[str, int] = {}
+        for client in getattr(self.cluster, "clients", []):
+            for action in client.live_actions.values():
+                live[str(action.uid)] = {
+                    node: epoch
+                    for node, epoch in action.server_epochs.items()}
+            for txn_id, entry in client.txn_log.items():
+                txn_states[txn_id] = entry
+            for node, count in client.reaper_backlog.items():
+                backlog[node] = backlog.get(node, 0) + count
+        return {"live_actions": live, "txn_states": txn_states,
+                "reaper_backlog": backlog}
+
+    def _note_drift(self, drift: Drift) -> bool:
+        """Record ``drift`` once; counts + bus event only on first sight."""
+        if drift.key in self._seen_drift:
+            return False
+        self._seen_drift.add(drift.key)
+        self.drift.append(drift)
+        self.obs.count("introspect_drift_total", kind=drift.kind)
+        self.obs.emit("introspect.drift", drift_kind=drift.kind,
+                      node=drift.node, txn=drift.txn, action=drift.action)
+        return True
+
+    def _check_drift(self, statuses: Dict[str, Optional[Dict[str, Any]]],
+                     view: Dict[str, Any], now: float) -> List[Drift]:
+        fresh: List[Drift] = []
+        # epoch drift: a reachable server's epoch moved under a live action
+        for action_uid, epochs in view["live_actions"].items():
+            for node, recorded in epochs.items():
+                status = statuses.get(node)
+                if status is None or status["epoch"] == recorded:
+                    continue
+                drift = Drift(
+                    kind=EPOCH_DRIFT, node=node, tick=now,
+                    action=action_uid,
+                    message=(f"server {node} reports epoch "
+                             f"{status['epoch']} but live action "
+                             f"{action_uid} first met it at epoch "
+                             f"{recorded}"))
+                if self._note_drift(drift):
+                    fresh.append(drift)
+        # finished-txn-in-flight: a participant still carries a txn the
+        # coordinator decided more than decision_grace ago
+        for node, status in statuses.items():
+            if status is None:
+                continue
+            for entry in status["in_flight"]:
+                txn_id = entry["txn"]
+                noted = view["txn_states"].get(txn_id)
+                if noted is None or noted["state"] == "delegated":
+                    continue
+                age = now - noted["tick"]
+                if age <= self.decision_grace:
+                    continue
+                drift = Drift(
+                    kind=FINISHED_IN_FLIGHT, node=node, tick=now,
+                    txn=txn_id,
+                    message=(f"server {node} holds {txn_id} "
+                             f"{entry['phase']} although its coordinator "
+                             f"{noted['state']} it {age:g} ticks ago"))
+                if self._note_drift(drift):
+                    fresh.append(drift)
+        return fresh
+
+    def _health(self, status: Optional[Dict[str, Any]],
+                now: float) -> ServerHealth:
+        health = ServerHealth()
+        if status is None:
+            health.worsen(STALLED, "unreachable")
+            return health
+        queued = status["locks"]["queued"]
+        if queued >= self.queue_depth_threshold:
+            health.worsen(DEGRADED, f"lock-queue-depth:{queued}")
+        oldest_in_doubt = max(
+            (entry["age"] for entry in status["in_flight"]
+             if entry["phase"] == "in-doubt"), default=0.0)
+        if oldest_in_doubt > self.in_doubt_age_threshold:
+            health.worsen(STALLED, f"in-doubt-age:{oldest_in_doubt:g}")
+        return health
+
+    def _assemble(self, statuses: Dict[str, Optional[Dict[str, Any]]]
+                  ) -> Dict[str, Any]:
+        now = self.cluster.kernel.now
+        view = self._coordinator_view()
+        fresh = self._check_drift(statuses, view, now)
+        health: Dict[str, ServerHealth] = {}
+        for name in statuses:
+            health[name] = self._health(statuses[name], now)
+            # drift against this node this round degrades it even when its
+            # own numbers look clean: somebody's view of it is stale
+            if any(d.node == name for d in fresh):
+                health[name].worsen(DEGRADED, "drift")
+        overall = HEALTHY
+        for entry in health.values():
+            if _RANK[entry.verdict] > _RANK[overall]:
+                overall = entry.verdict
+        waits_for: List[Dict[str, str]] = []
+        for name in sorted(statuses):
+            status = statuses[name]
+            if status is None:
+                continue
+            for edge in status["locks"]["waits_for"]:
+                waits_for.append(dict(edge, node=name))
+        snapshot = {
+            "tick": now,
+            "overall": overall,
+            "servers": statuses,
+            "health": {name: health[name].to_dict() for name in health},
+            "waits_for": waits_for,
+            "drift": [d.to_dict() for d in fresh],
+            "coordinator": {
+                "clients": len(getattr(self.cluster, "clients", [])),
+                "live_actions": len(view["live_actions"]),
+                "txns_tracked": len(view["txn_states"]),
+                "reaper_backlog": view["reaper_backlog"],
+            },
+        }
+        for name, entry in health.items():
+            self.obs.metrics.gauge("cluster_health", node=name).set(
+                float(_RANK[entry.verdict]))
+        self.obs.emit("introspect.probe", overall=overall,
+                      reachable=sum(1 for s in statuses.values()
+                                    if s is not None),
+                      nodes=len(statuses), drift=len(fresh))
+        self.probes += 1
+        self.snapshots.append(snapshot)
+        if len(self.snapshots) > self.max_snapshots:
+            del self.snapshots[:len(self.snapshots) - self.max_snapshots]
+        return snapshot
+
+    # -- export --------------------------------------------------------------
+
+    @property
+    def last(self) -> Optional[Dict[str, Any]]:
+        """The most recent snapshot (``None`` before the first probe)."""
+        return self.snapshots[-1] if self.snapshots else None
+
+    def findings(self) -> List[Finding]:
+        """Drift rendered as auditor-style findings (auditor stays clean)."""
+        return [d.to_finding() for d in self.drift]
+
+    def dump(self) -> Dict[str, Any]:
+        """JSON-able document: probe count, drift records, snapshot ring."""
+        return {
+            "probes": self.probes,
+            "drift": [d.to_dict() for d in self.drift],
+            "snapshots": [dict(s) for s in self.snapshots],
+            "overall": self.last["overall"] if self.last else "unknown",
+        }

@@ -1,0 +1,154 @@
+"""Text rendering for introspection snapshots (the ``top`` console frames).
+
+Pure functions from a snapshot document (as produced by
+:meth:`~repro.obs.introspect.ClusterInspector.probe` or stored under
+``extra["introspection"]["snapshots"]`` in an obs dump) to lists of lines;
+the CLI prints them, tests assert on them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+_MARK = {"healthy": "ok", "degraded": "WARN", "stalled": "STALL"}
+
+
+def _fmt_row(cells: List[str], widths: List[int]) -> str:
+    return "  ".join(cell.ljust(width)
+                     for cell, width in zip(cells, widths)).rstrip()
+
+
+def _table(header: List[str], rows: List[List[str]]) -> List[str]:
+    widths = [max(len(header[i]), *(len(row[i]) for row in rows))
+              if rows else len(header[i]) for i in range(len(header))]
+    lines = [_fmt_row(header, widths),
+             _fmt_row(["-" * w for w in widths], widths)]
+    lines.extend(_fmt_row(row, widths) for row in rows)
+    return lines
+
+
+def hottest_objects(snapshot: Dict[str, Any],
+                    count: int = 5) -> List[Tuple[str, str, int, int]]:
+    """Objects with the most lock activity: (node, object, held, queued)."""
+    entries = []
+    for name, status in sorted(snapshot["servers"].items()):
+        if status is None:
+            continue
+        for image in status["locks"]["objects"]:
+            held, queued = len(image["holders"]), len(image["queued"])
+            if held or queued:
+                entries.append((name, image["object"], held, queued))
+    entries.sort(key=lambda e: (-(e[2] + 2 * e[3]), e[1]))
+    return entries[:count]
+
+
+def hottest_colours(snapshot: Dict[str, Any],
+                    count: int = 5) -> List[Tuple[str, int]]:
+    """Colours by number of lock records (held + queued) cluster-wide."""
+    tally: Dict[str, int] = {}
+    for status in snapshot["servers"].values():
+        if status is None:
+            continue
+        for image in status["locks"]["objects"]:
+            for record in image["holders"] + image["queued"]:
+                colour = record.get("colour") or ""
+                if colour:
+                    tally[colour] = tally.get(colour, 0) + 1
+    return sorted(tally.items(), key=lambda kv: (-kv[1], kv[0]))[:count]
+
+
+def oldest_in_flight(snapshot: Dict[str, Any],
+                     count: int = 5) -> List[Dict[str, Any]]:
+    """In-flight transaction entries cluster-wide, oldest first."""
+    entries = []
+    for name, status in sorted(snapshot["servers"].items()):
+        if status is None:
+            continue
+        for entry in status["in_flight"]:
+            entries.append(dict(entry, node=name))
+    entries.sort(key=lambda e: (-e["age"], e["txn"]))
+    return entries[:count]
+
+
+def render_snapshot(snapshot: Dict[str, Any], count: int = 5) -> List[str]:
+    """One console frame: health table, hot spots, waits-for, drift."""
+    lines = [f"cluster introspection @ tick {snapshot['tick']:g} — "
+             f"overall {snapshot['overall'].upper()}"]
+    rows = []
+    for name in sorted(snapshot["servers"]):
+        status = snapshot["servers"][name]
+        health = snapshot["health"][name]
+        causes = ",".join(health["causes"]) or "-"
+        if status is None:
+            rows.append([name, _MARK[health["verdict"]], causes,
+                         "-", "-", "-", "-", "-", "-"])
+            continue
+        locks = status["locks"]
+        rows.append([
+            name, _MARK[health["verdict"]], causes, str(status["epoch"]),
+            f"{status['wal']['depth']}",
+            f"{locks['held']}/{locks['queued']}",
+            str(len(status["in_flight"])), str(len(status["mirrors"])),
+            str(status["pending_rpcs"]),
+        ])
+    lines.append("")
+    lines.extend(_table(["node", "health", "causes", "epoch", "wal",
+                         "locks h/q", "in-flight", "mirrors", "rpcs"], rows))
+    backlog = snapshot["coordinator"]["reaper_backlog"]
+    lines.append("")
+    lines.append(
+        f"coordinator view: {snapshot['coordinator']['live_actions']} live "
+        f"action(s), {snapshot['coordinator']['txns_tracked']} txn(s) "
+        f"tracked, reapers " + (
+            ", ".join(f"{node}:{n}" for node, n in sorted(backlog.items()))
+            or "none"))
+
+    hot = hottest_objects(snapshot, count)
+    lines.append("")
+    lines.append("hottest objects (held/queued):")
+    if hot:
+        lines.extend(f"  {obj} @ {node}: {held}/{queued}"
+                     for node, obj, held, queued in hot)
+    else:
+        lines.append("  none")
+    colours = hottest_colours(snapshot, count)
+    if colours:
+        lines.append("hottest colours: " + ", ".join(
+            f"{colour} ({n})" for colour, n in colours))
+
+    oldest = oldest_in_flight(snapshot, count)
+    lines.append("")
+    lines.append("oldest in-flight transactions:")
+    if oldest:
+        lines.extend(
+            f"  {e['txn']} @ {e['node']}: {e['phase']}, age {e['age']:g}"
+            for e in oldest)
+    else:
+        lines.append("  none")
+
+    lines.append("")
+    lines.append("waits-for:")
+    if snapshot["waits_for"]:
+        lines.extend(
+            f"  {edge['waiter']} -> {edge['holder']} "
+            f"on {edge['object']} @ {edge['node']}"
+            for edge in snapshot["waits_for"])
+    else:
+        lines.append("  no waiting")
+
+    if snapshot["drift"]:
+        lines.append("")
+        lines.append("DRIFT:")
+        lines.extend(f"  [{d['kind']}] {d['message']}"
+                     for d in snapshot["drift"])
+    return lines
+
+
+def render_drift(drift: List[Dict[str, Any]]) -> List[str]:
+    """All recorded drift, one line each (for the non-watch summary)."""
+    if not drift:
+        return ["no drift recorded"]
+    lines = [f"{len(drift)} drift record(s):"]
+    lines.extend(f"  [{d['kind']}] tick {d['tick']:g}: {d['message']}"
+                 for d in drift)
+    return lines

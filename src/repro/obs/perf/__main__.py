@@ -8,6 +8,10 @@ merges on simulated-time performance:
     python benchmarks/scenarios.py --out /tmp/bench
     python -m repro.obs.perf compare --baseline . --current /tmp/bench
 
+Wall-clock ``info`` entries are ignored by default; ``--gate-wall`` checks
+them too, with a wide band (``--wall-tolerance``, baseline
+``wall_tolerances`` overrides) — for stable dedicated runners only.
+
 ``timeline`` renders a sampler timeline (a raw ``sampler.timeline()``
 document or an ``Observability.save`` dump carrying ``extra.timeline``)
 as text sparklines, or as a self-contained HTML page with ``--html``:
@@ -30,6 +34,7 @@ from typing import List, Optional
 from repro.obs.perf.compare import (
     DEFAULT_ABS_TOLERANCE,
     DEFAULT_REL_TOLERANCE,
+    DEFAULT_WALL_REL_TOLERANCE,
     compare_trees,
     load_bench_files,
 )
@@ -56,12 +61,17 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
     deviations = compare_trees(args.baseline, args.current,
                                rel_tolerance=args.rel_tolerance,
-                               abs_tolerance=args.abs_tolerance)
+                               abs_tolerance=args.abs_tolerance,
+                               gate_wall=args.gate_wall,
+                               wall_rel_tolerance=args.wall_tolerance)
     failing = [d for d in deviations if d.failing]
     notices = [d for d in deviations if not d.failing]
 
+    wall_note = (f", wall ±{args.wall_tolerance:.0%}" if args.gate_wall
+                 else "")
     print(f"perf gate: {len(baselines)} baseline scenario(s), "
-          f"{len(runs)} run scenario(s), tolerance ±{args.rel_tolerance:.0%}")
+          f"{len(runs)} run scenario(s), tolerance "
+          f"±{args.rel_tolerance:.0%}{wall_note}")
     for deviation in notices:
         print(f"  note: {deviation.describe()}")
     if failing:
@@ -121,6 +131,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     compare.add_argument("--abs-tolerance", type=float,
                          default=DEFAULT_ABS_TOLERANCE,
                          help="absolute slack for near-zero baselines")
+    compare.add_argument("--gate-wall", action="store_true",
+                         help="also gate wall-clock info metrics (opt in: "
+                              "only meaningful on a stable runner)")
+    compare.add_argument("--wall-tolerance", type=float,
+                         default=DEFAULT_WALL_REL_TOLERANCE,
+                         help="two-sided band for wall-clock gating")
     compare.set_defaults(func=_cmd_compare)
 
     timeline = commands.add_parser(

@@ -17,6 +17,10 @@ aggregate into one metrics table: counters and gauges are summed across
 dumps, histograms are merged exactly on count/sum/min/max/mean
 (percentiles need the raw samples, which dumps don't carry, so merged rows
 omit them); spans are only rendered for single-file input.
+
+Exit codes follow the obs-CLI contract: 0 = rendered, clean; 1 = unusable
+input; 2 = rendered, but the dump(s) record invariant-auditor findings
+(``audit_findings_total`` > 0) — replay them with ``repro.obs.audit``.
 """
 
 from __future__ import annotations
@@ -112,6 +116,23 @@ def render(document: Dict[str, Any], timeline: bool = False,
     return "\n\n".join(sections)
 
 
+def embedded_findings_total(document: Dict[str, Any]) -> float:
+    """Sum of ``audit_findings_total`` counters recorded in a document.
+
+    A run whose hub auditor found violations carries them in its metrics;
+    the report CLI surfaces that as exit code 2 so a green-looking metrics
+    table can't hide a red run.
+    """
+    metrics = document.get("metrics", document)
+    if not isinstance(metrics, dict):
+        return 0.0
+    return sum(
+        row.get("value", 0.0)
+        for row in metrics.get("counters", [])
+        if isinstance(row, dict) and row.get("name") == "audit_findings_total"
+    )
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs.report",
@@ -151,6 +172,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     print(render(document, timeline=args.timeline,
                  metrics_only=args.metrics_only, trace_id=args.trace,
                  width=args.width))
+    findings = embedded_findings_total(document)
+    if findings:
+        print(f"\nWARNING: {findings:g} invariant-auditor finding(s) "
+              f"recorded in this run — replay with "
+              f"`python -m repro.obs.audit <dump>`", file=sys.stderr)
+        return 2
     return 0
 
 

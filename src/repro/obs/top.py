@@ -1,0 +1,14 @@
+"""``python -m repro.obs.top`` — alias for ``python -m repro.obs.introspect``.
+
+The operator-facing name of the live-introspection console; both entry
+points run the same :func:`~repro.obs.introspect.__main__.main`.
+"""
+
+from repro.obs.introspect.__main__ import main
+
+__all__ = ["main"]
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI tests
+    import sys
+
+    sys.exit(main())

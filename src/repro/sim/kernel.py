@@ -263,7 +263,8 @@ class PeriodicTimer:
 
     __slots__ = ("kernel", "interval", "fn", "alive", "fires")
 
-    def __init__(self, kernel: "Kernel", interval: float, fn: Callable[[], None]):
+    def __init__(self, kernel: "Kernel", interval: float, fn: Callable[[], None],
+                 immediate: bool = False):
         if interval <= 0:
             raise SimulationError(f"periodic interval must be positive, got {interval}")
         self.kernel = kernel
@@ -271,7 +272,12 @@ class PeriodicTimer:
         self.fn = fn
         self.alive = True
         self.fires = 0
-        self._arm()
+        if immediate:
+            # first firing at the current instant (still a daemon entry, so
+            # an immediate timer alone never wakes an otherwise idle sim)
+            self.kernel._post_at(self.kernel.now, self._fire, daemon=True)
+        else:
+            self._arm()
 
     def _arm(self) -> None:
         self.kernel._post_at(self.kernel.now + self.interval, self._fire,
@@ -356,14 +362,19 @@ class Kernel:
         self.schedule(delay, lambda: event.settled or event.trigger(value))
         return event
 
-    def every(self, interval: float, fn: Callable[[], None]) -> PeriodicTimer:
+    def every(self, interval: float, fn: Callable[[], None],
+              immediate: bool = False) -> PeriodicTimer:
         """Run ``fn()`` every ``interval`` simulated time units.
 
         The sampling-timer hook: returns a :class:`PeriodicTimer` whose
         firings interleave with ordinary events but never keep the
         simulation alive by themselves (see :class:`PeriodicTimer`).
+        ``immediate`` schedules the first firing at the current instant
+        instead of one interval out — probes that should observe the
+        system's initial state (e.g. the introspection layer) want a
+        snapshot even if the run ends within the first interval.
         """
-        return PeriodicTimer(self, interval, fn)
+        return PeriodicTimer(self, interval, fn, immediate=immediate)
 
     # -- execution -----------------------------------------------------------
 

@@ -58,5 +58,23 @@ class WriteAheadLog:
         self._records = [r for r in self._records if r.lsn >= lsn]
         return before - len(self._records)
 
+    def summary(self) -> Dict[str, Any]:
+        """Read-only log shape for introspection: depth, lsn bounds, kinds.
+
+        ``depth`` counts live records, ``first_lsn``/``last_lsn`` bound the
+        undecided suffix a checkpoint kept (0 when empty), and ``kinds``
+        histograms the record mix — enough to spot a log that stopped
+        truncating without shipping the payloads anywhere.
+        """
+        kinds: Dict[str, int] = {}
+        for record in self._records:
+            kinds[record.kind] = kinds.get(record.kind, 0) + 1
+        return {
+            "depth": len(self._records),
+            "first_lsn": self._records[0].lsn if self._records else 0,
+            "last_lsn": self._records[-1].lsn if self._records else 0,
+            "kinds": kinds,
+        }
+
     def __len__(self) -> int:
         return len(self._records)

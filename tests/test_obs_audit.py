@@ -18,7 +18,6 @@ from repro.obs.audit.__main__ import main as audit_main
 from repro.obs.audit.testing import install_online_audit
 from repro.obs.bus import ObsEvent
 from repro.obs.metrics import MetricsRegistry
-from repro.obs.report import main as report_main
 from repro.runtime.runtime import LocalRuntime
 from repro.stdobjects import Counter
 
@@ -495,39 +494,7 @@ def test_audit_cli_violation_dump_exits_two(tmp_path, capsys):
     assert F.TWO_PHASE in {entry["kind"] for entry in found}
 
 
-def test_audit_cli_rejects_unusable_input(tmp_path, capsys):
-    assert audit_main([str(tmp_path / "missing.json")]) == 1
-    listing = tmp_path / "list.json"
-    listing.write_text("[1, 2]")
-    assert audit_main([str(listing)]) == 1
-    no_events = tmp_path / "bare.json"
-    no_events.write_text("{\"metrics\": {}}")
-    assert audit_main([str(no_events)]) == 1
-    errors = capsys.readouterr().err
-    assert "events" in errors
-
-
-# -- regression: repro.obs.report on unusable input ---------------------------
-
-
-def test_report_cli_empty_file_is_a_clean_error(tmp_path, capsys):
-    empty = tmp_path / "empty.json"
-    empty.write_text("")
-    assert report_main([str(empty)]) == 1
-    assert "error:" in capsys.readouterr().err
-
-
-def test_report_cli_non_object_input_is_a_clean_error(tmp_path, capsys):
-    listing = tmp_path / "list.json"
-    listing.write_text("[]")
-    assert report_main([str(listing)]) == 1
-    err = capsys.readouterr().err
-    assert "expected a JSON object" in err
-
-
-def test_report_cli_missing_file_is_a_clean_error(tmp_path, capsys):
-    assert report_main([str(tmp_path / "nope.json")]) == 1
-    assert "error:" in capsys.readouterr().err
+# (CLI exit-code one-offs moved to test_obs_cli_contract.py)
 
 
 # -- type-specific (semantic) lock grants --------------------------------------

@@ -1,0 +1,170 @@
+"""The exit-code contract every obs CLI honours, asserted in one place.
+
+All five consoles — ``report``, ``audit``, ``perf``, ``why`` and ``top`` —
+speak the same language to CI and shell scripts:
+
+* **0** — input understood, nothing demands attention;
+* **1** — unusable input (missing file, malformed JSON, wrong shape);
+* **2** — input understood and something *does* demand attention
+  (auditor findings, a gated perf regression, attribution gaps,
+  introspection drift / a stalled server).
+
+Each case builds the smallest artifact that drives one CLI to one code.
+This file replaces the per-CLI exit-code one-offs that used to live in
+``test_obs_audit`` / ``test_obs_postmortem`` / ``test_obs_perf`` /
+``test_obs_export``; CLI-specific *content* assertions stay with their
+suites.
+"""
+
+import json
+
+import pytest
+
+from repro.obs import Observability
+from repro.obs.audit.__main__ import main as audit_main
+from repro.obs.perf.__main__ import main as perf_main
+from repro.obs.report import main as report_main
+from repro.obs.top import main as top_main
+from repro.obs.why import main as why_main
+from repro.runtime.runtime import LocalRuntime
+from repro.stdobjects import Counter
+
+
+def _save_run(tmp_path, name, violate=False):
+    """A real (tiny) observed run, optionally with a 2PL violation."""
+    runtime = LocalRuntime()
+    hub = Observability()
+    runtime.attach_observability(hub)
+    with runtime.top_level(name="t") as action:
+        counter = Counter(runtime, value=0)
+        counter.increment(1)
+        if violate:
+            runtime.locks.release_action(action.uid)
+            counter.increment(1)
+    path = tmp_path / name
+    hub.save(str(path))
+    return str(path)
+
+
+def _write(tmp_path, name, doc):
+    path = tmp_path / name
+    path.write_text(json.dumps(doc))
+    return str(path)
+
+
+def _gapped_dump(tmp_path):
+    """One abort whose cause the postmortem taxonomy cannot place."""
+    events = [
+        ("action.begin", {"action": "a1", "name": "a1", "parent": "",
+                          "colours": "c", "node": "local"}),
+        ("action.failure", {"action": "a1", "cause": "meteor-strike",
+                            "op": "op"}),
+        ("action.end", {"action": "a1", "name": "a1", "outcome": "aborted",
+                        "colours": "c", "node": "local"}),
+    ]
+    return _write(tmp_path, "gapped.json", {
+        "format": "repro-obs/1", "spans": [], "metrics": {"counters": []},
+        "events": [{"tick": float(i), "kind": kind, "labels": labels}
+                   for i, (kind, labels) in enumerate(events)],
+    })
+
+
+def _introspection_dump(tmp_path, name, drift):
+    """An obs dump carrying a minimal embedded introspection section."""
+    snapshot = {
+        "tick": 10.0, "overall": "degraded" if drift else "healthy",
+        "servers": {"n1": None}, "waits_for": [],
+        "health": {"n1": {"verdict": "degraded" if drift else "healthy",
+                          "causes": ["drift"] if drift else []}},
+        "drift": list(drift),
+        "coordinator": {"clients": 1, "live_actions": 0,
+                        "txns_tracked": 0, "reaper_backlog": {}},
+    }
+    return _write(tmp_path, name, {
+        "extra": {"introspection": {
+            "probes": 1, "drift": list(drift), "snapshots": [snapshot],
+            "overall": snapshot["overall"],
+        }},
+    })
+
+
+def _bench(tmp_path, sub, metrics):
+    root = tmp_path / sub
+    root.mkdir(exist_ok=True)
+    (root / "BENCH_s.json").write_text(json.dumps(
+        {"scenario": "s", "metrics": metrics}))
+    return str(root)
+
+
+_DRIFT = [{"kind": "epoch-drift", "node": "n1", "tick": 10.0,
+           "message": "server n1 reports epoch 2 but live action a1 "
+                      "first met it at epoch 1"}]
+
+
+def _report_argv(tmp_path, code):
+    if code == 0:
+        return [_save_run(tmp_path, "clean.json")]
+    if code == 1:
+        return [str(tmp_path / "missing.json")]
+    return [_save_run(tmp_path, "red.json", violate=True)]
+
+
+def _audit_argv(tmp_path, code):
+    if code == 0:
+        return [_save_run(tmp_path, "clean.json")]
+    if code == 1:
+        return [_write(tmp_path, "bare.json", {"metrics": {}})]
+    return [_save_run(tmp_path, "red.json", violate=True)]
+
+
+def _perf_argv(tmp_path, code):
+    if code == 1:
+        empty = tmp_path / "empty"
+        empty.mkdir(exist_ok=True)
+        return ["compare", "--baseline", str(empty), "--current", str(empty)]
+    baseline = _bench(tmp_path, "base", {"x": 10.0})
+    current = _bench(tmp_path, "run", {"x": 10.2 if code == 0 else 20.0})
+    return ["compare", "--baseline", baseline, "--current", current]
+
+
+def _why_argv(tmp_path, code):
+    if code == 0:
+        return [_save_run(tmp_path, "clean.json"), "--aborts"]
+    if code == 1:
+        return [_write(tmp_path, "list.json", [1, 2])]
+    return [_gapped_dump(tmp_path), "--aborts"]
+
+
+def _top_argv(tmp_path, code):
+    if code == 0:
+        return [_introspection_dump(tmp_path, "healthy.json", drift=[])]
+    if code == 1:
+        return [_write(tmp_path, "list.json", [1, 2])]
+    return [_introspection_dump(tmp_path, "drifted.json", drift=_DRIFT)]
+
+
+_CLIS = {
+    "report": (report_main, _report_argv),
+    "audit": (audit_main, _audit_argv),
+    "perf": (perf_main, _perf_argv),
+    "why": (why_main, _why_argv),
+    "top": (top_main, _top_argv),
+}
+
+
+@pytest.mark.parametrize("code", [0, 1, 2])
+@pytest.mark.parametrize("cli", sorted(_CLIS))
+def test_obs_cli_exit_code_contract(cli, code, tmp_path, capsys):
+    main, argv_for = _CLIS[cli]
+    assert main(argv_for(tmp_path, code)) == code
+    captured = capsys.readouterr()
+    if code == 1:
+        # operational errors go to stderr, never a traceback to stdout
+        assert captured.err
+        assert "Traceback" not in captured.err
+
+
+def test_top_module_shim_is_the_same_program():
+    from repro.obs.introspect import __main__ as introspect_main
+
+    assert top_main is introspect_main.main

@@ -120,8 +120,3 @@ def test_report_cli_bare_metrics_dump(tmp_path, capsys):
     assert "# Metrics" in out
     assert "# Spans" not in out
 
-
-def test_report_cli_unreadable_input(tmp_path, capsys):
-    missing = tmp_path / "nope.json"
-    assert report_main([str(missing)]) == 1
-    assert "error" in capsys.readouterr().err

@@ -179,6 +179,38 @@ def test_recorder_freezes_ring_on_auditor_finding():
     assert snapshot["events"], "snapshot must carry the ring contents"
 
 
+def test_recorder_freezes_one_ring_per_same_tick_finding():
+    """A burst of findings in one tick freezes one snapshot each — every
+    finding gets the ring *as it stood when that finding fired*, and the
+    MAX_SNAPSHOTS cap still bounds the dump."""
+    from repro.obs.audit.findings import Finding
+    from repro.obs.perf.recorder import MAX_SNAPSHOTS
+
+    hub = Observability()
+    recorder = FlightRecorder(hub, capacity=8)
+    hub.emit("span.start", name="setup")
+    for index in range(MAX_SNAPSHOTS + 2):
+        # the listener path the auditor uses, all at tick 0.0
+        hub.auditor._finding("two-phase-violation",
+                             f"burst finding {index}", tick=0.0,
+                             node=f"n{index}")
+        hub.emit("span.start", name=f"between-{index}")
+    assert len(hub.auditor.findings) == MAX_SNAPSHOTS + 2
+    assert len(recorder.finding_snapshots) == MAX_SNAPSHOTS
+    # each frozen ring reflects its own instant: later snapshots carry the
+    # events emitted between earlier findings
+    ring_sizes = [len(s["events"]) for s in recorder.finding_snapshots]
+    assert ring_sizes == sorted(ring_sizes)
+    assert ring_sizes[0] < ring_sizes[-1]
+    messages = [s["finding"] for s in recorder.finding_snapshots]
+    assert all(f"burst finding {i}" in messages[i]
+               for i in range(MAX_SNAPSHOTS))
+    # the cap is also what travels in a saved dump
+    dumped = recorder.dump()["finding_snapshots"]
+    assert len(dumped) == MAX_SNAPSHOTS
+    assert isinstance(hub.auditor.findings[0], Finding)
+
+
 def test_recorder_dump_travels_in_hub_save(tmp_path):
     hub = Observability()
     FlightRecorder(hub, capacity=4)
@@ -301,24 +333,6 @@ def test_load_bench_files_names_from_doc_or_filename(tmp_path):
     (tmp_path / "BENCH_bare.json").write_text(json.dumps({"metrics": {}}))
     found = load_bench_files(str(tmp_path))
     assert set(found) == {"inner", "bare"}
-
-
-def test_perf_cli_exit_codes(tmp_path, capsys):
-    baseline, current = tmp_path / "base", tmp_path / "run"
-    baseline.mkdir(), current.mkdir()
-    _write_bench(baseline, "s", _bench({"x": 10.0}))
-    _write_bench(current, "s", _bench({"x": 10.2}))
-    assert perf_main(["compare", "--baseline", str(baseline),
-                      "--current", str(current)]) == 0
-    _write_bench(current, "s", _bench({"x": 20.0}))
-    assert perf_main(["compare", "--baseline", str(baseline),
-                      "--current", str(current)]) == 2
-    assert "regression" in capsys.readouterr().err
-    # operational error: no BENCH files anywhere
-    empty = tmp_path / "empty"
-    empty.mkdir()
-    assert perf_main(["compare", "--baseline", str(empty),
-                      "--current", str(empty)]) == 1
 
 
 def test_deviation_descriptions_cover_all_kinds():

@@ -585,19 +585,6 @@ def test_why_cli_unknown_query_exits_one(contention_dump, capsys):
     assert "no finished action" in capsys.readouterr().err
 
 
-def test_why_cli_rejects_unusable_input(tmp_path, capsys):
-    assert why_main([str(tmp_path / "missing.json")]) == 1
-    listing = tmp_path / "list.json"
-    listing.write_text("[1, 2]")
-    assert why_main([str(listing)]) == 1
-    no_events = tmp_path / "bare.json"
-    no_events.write_text("{\"metrics\": {}}")
-    assert why_main([str(no_events)]) == 1
-    errors = capsys.readouterr().err
-    assert "expected a JSON object" in errors
-    assert "events" in errors
-
-
 def test_why_cli_gapped_dump_exits_two(tmp_path, capsys):
     """An abort the taxonomy cannot place must gate (exit 2), exactly as
     the acceptance bar demands zero ``unknown`` on healthy runs."""

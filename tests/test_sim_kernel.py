@@ -294,3 +294,33 @@ def test_determinism_two_identical_runs():
         return trace
 
     assert build() == build()
+
+
+def test_every_immediate_fires_at_the_current_instant():
+    kernel = Kernel()
+    firings = []
+
+    def keep_alive():
+        yield Timeout(25.0)
+
+    kernel.spawn(keep_alive())
+    timer = kernel.every(10.0, lambda: firings.append(kernel.now),
+                         immediate=True)
+    kernel.run()
+    # first firing at t=0, then one interval apart; the timer is a daemon,
+    # so nothing fires once the last real process is gone
+    assert firings == [0.0, 10.0, 20.0]
+    timer.cancel()
+
+
+def test_every_without_immediate_waits_one_interval():
+    kernel = Kernel()
+    firings = []
+
+    def keep_alive():
+        yield Timeout(25.0)
+
+    kernel.spawn(keep_alive())
+    kernel.every(10.0, lambda: firings.append(kernel.now))
+    kernel.run()
+    assert firings == [10.0, 20.0]
