@@ -34,7 +34,10 @@ piggybacked decision, read-only votes, one-phase commit — against the
 classic protocol on an identical workload), and ``commute_avoidance``
 (commutativity-based coordination avoidance: fully-commuting colours
 deciding locally in one round, against classic 2PC and against semantic
-locking without the commute path, on an identical workload).
+locking without the commute path, on an identical workload), and
+``soak_smoke`` (capped-horizon soak-observatory arms with segment
+rotation: the clean arm gated at zero SLO breaches, the faulty arm's
+seeded fault burst gated to trip the commit-latency burn objective).
 """
 
 from __future__ import annotations
@@ -673,6 +676,55 @@ def scenario_commute_avoidance(seed: int = 37) -> Dict[str, Any]:
         metrics)
 
 
+# -- soak smoke ---------------------------------------------------------------
+
+def scenario_soak_smoke(seed: int = 21) -> Dict[str, Any]:
+    """Capped-horizon soak-observatory smoke: both arms, gated verdicts.
+
+    Runs the clean and faulty arms of :class:`repro.obs.soak.SoakRunner`
+    at a CI-friendly horizon with segment rotation into a scratch
+    directory.  Asserts the acceptance contract inline — the clean arm
+    must finish with zero SLO breaches and zero findings, the faulty
+    arm's seeded network-degradation burst must trip at least the
+    commit-latency burn objective — and gates the per-arm outcome counts,
+    breach totals and peak retention numbers (all sim-deterministic).
+    """
+    import tempfile
+
+    from repro.obs.soak import SoakRunner
+
+    horizon, segment_every, interval = 2400.0, 600.0, 10.0
+    metrics: Dict[str, float] = {}
+    for arm in ("clean", "faulty"):
+        with tempfile.TemporaryDirectory() as out:
+            runner = SoakRunner(out_dir=out, arm=arm, seed=seed,
+                                horizon=horizon,
+                                segment_every=segment_every,
+                                sample_interval=interval)
+            summary = runner.run()
+        assert summary["audit_findings"] == 0, summary["audit_findings"]
+        if arm == "clean":
+            assert summary["breach_total"] == 0, summary["breaches"]
+            assert summary["exit_code"] == 0
+        else:
+            breached = {entry["objective"] for entry in summary["breaches"]}
+            assert "commit-latency" in breached, summary["breaches"]
+            assert summary["exit_code"] == 2
+        assert len(summary["segments"]) >= 4, summary["segments"]
+        metrics[f"{arm}.committed"] = summary["committed"]
+        metrics[f"{arm}.aborted"] = summary["aborted"]
+        metrics[f"{arm}.elapsed_sim"] = summary["elapsed"]
+        metrics[f"{arm}.breaches"] = summary["breach_total"]
+        metrics[f"{arm}.segments"] = len(summary["segments"])
+        metrics[f"{arm}.peak_spans"] = summary["peaks"]["spans"]
+        metrics[f"{arm}.peak_audit_events"] = summary["peaks"]["audit_events"]
+    return _document(
+        "soak_smoke", seed,
+        {"horizon": horizon, "segment_every": segment_every,
+         "interval": interval, "arms": ["clean", "faulty"]},
+        metrics)
+
+
 SCENARIOS: Dict[str, Callable[[], Dict[str, Any]]] = {
     "contention_sweep": scenario_contention_sweep,
     "colour_sweep": scenario_colour_sweep,
@@ -681,6 +733,7 @@ SCENARIOS: Dict[str, Callable[[], Dict[str, Any]]] = {
     "prepare_batching": scenario_prepare_batching,
     "twopc_fastpath": scenario_twopc_fastpath,
     "commute_avoidance": scenario_commute_avoidance,
+    "soak_smoke": scenario_soak_smoke,
 }
 
 

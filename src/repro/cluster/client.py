@@ -566,6 +566,13 @@ class ClusterClient:
                                        parent_span=span)
         if span is not None:
             span.set(outcome="committed").finish()
+        if self.obs is not None and span is not None:
+            # per-colour commit latency: the whole termination protocol
+            # (prepare rounds + decision/finish fan-out) as one histogram
+            # observation — what the commit-latency SLO watches
+            for colour in action.colours:
+                self.obs.observe("commit_latency", span.duration,
+                                 colour=str(colour), node=self.node.name)
         action.status = ActionStatus.COMMITTED
         if action.parent is not None and action in action.parent.children:
             action.parent.children.remove(action)

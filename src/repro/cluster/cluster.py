@@ -67,13 +67,22 @@ class Cluster:
                  rpc_timeout: float = 10.0, rpc_retries: int = 3,
                  edge_chasing: bool = True, probe_interval: float = 5.0,
                  observability: Optional[Observability] = None,
-                 fast_paths: bool = True, commute: bool = True):
+                 fast_paths: bool = True, commute: bool = True,
+                 max_finished_spans: Optional[int] = None,
+                 metrics_max_series: Optional[int] = None,
+                 max_audit_events: Optional[int] = None):
         self.kernel = Kernel()
         #: the cluster-wide observability hub, on simulated time.  Every
         #: layer (network, transport, servers, clients, deadlock chasers)
         #: reports into it; see ``metrics_dump()`` and ``obs.span_tree()``.
+        #: The ``max_*`` knobs bound its retention (finished spans, series
+        #: per metric, audited events) for long soaks; ``None`` keeps the
+        #: short-run defaults.
         self.obs = observability if observability is not None else (
-            Observability(tick_source=lambda: self.kernel.now)
+            Observability(tick_source=lambda: self.kernel.now,
+                          max_finished_spans=max_finished_spans,
+                          metrics_max_series=metrics_max_series,
+                          max_audit_events=max_audit_events)
         )
         self.rng = SplitRandom(seed)
         self.network = Network(self.kernel, self.rng, config,
@@ -256,6 +265,38 @@ class Cluster:
         if interval and interval > 0:
             inspector.attach(interval=interval)
         return inspector
+
+    def attach_slo(self, objectives=None, latency_target: float = 25.0,
+                   abort_budget: float = 0.25, max_breaches: int = 256):
+        """Attach the SLO engine (``repro.obs.slo``) — layer 6.
+
+        Evaluates declarative objectives (commit-latency windowed mean,
+        abort-rate ceiling, auditor-finding/drift zero-tolerance, minimum
+        cluster health) once per sampler point with multi-window burn-rate
+        alerting; breaches emit ``slo.breach`` bus events, bump
+        ``slo_breach_total{objective}`` and freeze the flight-recorder
+        ring.  Requires :meth:`attach_perf` first — the sampler is the
+        engine's clock (:class:`ClusterError` otherwise).  Attach *after*
+        :meth:`attach_introspection` so the stock set includes the
+        cluster-health objective.  Pass ``objectives`` to replace the
+        stock set from :func:`repro.obs.slo.default_objectives`.  Returns
+        the engine; it
+        also hangs off ``cluster.obs.slo`` and its ledger is included in
+        ``obs.save()`` dumps.
+        """
+        from repro.obs.slo import SLOEngine, default_objectives
+
+        if self.obs.sampler is None:
+            raise ClusterError(
+                "attach_slo() needs a sampler: call attach_perf() first")
+        if objectives is None:
+            objectives = default_objectives(
+                latency_target=latency_target, abort_budget=abort_budget,
+                include_health=self.obs.inspector is not None)
+        engine = SLOEngine(self.obs, objectives=objectives,
+                           max_breaches=max_breaches)
+        engine.attach(self.obs.sampler)
+        return engine
 
     def metrics_dump(self) -> Dict:
         """One JSON-able snapshot of every metric, kernel and network stat."""

@@ -4,9 +4,13 @@ Usage::
 
     python -m repro.obs.audit run.trace.json
     python -m repro.obs.audit run.trace.json --json
+    python -m repro.obs.audit soak-out/          # soak segment directory
 
 The input is a trace document written by ``Observability.save`` (its
-``events`` key is the retained bus-event log).  Exit codes: 0 = no
+``events`` key is the retained bus-event log) or a soak segment directory,
+whose per-segment event slices are replayed concatenated in segment order
+— rotation partitions the stream without overlap, so the replay sees
+exactly what an unrotated run would have retained.  Exit codes: 0 = no
 findings, 1 = unusable input, 2 = invariant violations found.
 """
 
@@ -14,11 +18,29 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.obs.audit.auditor import InvariantAuditor
 from repro.obs.bus import ObsEvent
+
+
+def _load_events(path: str) -> Any:
+    """The ``events`` list of one dump, or an error string."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            raw = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        return f"error: cannot read {path}: {error}"
+    if not isinstance(raw, dict):
+        return (f"error: {path}: expected a JSON object "
+                f"(got {type(raw).__name__})")
+    events = raw.get("events")
+    if not isinstance(events, list):
+        return (f"error: {path}: no \"events\" list — was this dump "
+                f"written by Observability.save()?")
+    return events
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -26,25 +48,28 @@ def main(argv: Optional[List[str]] = None) -> int:
         prog="python -m repro.obs.audit",
         description="Replay a saved obs dump through the invariant auditor.",
     )
-    parser.add_argument("path", help="trace JSON written by Observability.save")
+    parser.add_argument("path", help="trace JSON written by Observability.save"
+                                     " or a soak segment directory")
     parser.add_argument("--json", action="store_true",
                         help="print findings as a JSON array")
     args = parser.parse_args(argv)
-    try:
-        with open(args.path, "r", encoding="utf-8") as handle:
-            raw = json.load(handle)
-    except (OSError, json.JSONDecodeError) as error:
-        print(f"error: cannot read {args.path}: {error}", file=sys.stderr)
-        return 1
-    if not isinstance(raw, dict):
-        print(f"error: {args.path}: expected a JSON object "
-              f"(got {type(raw).__name__})", file=sys.stderr)
-        return 1
-    events = raw.get("events")
-    if not isinstance(events, list):
-        print(f"error: {args.path}: no \"events\" list — was this dump "
-              f"written by Observability.save()?", file=sys.stderr)
-        return 1
+    if os.path.isdir(args.path):
+        from repro.obs.soak.segments import segment_paths
+
+        paths = segment_paths(args.path)
+        if not paths:
+            print(f"error: {args.path} is a directory without "
+                  f"segment-*.trace.json files", file=sys.stderr)
+            return 1
+    else:
+        paths = [args.path]
+    events: List[Dict[str, Any]] = []
+    for path in paths:
+        loaded = _load_events(path)
+        if isinstance(loaded, str):
+            print(loaded, file=sys.stderr)
+            return 1
+        events.extend(loaded)
     auditor = InvariantAuditor()
     for entry in events:
         if not isinstance(entry, dict):

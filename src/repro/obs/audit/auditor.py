@@ -122,14 +122,35 @@ class InvariantAuditor:
             if handler is not None:
                 handler(self, seq, event)
 
-    def event_dicts(self) -> List[Dict[str, Any]]:
-        """The retained event log, JSON-ready (for dumps and CLI replay)."""
+    def event_dicts(self, since: int = 0) -> List[Dict[str, Any]]:
+        """The retained event log, JSON-ready (for dumps and CLI replay).
+
+        ``since`` skips events with ``seq <= since`` — segment rotation
+        passes the last sequence number it already wrote so consecutive
+        segments partition the stream without overlap.
+        """
         with self._mutex:
             return [
                 {"seq": seq, "tick": event.tick, "kind": event.kind,
                  "labels": dict(event.labels)}
                 for seq, event in self.events
+                if seq > since
             ]
+
+    def drop_events(self, upto: int) -> int:
+        """Forget retained events with ``seq <= upto``; returns how many.
+
+        The online checks keep their own state — dropping already-exported
+        events only shrinks the replay log.  Segment rotation calls this
+        after writing a segment so retention tracks one segment, not the
+        whole soak horizon.
+        """
+        with self._mutex:
+            dropped = 0
+            while self.events and self.events[0][0] <= upto:
+                self.events.popleft()
+                dropped += 1
+            return dropped
 
     # -- findings -------------------------------------------------------------
 

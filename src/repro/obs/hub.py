@@ -32,9 +32,15 @@ def colour_names(colours) -> str:
 class Observability:
     """Bundles the three observation primitives behind one attach point."""
 
-    def __init__(self, tick_source: Optional[Callable[[], float]] = None):
-        self.metrics = MetricsRegistry(tick_source)
-        self.tracer = Tracer(tick_source)
+    def __init__(self, tick_source: Optional[Callable[[], float]] = None,
+                 max_finished_spans: Optional[int] = None,
+                 metrics_max_series: Optional[int] = None,
+                 max_audit_events: Optional[int] = None):
+        self.metrics = MetricsRegistry(
+            tick_source, max_series_per_metric=metrics_max_series)
+        self.tracer = Tracer(
+            tick_source, max_finished_spans=max_finished_spans,
+            on_drop=lambda n: self.count("spans_dropped_total", n))
         self.bus = EventBus()
         self._tick_source = tick_source
         # always-on runtime verification: every hub audits its own event
@@ -43,7 +49,11 @@ class Observability:
         from repro.obs.audit.auditor import InvariantAuditor
         from repro.obs.audit.holdtime import LockHoldTracker
 
-        self.auditor = InvariantAuditor(metrics=self.metrics)
+        if max_audit_events is not None:
+            self.auditor = InvariantAuditor(metrics=self.metrics,
+                                            max_events=max_audit_events)
+        else:
+            self.auditor = InvariantAuditor(metrics=self.metrics)
         self.bus.subscribe(self.auditor.consume)
         self.hold_times = LockHoldTracker(self.metrics)
         self.bus.subscribe(self.hold_times.consume)
@@ -57,6 +67,9 @@ class Observability:
         # live-introspection attach point (repro.obs.introspect); populated
         # by ClusterInspector when one is attached to this hub's cluster.
         self.inspector = None
+        # service-level-objective attach point (repro.obs.slo); populated
+        # by SLOEngine when one is attached to this hub.
+        self.slo = None
 
     def now(self) -> float:
         """Current time from the tick source (0.0 when none is attached)."""
@@ -131,6 +144,8 @@ class Observability:
             extra.setdefault("postmortem", self.postmortem.dump())
         if self.inspector is not None:
             extra.setdefault("introspection", self.inspector.dump())
+        if self.slo is not None:
+            extra.setdefault("slo", self.slo.dump())
         return save_trace(path, tracer=self.tracer, metrics=self.metrics,
                           extra=extra or None,
                           events=self.auditor.event_dicts())

@@ -26,7 +26,7 @@ Two things make it more than a pretty printer:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Generator, List, Optional, Set, Tuple
+from typing import Any, Dict, Generator, List, Optional, Set, Tuple
 
 from repro.obs.audit.findings import INTROSPECT_DRIFT, Finding
 from repro.sim.kernel import settle_all

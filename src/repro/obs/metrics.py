@@ -22,6 +22,12 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 #: deterministic, JSON-friendly.
 LabelSet = Tuple[Tuple[str, str], ...]
 
+#: label *value* that high-cardinality series fold into once a metric hits
+#: its per-metric series cap.  The label keys are preserved so per-key
+#: aggregations (e.g. summing a counter across every ``colour``) still see
+#: the folded series.
+OVERFLOW_LABEL = "__overflow__"
+
 
 def _labelset(labels: Dict[str, Any]) -> LabelSet:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
@@ -140,13 +146,21 @@ class MetricsRegistry:
 
     _KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
 
-    def __init__(self, tick_source: Optional[Callable[[], float]] = None):
+    def __init__(self, tick_source: Optional[Callable[[], float]] = None,
+                 max_series_per_metric: Optional[int] = None):
+        if max_series_per_metric is not None and max_series_per_metric < 1:
+            raise ValueError(
+                f"max_series_per_metric must be >= 1, got "
+                f"{max_series_per_metric}")
         self._tick_source = tick_source
         self._mutex = threading.Lock()
+        self.max_series_per_metric = max_series_per_metric
         #: kind -> name -> labelset -> instrument
         self._instruments: Dict[str, Dict[str, Dict[LabelSet, Any]]] = {
             kind: {} for kind in self._KINDS
         }
+        #: (kind, name) -> how many label sets were folded into overflow
+        self._folded: Dict[Tuple[str, str], int] = {}
 
     def now(self) -> float:
         """The registry's clock (simulated time when given a tick source)."""
@@ -171,8 +185,17 @@ class MetricsRegistry:
             per_name = self._instruments[kind].setdefault(name, {})
             instrument = per_name.get(key)
             if instrument is None:
-                instrument = self._KINDS[kind]()
-                per_name[key] = instrument
+                cap = self.max_series_per_metric
+                if cap is not None and key and len(per_name) >= cap:
+                    # fold new label sets into one overflow series per label
+                    # *shape*, keeping keys so cross-label sums stay exact.
+                    key = tuple((k, OVERFLOW_LABEL) for k, _ in key)
+                    instrument = per_name.get(key)
+                    self._folded[(kind, name)] = (
+                        self._folded.get((kind, name), 0) + 1)
+                if instrument is None:
+                    instrument = self._KINDS[kind]()
+                    per_name[key] = instrument
             return instrument
 
     # -- queries ---------------------------------------------------------------
@@ -208,9 +231,73 @@ class MetricsRegistry:
                         entry.update(per_kind[name][key].summary())
                         rows.append(entry)
                 out[f"{kind}s"] = rows
+            # synthetic accounting rows: how many label sets each capped
+            # metric folded into its overflow series (absent when no cap or
+            # no overflow, keeping uncapped dumps byte-identical).
+            for (kind, name), folds in sorted(self._folded.items()):
+                out["counters"].append({
+                    "name": "metrics_series_folded_total",
+                    "labels": {"kind": kind, "metric": name},
+                    "value": float(folds),
+                })
             return out
 
     def clear(self) -> None:
         with self._mutex:
             for per_kind in self._instruments.values():
                 per_kind.clear()
+            self._folded.clear()
+
+    def series_count(self) -> int:
+        """Total number of live instruments across every metric."""
+        with self._mutex:
+            return sum(len(per_name)
+                       for per_kind in self._instruments.values()
+                       for per_name in per_kind.values())
+
+
+def _row_key(row: Dict[str, Any]) -> Tuple[str, LabelSet]:
+    return row["name"], _labelset(row.get("labels", {}))
+
+
+def dump_delta(current: Dict[str, List[Dict[str, Any]]],
+               baseline: Dict[str, List[Dict[str, Any]]],
+               ) -> Dict[str, List[Dict[str, Any]]]:
+    """The change between two :meth:`MetricsRegistry.dump` snapshots.
+
+    This is snapshot-and-diff rather than snapshot-and-reset: the live
+    registry is never mutated (resetting would corrupt consumers that track
+    cumulative values, like the time-series sampler), yet summing the deltas
+    of consecutive segments telescopes back to the final cumulative dump.
+
+    Counters and gauges carry ``value`` differences; histograms carry
+    ``count``/``sum`` differences with a recomputed ``mean`` (percentiles
+    are cumulative-reservoir artefacts and are omitted, exactly as the
+    multi-dump merge in ``repro.obs.report`` drops them).  Rows that did
+    not change within the window are omitted.
+    """
+    out: Dict[str, List[Dict[str, Any]]] = {}
+    for kind in ("counters", "gauges", "histograms"):
+        base_rows = {_row_key(row): row for row in baseline.get(kind, [])}
+        rows: List[Dict[str, Any]] = []
+        for row in current.get(kind, []):
+            before = base_rows.get(_row_key(row))
+            if kind == "histograms":
+                count = row["count"] - (before["count"] if before else 0)
+                if count <= 0:
+                    continue
+                total = row["sum"] - (before["sum"] if before else 0.0)
+                rows.append({
+                    "name": row["name"], "labels": dict(row["labels"]),
+                    "count": count, "sum": total,
+                    "min": row["min"], "max": row["max"],
+                    "mean": total / count,
+                })
+            else:
+                value = row["value"] - (before["value"] if before else 0.0)
+                if value == 0.0 and before is not None:
+                    continue
+                rows.append({"name": row["name"],
+                             "labels": dict(row["labels"]), "value": value})
+        out[kind] = rows
+    return out

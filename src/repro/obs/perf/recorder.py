@@ -24,7 +24,7 @@ from __future__ import annotations
 import random
 import threading
 from collections import deque
-from typing import Any, Deque, Dict, List, Optional
+from typing import Any, Deque, Dict, List
 
 from repro.obs.bus import ObsEvent
 
@@ -34,6 +34,7 @@ CRITICAL_KINDS = frozenset((
     "twopc.abort", "twopc.decision_query", "twopc.end", "twopc.downgrade",
     "commit.route", "colour.permanent", "node.restart", "node.crash",
     "action.begin", "action.end", "action.failure", "lock.refused",
+    "slo.breach", "slo.recovered",
 ))
 
 #: at most this many finding snapshots are frozen per run
@@ -93,18 +94,50 @@ class FlightRecorder:
 
     def _on_finding(self, finding) -> None:
         """Freeze the ring as of this auditor finding (bounded)."""
+        self.freeze(str(finding), kind=getattr(finding, "kind", ""))
+
+    def freeze(self, label: str, kind: str = "finding") -> bool:
+        """Freeze the current ring under ``label`` (bounded snapshots).
+
+        Besides auditor findings, SLO breaches call this so the black box
+        as of the breach survives even after the ring rolls on.  Returns
+        whether a snapshot was actually taken (the per-run/segment cap of
+        ``MAX_SNAPSHOTS`` may already be exhausted).
+        """
         if len(self.finding_snapshots) >= MAX_SNAPSHOTS:
-            return
+            return False
         self.finding_snapshots.append({
-            "finding": str(finding),
-            "kind": getattr(finding, "kind", ""),
+            "finding": label,
+            "kind": kind,
             "events": self.ring_events(),
         })
+        return True
 
     def ring_events(self) -> List[Dict[str, Any]]:
         """Current ring contents, oldest first."""
         with self._mutex:
             return [dict(entry) for entry in self._ring]
+
+    def drain(self) -> List[Dict[str, Any]]:
+        """Remove and return the ring contents, oldest first.
+
+        Segment rotation streams the ring out per segment; counters
+        (``seen``/``evicted``/``skipped``) keep accumulating across drains.
+        """
+        with self._mutex:
+            ring = [dict(entry) for entry in self._ring]
+            self._ring.clear()
+            return ring
+
+    def take_snapshots(self) -> List[Dict[str, Any]]:
+        """Remove and return frozen snapshots, re-arming the snapshot cap.
+
+        Rotation embeds snapshots in the segment that covers them; clearing
+        lets each segment freeze up to ``MAX_SNAPSHOTS`` of its own.
+        """
+        taken = list(self.finding_snapshots)
+        self.finding_snapshots.clear()
+        return taken
 
     def dump(self) -> Dict[str, Any]:
         """JSON-able section for ``Observability.save``."""

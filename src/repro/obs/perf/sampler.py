@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import gc
 import sys
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Tuple
 
 #: counters summarised per colour at each point (label -> metric name)
 _COLOUR_COUNTERS = (
@@ -34,6 +34,7 @@ _COLOUR_COUNTERS = (
 _COLOUR_HISTOGRAMS = (
     ("lock_wait", "lock_wait_time"),
     ("twopc_prepare", "twopc_prepare_time"),
+    ("commit_latency", "commit_latency"),
 )
 
 
@@ -60,6 +61,7 @@ class TimeSeriesSampler:
         self._fires = 0
         self._timer = None
         self._probes: List[Tuple[str, Callable[[], float]]] = []
+        self._point_listeners: List[Callable[[Dict[str, Any]], None]] = []
         #: (metric, colour) -> cumulative value at the previous point
         self._last_counts: Dict[Tuple[str, str], float] = {}
         hub.sampler = self
@@ -69,6 +71,12 @@ class TimeSeriesSampler:
     def add_probe(self, name: str, fn: Callable[[], float]) -> None:
         """Sample ``fn()`` into the ``gauges`` section of every point."""
         self._probes.append((name, fn))
+
+    def add_point_listener(self, fn: Callable[[Dict[str, Any]], None]) -> None:
+        """Call ``fn(point)`` after every sampled point (the SLO engine's
+        clock); listener exceptions propagate — sampling is load-bearing
+        for objective evaluation, not best-effort."""
+        self._point_listeners.append(fn)
 
     def attach(self, kernel) -> "TimeSeriesSampler":
         """Start sampling on ``kernel``'s clock (see ``Kernel.every``)."""
@@ -116,12 +124,17 @@ class TimeSeriesSampler:
                 merged.setdefault(colour, []).append(histogram)
             for colour, histograms in sorted(merged.items()):
                 count = sum(h.count for h in histograms)
+                total = sum(h.total for h in histograms)
                 last = self._last_counts.get((metric, colour), 0.0)
+                last_sum = self._last_counts.get((metric + "/sum", colour), 0.0)
                 self._last_counts[(metric, colour)] = count
+                self._last_counts[(metric + "/sum", colour)] = total
                 if count == last:
                     continue  # no new samples this interval: stay compact
                 row = colours.setdefault(colour, {})
                 row[f"{key}_count"] = count - last
+                # window mean: exact over just this interval's observations
+                row[f"{key}_mean"] = (total - last_sum) / (count - last)
                 # cumulative quantiles over the widest labelled series —
                 # cheap, deterministic, and good enough for a trend line
                 widest = max(histograms, key=lambda h: h.count)
@@ -135,6 +148,8 @@ class TimeSeriesSampler:
         if self.process_probes:
             point["process"] = self._process_sample()
         self.points.append(point)
+        for listener in self._point_listeners:
+            listener(point)
         if len(self.points) >= self.max_points:
             self._decimate()
         return point

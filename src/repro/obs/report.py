@@ -6,6 +6,7 @@ Usage::
     python -m repro.obs.report run.trace.json --timeline # ASCII timeline
     python -m repro.obs.report metrics.json --metrics-only
     python -m repro.obs.report dumps/*.trace.json        # aggregated table
+    python -m repro.obs.report soak-out/                 # soak segment dir
 
 The input is either a full trace document written by
 :func:`repro.obs.export.save_trace` / ``Observability.save`` (``spans`` +
@@ -27,10 +28,35 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Any, Dict, List, Optional
 
 from repro.obs.export import load_trace, span_timeline, span_tree, text_report
+
+
+def expand_paths(paths: List[str]) -> Optional[List[str]]:
+    """Expand soak segment *directories* into their segments, in order.
+
+    A directory argument stands for every ``segment-*.trace.json`` inside
+    it (see :mod:`repro.obs.soak.segments`), so ``repro.obs.report
+    soak-out/`` aggregates a whole soak run.  Returns ``None`` (after
+    printing to stderr) when a directory holds no segments.
+    """
+    from repro.obs.soak.segments import segment_paths
+
+    expanded: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            segments = segment_paths(path)
+            if not segments:
+                print(f"error: {path} is a directory without "
+                      f"segment-*.trace.json files", file=sys.stderr)
+                return None
+            expanded.extend(segments)
+        else:
+            expanded.append(path)
+    return expanded
 
 
 def _as_document(raw: Dict[str, Any]) -> Dict[str, Any]:
@@ -140,8 +166,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument("paths", nargs="+", metavar="path",
                         help="trace/metrics JSON file(s) (Observability.save "
-                             "or metrics dumps); several files aggregate "
-                             "into one table")
+                             "or metrics dumps) or a soak segment directory; "
+                             "several inputs aggregate into one table")
     parser.add_argument("--timeline", action="store_true",
                         help="also render the ASCII span timeline")
     parser.add_argument("--metrics-only", action="store_true",
@@ -151,8 +177,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--width", type=int, default=72,
                         help="timeline width in columns (default 72)")
     args = parser.parse_args(argv)
+    paths = expand_paths(args.paths)
+    if paths is None:
+        return 1
     documents: List[Dict[str, Any]] = []
-    for path in args.paths:
+    for path in paths:
         try:
             raw = load_trace(path)
         except (OSError, json.JSONDecodeError) as error:

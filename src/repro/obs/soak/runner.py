@@ -1,0 +1,336 @@
+"""The soak observatory: long-horizon seeded chaos runs, bounded memory.
+
+A :class:`SoakRunner` drives one *arm* of a seeded chaos scenario for
+hours of simulated time while the full observability stack (sampler,
+flight recorder, live introspection, SLO engine) watches.  Memory stays
+bounded **regardless of horizon** through segment rotation: every
+``segment_every`` ticks the run's observability state is streamed out as
+one ``repro-obs/1`` segment document —
+
+* metrics as **deltas** over the window (snapshot-and-diff via
+  :func:`repro.obs.metrics.dump_delta`; summing all segments telescopes
+  back to the cumulative totals of an unrotated run),
+* the finished spans of the window (``Tracer.drain_finished``),
+* the auditor's event slice (``event_dicts(since=...)`` + ``drop_events``),
+* the drained flight-recorder ring and its frozen breach snapshots,
+* the sampler points of the window and the SLO ledger slice —
+
+into a directory that ``python -m repro.obs.report`` / ``repro.obs.audit``
+/ ``repro.obs.slo`` aggregate in segment order.  An end-of-run summary
+(``soak.json``) records per-segment SLO verdicts, the breach timeline and
+the measured peak retention of every bounded structure.
+
+Arms:
+
+``clean``
+    No fault injection; the acceptance bar is *zero* SLO breaches.
+``faulty``
+    A seeded mid-run network-degradation burst (delay surge + message
+    drops over a fixed window) that must trip the commit-latency burn
+    objective — and be attributed to the burst window by the ledger.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+from typing import Any, Dict, List, Optional
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.network import NetworkConfig
+from repro.obs.metrics import dump_delta
+from repro.obs.slo import default_objectives
+from repro.obs.soak.segments import segment_name, summary_path
+from repro.sim.kernel import Timeout
+
+ARMS = ("clean", "faulty")
+
+FORMAT = "repro-soak/1"
+
+
+class SoakRunner:
+    """One seeded soak arm: build, run, rotate, report."""
+
+    def __init__(self, out_dir: Optional[str] = None, arm: str = "faulty",
+                 seed: int = 21, horizon: float = 7200.0,
+                 segment_every: float = 1800.0,
+                 sample_interval: float = 20.0,
+                 workers: int = 3, objects: int = 8, op_pause: float = 10.0,
+                 latency_target: float = 12.0, abort_budget: float = 0.25,
+                 surge: float = 8.0, burst_start: Optional[float] = None,
+                 burst_duration: Optional[float] = None,
+                 burst_drop: float = 0.02,
+                 flight_capacity: int = 1024,
+                 sampler_max_points: int = 1024,
+                 metrics_max_series: int = 64,
+                 max_finished_spans: Optional[int] = None,
+                 rotate: bool = True, introspection: bool = True):
+        if arm not in ARMS:
+            raise ValueError(f"unknown arm {arm!r} (expected one of {ARMS})")
+        if horizon <= 0 or segment_every <= 0 or sample_interval <= 0:
+            raise ValueError("horizon, segment_every and sample_interval "
+                             "must all be > 0")
+        self.out_dir = out_dir
+        self.arm = arm
+        self.seed = seed
+        self.horizon = horizon
+        self.segment_every = segment_every
+        self.sample_interval = sample_interval
+        self.workers = workers
+        self.objects = objects
+        self.op_pause = op_pause
+        self.latency_target = latency_target
+        self.abort_budget = abort_budget
+        self.surge = surge
+        #: default burst window: [35%, 50%] of the horizon
+        self.burst_start = (burst_start if burst_start is not None
+                            else 0.35 * horizon)
+        self.burst_duration = (burst_duration if burst_duration is not None
+                               else 0.15 * horizon)
+        self.burst_drop = burst_drop
+        self.flight_capacity = flight_capacity
+        self.sampler_max_points = sampler_max_points
+        self.metrics_max_series = metrics_max_series
+        self.max_finished_spans = max_finished_spans
+        self.rotate = rotate
+        self.introspection = introspection
+
+        self.cluster: Optional[Cluster] = None
+        self.sampler = None
+        self.recorder = None
+        self.inspector = None
+        self.engine = None
+        self.outcomes = {"committed": 0, "aborted": 0}
+        self.segment_files: List[str] = []
+        self.segment_verdicts: List[Dict[str, Any]] = []
+        #: measured maxima of every bounded in-memory structure
+        self.peaks: Dict[str, int] = {
+            "spans": 0, "audit_events": 0, "flight_ring": 0,
+            "metric_series": 0, "sampler_points": 0, "breach_ledger": 0,
+        }
+        self._metrics_baseline: Dict[str, Any] = {}
+        self._last_event_seq = 0
+        self._segment_index = 0
+        self._segment_start = 0.0
+
+    # -- build ----------------------------------------------------------------
+
+    def _build(self) -> None:
+        self.cluster = Cluster(
+            seed=self.seed, config=NetworkConfig(),
+            metrics_max_series=self.metrics_max_series,
+            max_finished_spans=self.max_finished_spans)
+        cluster = self.cluster
+        self.nodes = ("n0", "n1", "n2")
+        for name in self.nodes:
+            cluster.add_node(name)
+        self.sampler, self.recorder = cluster.attach_perf(
+            interval=self.sample_interval,
+            max_points=self.sampler_max_points,
+            recorder_capacity=self.flight_capacity, seed=self.seed)
+        if self.introspection:
+            # generous probe timeout so a delay surge degrades health
+            # verdicts instead of inventing unreachable servers
+            self.inspector = cluster.attach_introspection(
+                interval=self.sample_interval * 3,
+                probe_timeout=self.sample_interval)
+        self.engine = cluster.attach_slo(
+            objectives=default_objectives(
+                latency_target=self.latency_target,
+                abort_budget=self.abort_budget,
+                include_health=self.inspector is not None))
+        self.sampler.add_point_listener(lambda _point: self._observe_peaks())
+
+        self.refs: List[Any] = []
+
+        def setup():
+            client = cluster.client("n0", name="soak-setup")
+            for index in range(self.objects):
+                ref = yield from client.create(
+                    self.nodes[index % len(self.nodes)], "counter", value=0)
+                self.refs.append(ref)
+
+        cluster.run_process("n0", setup())
+
+        for worker_id in range(self.workers):
+            cluster.spawn(self.nodes[worker_id % len(self.nodes)],
+                          self._worker(worker_id),
+                          name=f"soak-w{worker_id}")
+        if self.arm == "faulty":
+            self._arm_burst()
+        if self.rotate and self.out_dir:
+            cluster.kernel.every(self.segment_every, self._rotate)
+
+    def _worker(self, worker_id: int):
+        cluster = self.cluster
+        client = cluster.client(self.nodes[worker_id % len(self.nodes)],
+                                name=f"soak-w{worker_id}")
+        rng = random.Random(self.seed * 1009 + worker_id)
+        stop_at = self.horizon - 2 * self.op_pause
+        op = 0
+        while cluster.kernel.now < stop_at:
+            picks = rng.sample(self.refs, k=min(2, len(self.refs)))
+            # canonical acquisition order: the soak measures sustained
+            # objectives, not deadlock-victim throughput
+            picks.sort(key=lambda ref: (ref.node, ref.uid))
+            action = client.top_level(f"w{worker_id}.op{op}")
+            try:
+                for ref in picks:
+                    yield from client.invoke(action, ref, "increment", 1)
+                yield from client.commit(action)
+                self.outcomes["committed"] += 1
+            except Exception:
+                self.outcomes["aborted"] += 1
+                if not action.status.terminated:
+                    yield from client.abort(action)
+            op += 1
+            yield Timeout(self.op_pause * (0.5 + rng.random()))
+
+    def _arm_burst(self) -> None:
+        """Schedule the seeded network-degradation window.
+
+        Mutating the live ``NetworkConfig`` is deterministic: the fault
+        RNG consumes exactly two draws per send regardless of the
+        probabilities in force, so the burst changes message *fates*, not
+        the RNG stream alignment.
+        """
+        config = self.cluster.network.config
+        base = (config.min_delay, config.max_delay, config.drop_probability)
+        obs = self.cluster.obs
+
+        def start() -> None:
+            config.min_delay = base[0] * self.surge
+            config.max_delay = base[1] * self.surge
+            config.drop_probability = min(0.9, base[2] + self.burst_drop)
+            obs.emit("soak.fault_burst", phase="start", arm=self.arm,
+                     surge=f"{self.surge:g}")
+
+        def stop() -> None:
+            config.min_delay, config.max_delay = base[0], base[1]
+            config.drop_probability = base[2]
+            obs.emit("soak.fault_burst", phase="stop", arm=self.arm)
+
+        self.cluster.kernel.schedule(self.burst_start, start)
+        self.cluster.kernel.schedule(self.burst_start + self.burst_duration,
+                                     stop)
+
+    # -- rotation --------------------------------------------------------------
+
+    def _observe_peaks(self) -> None:
+        obs = self.cluster.obs
+        observed = {
+            "spans": len(obs.tracer.spans),
+            "audit_events": len(obs.auditor.events),
+            "flight_ring": len(self.recorder.ring_events()),
+            "metric_series": obs.metrics.series_count(),
+            "sampler_points": len(self.sampler.points),
+            "breach_ledger": len(self.engine.breaches),
+        }
+        for key, value in observed.items():
+            if value > self.peaks[key]:
+                self.peaks[key] = value
+
+    def _segment_document(self, start: float, end: float) -> Dict[str, Any]:
+        obs = self.cluster.obs
+        current = obs.metrics.dump()
+        metrics = dump_delta(current, self._metrics_baseline)
+        self._metrics_baseline = current
+        spans = [span.to_dict() for span in obs.tracer.drain_finished()]
+        events = obs.auditor.event_dicts(since=self._last_event_seq)
+        if events:
+            self._last_event_seq = events[-1]["seq"]
+            obs.auditor.drop_events(self._last_event_seq)
+        points = [point for point in self.sampler.points
+                  if start < point["tick"] <= end]
+        breaches = [dict(entry) for entry in self.engine.breaches
+                    if entry["start_tick"] <= end
+                    and (entry["end_tick"] is None
+                         or entry["end_tick"] > start)]
+        status = self.engine.window_status()
+        verdict = {
+            "index": self._segment_index, "start_tick": start,
+            "end_tick": end,
+            "breaches": len(breaches),
+            "breaching": [row["objective"] for row in status
+                          if row["state"] == "breaching"],
+        }
+        self.segment_verdicts.append(verdict)
+        return {
+            "format": "repro-obs/1",
+            "spans": spans,
+            "metrics": metrics,
+            "events": events,
+            "extra": {
+                "segment": {"index": self._segment_index,
+                            "start_tick": start, "end_tick": end,
+                            "arm": self.arm, "seed": self.seed},
+                "flight_recorder": {
+                    "capacity": self.recorder.capacity,
+                    "sample_rate": self.recorder.sample_rate,
+                    "evicted": self.recorder.evicted,
+                    "skipped": self.recorder.skipped,
+                    "events": self.recorder.drain(),
+                    "finding_snapshots": self.recorder.take_snapshots(),
+                },
+                "timeline": {"interval": self.sampler.interval,
+                             "stride": self.sampler.stride,
+                             "decimations": self.sampler.decimations,
+                             "points": points},
+                "slo": {"breaches": breaches, "status": status,
+                        "frames": self.engine.frames,
+                        "active": self.engine.active()},
+            },
+        }
+
+    def _rotate(self) -> None:
+        self._observe_peaks()
+        now = self.cluster.kernel.now
+        if now <= self._segment_start and self._segment_index > 0:
+            return
+        document = self._segment_document(self._segment_start, now)
+        path = os.path.join(self.out_dir, segment_name(self._segment_index))
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+        self.segment_files.append(path)
+        self._segment_index += 1
+        self._segment_start = now
+
+    # -- run -------------------------------------------------------------------
+
+    def run(self) -> Dict[str, Any]:
+        """Build the cluster, run the arm to its horizon, write the report."""
+        if self.out_dir:
+            os.makedirs(self.out_dir, exist_ok=True)
+        self._build()
+        self.cluster.run()
+        self._observe_peaks()
+        if self.rotate and self.out_dir:
+            self._rotate()  # final partial segment (skipped when empty)
+        findings = len(self.cluster.obs.auditor.report())
+        breaches = self.engine.dump()
+        exit_code = 2 if (breaches["breach_total"] > 0 or findings > 0) else 0
+        summary = {
+            "format": FORMAT,
+            "arm": self.arm,
+            "seed": self.seed,
+            "horizon": self.horizon,
+            "elapsed": self.cluster.kernel.now,
+            "committed": self.outcomes["committed"],
+            "aborted": self.outcomes["aborted"],
+            "audit_findings": findings,
+            "segments": [os.path.basename(path)
+                         for path in self.segment_files],
+            "segment_verdicts": self.segment_verdicts,
+            "breach_total": breaches["breach_total"],
+            "breaches": breaches["breaches"],
+            "active_breaches": breaches["active"],
+            "objectives": breaches["objectives"],
+            "peaks": dict(self.peaks),
+            "exit_code": exit_code,
+        }
+        if self.out_dir:
+            with open(summary_path(self.out_dir), "w",
+                      encoding="utf-8") as handle:
+                json.dump(summary, handle, indent=2, sort_keys=True)
+        return summary

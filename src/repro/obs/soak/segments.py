@@ -1,0 +1,41 @@
+"""Naming and discovery of soak segment dumps.
+
+A soak run rotates its observability state into a directory of numbered
+*segments* — each a normal ``repro-obs/1`` document whose metrics are
+**deltas** over the segment window (summing all segments telescopes back
+to the cumulative totals of an unrotated run).  This module is the one
+place that knows the naming scheme, so the runner that writes segments
+and the CLIs that aggregate them (``repro.obs.report``,
+``repro.obs.audit``, ``repro.obs.slo``) cannot drift apart.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List
+
+SEGMENT_PREFIX = "segment-"
+SEGMENT_SUFFIX = ".trace.json"
+#: the end-of-run soak summary written next to the segments
+SUMMARY_NAME = "soak.json"
+
+
+def segment_name(index: int) -> str:
+    """``segment-0007.trace.json`` — zero-padded so sorted() = segment order."""
+    return f"{SEGMENT_PREFIX}{index:04d}{SEGMENT_SUFFIX}"
+
+
+def segment_paths(directory: str) -> List[str]:
+    """Every segment in ``directory``, in segment (= rotation) order."""
+    try:
+        names = os.listdir(directory)
+    except OSError:
+        return []
+    return [os.path.join(directory, name)
+            for name in sorted(names)
+            if name.startswith(SEGMENT_PREFIX)
+            and name.endswith(SEGMENT_SUFFIX)]
+
+
+def summary_path(directory: str) -> str:
+    return os.path.join(directory, SUMMARY_NAME)

@@ -84,6 +84,7 @@ class Span:
         """Idempotently close the span."""
         if self.end is None:
             self.end = at if at is not None else self.tracer.now()
+            self.tracer._note_finished()
         return self
 
     def to_dict(self) -> Dict[str, Any]:
@@ -115,15 +116,32 @@ class Tracer:
     cluster; a logical counter otherwise).  The tracer is shared across
     simulated nodes — each span records which node it ran on — which is
     what a collector would see after export in a real deployment.
+
+    ``max_finished_spans`` bounds retention for long soaks: once the number
+    of *finished* spans exceeds the cap by half a cap (amortised batches, so
+    finish stays O(1)), the oldest finished spans are evicted ring-style and
+    counted in ``dropped`` / reported via ``on_drop``.  Runs that stay under
+    the cap keep the span list — and therefore every dump — byte-identical
+    to an unbounded tracer; eviction order is deterministic (insertion
+    order), never randomised.
     """
 
-    def __init__(self, tick_source: Optional[Callable[[], float]] = None):
+    def __init__(self, tick_source: Optional[Callable[[], float]] = None,
+                 max_finished_spans: Optional[int] = None,
+                 on_drop: Optional[Callable[[int], None]] = None):
+        if max_finished_spans is not None and max_finished_spans < 1:
+            raise ValueError(
+                f"max_finished_spans must be >= 1, got {max_finished_spans}")
         self._tick_source = tick_source
         self._logical = itertools.count(1)
         self._span_ids = itertools.count(1)
         self._trace_ids = itertools.count(1)
         self._mutex = threading.Lock()
         self.spans: List[Span] = []
+        self.max_finished_spans = max_finished_spans
+        self.on_drop = on_drop
+        self.dropped = 0
+        self._finished_count = 0
 
     def now(self) -> float:
         if self._tick_source is not None:
@@ -157,6 +175,50 @@ class Tracer:
         if attrs:
             span.set(**attrs)
         return span
+
+    # -- bounded retention ---------------------------------------------------
+
+    def _note_finished(self) -> None:
+        """Called by :meth:`Span.finish`; evicts in amortised batches."""
+        drop_count = 0
+        with self._mutex:
+            self._finished_count += 1
+            cap = self.max_finished_spans
+            if cap is not None:
+                excess = self._finished_count - cap
+                # batch evictions so each finish is amortised O(1), at the
+                # cost of briefly retaining up to 1.5x the cap.
+                if excess >= max(1, cap // 2):
+                    drop_count = self._evict_locked(excess)
+        if drop_count and self.on_drop is not None:
+            self.on_drop(drop_count)
+
+    def _evict_locked(self, count: int) -> int:
+        """Drop the ``count`` oldest finished spans.  Caller holds the lock."""
+        kept: List[Span] = []
+        dropped = 0
+        for span in self.spans:
+            if dropped < count and span.finished:
+                dropped += 1
+                continue
+            kept.append(span)
+        self.spans = kept
+        self._finished_count -= dropped
+        self.dropped += dropped
+        return dropped
+
+    def drain_finished(self) -> List[Span]:
+        """Remove and return every finished span (open spans stay).
+
+        Segment rotation uses this to stream spans out while a soak is
+        still running, keeping in-memory retention proportional to one
+        segment rather than the whole horizon.
+        """
+        with self._mutex:
+            finished = [span for span in self.spans if span.finished]
+            self.spans = [span for span in self.spans if not span.finished]
+            self._finished_count = 0
+            return finished
 
     # -- context propagation -------------------------------------------------
 
@@ -198,3 +260,4 @@ class Tracer:
     def clear(self) -> None:
         with self._mutex:
             self.spans.clear()
+            self._finished_count = 0

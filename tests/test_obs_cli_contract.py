@@ -1,7 +1,7 @@
 """The exit-code contract every obs CLI honours, asserted in one place.
 
-All five consoles — ``report``, ``audit``, ``perf``, ``why`` and ``top`` —
-speak the same language to CI and shell scripts:
+All seven consoles — ``report``, ``audit``, ``perf``, ``why``, ``top``,
+``slo`` and ``soak`` — speak the same language to CI and shell scripts:
 
 * **0** — input understood, nothing demands attention;
 * **1** — unusable input (missing file, malformed JSON, wrong shape);
@@ -24,6 +24,8 @@ from repro.obs import Observability
 from repro.obs.audit.__main__ import main as audit_main
 from repro.obs.perf.__main__ import main as perf_main
 from repro.obs.report import main as report_main
+from repro.obs.slo.__main__ import main as slo_main
+from repro.obs.soak.__main__ import main as soak_main
 from repro.obs.top import main as top_main
 from repro.obs.why import main as why_main
 from repro.runtime.runtime import LocalRuntime
@@ -143,12 +145,38 @@ def _top_argv(tmp_path, code):
     return [_introspection_dump(tmp_path, "drifted.json", drift=_DRIFT)]
 
 
+def _slo_argv(tmp_path, code):
+    if code == 0:
+        return [_write(tmp_path, "green.json",
+                       {"extra": {"slo": {"breaches": []}}})]
+    if code == 1:
+        return [str(tmp_path / "missing.json")]
+    return [_write(tmp_path, "breached.json", {"extra": {"slo": {
+        "breaches": [{"objective": "commit-latency", "start_tick": 10.0,
+                      "end_tick": 40.0, "peak_burn": 3.0}]}}})]
+
+
+def _soak_argv(tmp_path, code):
+    # 0/2 run real (tiny) soak arms in memory; 1 is unusable input
+    if code == 0:
+        return ["--arm", "clean", "--horizon", "240",
+                "--segment-every", "80", "--interval", "10", "--no-rotate"]
+    if code == 1:
+        return ["--arm", "chaotic-neutral"]
+    return ["--arm", "faulty", "--horizon", "600",
+            "--segment-every", "200", "--interval", "10", "--no-rotate",
+            "--burst-start", "150", "--burst-duration", "200",
+            "--surge", "12"]
+
+
 _CLIS = {
     "report": (report_main, _report_argv),
     "audit": (audit_main, _audit_argv),
     "perf": (perf_main, _perf_argv),
     "why": (why_main, _why_argv),
     "top": (top_main, _top_argv),
+    "slo": (slo_main, _slo_argv),
+    "soak": (soak_main, _soak_argv),
 }
 
 
