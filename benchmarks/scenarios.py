@@ -37,7 +37,10 @@ deciding locally in one round, against classic 2PC and against semantic
 locking without the commute path, on an identical workload), and
 ``soak_smoke`` (capped-horizon soak-observatory arms with segment
 rotation: the clean arm gated at zero SLO breaches, the faulty arm's
-seeded fault burst gated to trip the commit-latency burn objective).
+seeded fault burst gated to trip the commit-latency burn objective), and
+``realtime_backend`` (the same fault-free workloads on the sim and
+asyncio execution backends: gated outcome parity plus measured
+wall-clock figures under ``info`` for the ``--gate-wall`` arm).
 """
 
 from __future__ import annotations
@@ -47,12 +50,14 @@ import json
 import os
 import random
 import sys
+import time
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 if __package__ in (None, ""):  # standalone: python benchmarks/scenarios.py
     sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
                                     os.pardir, "src"))
 
+from repro.backend import AsyncioBackend
 from repro.cluster.cluster import Cluster
 from repro.cluster.failures import FaultSchedule
 from repro.cluster.network import NetworkConfig
@@ -725,6 +730,177 @@ def scenario_soak_smoke(seed: int = 21) -> Dict[str, Any]:
         metrics)
 
 
+# -- realtime backend ---------------------------------------------------------
+
+#: wall seconds per time unit for the scenario's asyncio arms — small
+#: enough that both arms finish in well under a second each, large enough
+#: that millisecond host jitter stays a fraction of one unit
+REALTIME_TIME_SCALE = 0.002
+
+
+def _realtime_fastpath(backend, seed: int) -> Dict[str, Any]:
+    """The sequential A/B/C fast-path mix on an arbitrary backend.
+
+    Single-client and fault-free, so the logical structure is
+    deterministic: commit counts, stable values and auditor silence must
+    not depend on the backend.  Returns the outcome dict plus wall/sim
+    elapsed figures for the info section.
+    """
+    cluster = Cluster(seed=seed, backend=backend, fast_paths=True)
+    for name in ("home", "s1", "s2"):
+        cluster.add_node(name)
+    client = cluster.client("home")
+    refs: Dict[str, Any] = {}
+    commits = {"count": 0}
+
+    def app():
+        refs["a"] = yield from client.create("s1", "counter", value=0)
+        refs["b"] = yield from client.create("s2", "counter", value=0)
+        for index in range(6):       # profile A: single-server write
+            action = client.top_level(f"A{index}")
+            yield from client.invoke(action, refs["a"], "increment", 1)
+            yield from client.commit(action)
+            commits["count"] += 1
+        for index in range(4):       # profile B: one writer + one reader
+            action = client.top_level(f"B{index}")
+            yield from client.invoke(action, refs["a"], "increment", 1)
+            yield from client.invoke(action, refs["b"], "get")
+            yield from client.commit(action)
+            commits["count"] += 1
+        for index in range(2):       # profile C: two writers
+            action = client.top_level(f"C{index}")
+            yield from client.invoke(action, refs["a"], "increment", 1)
+            yield from client.invoke(action, refs["b"], "increment", 1)
+            yield from client.commit(action)
+            commits["count"] += 1
+
+    started_wall = time.perf_counter()
+    started_units = cluster.kernel.now
+    cluster.run_process("home", app())
+    result = {
+        "commits": commits["count"],
+        "a": _stable_int(cluster, refs["a"]),
+        "b": _stable_int(cluster, refs["b"]),
+        "audit_findings": len(cluster.obs.auditor.report()),
+        "wall_seconds": time.perf_counter() - started_wall,
+        "elapsed_units": cluster.kernel.now - started_units,
+    }
+    cluster.close()
+    return result
+
+
+def _realtime_commute(backend, seed: int, workers: int = 4,
+                      ops: int = 3) -> Dict[str, Any]:
+    """Concurrent commuting adds on an arbitrary backend.
+
+    Commuting operations never conflict, so despite real concurrency on
+    the asyncio arm every interleaving commits everything through the
+    commute fast path: counts and totals are backend-independent.
+    """
+    cluster = Cluster(seed=seed, backend=backend, commute=True,
+                      lock_wait_timeout=60.0)
+    nodes = ("n0", "n1", "n2")
+    for name in nodes:
+        cluster.add_node(name)
+    refs: List[Any] = []
+
+    def setup():
+        client = cluster.client("n0")
+        for host in ("n1", "n2"):
+            ref = yield from client.create(host, "commuting_counter", value=0)
+            refs.append(ref)
+
+    cluster.run_process("n0", setup())
+    outcomes = {"committed": 0, "aborted": 0}
+
+    def worker(wid):
+        client = cluster.client(nodes[wid % len(nodes)], name=f"w{wid}")
+        rng = random.Random(seed * 1000 + wid)
+        for op in range(ops):
+            action = client.top_level(f"w{wid}.op{op}")
+            try:
+                for ref in refs:
+                    yield from client.invoke(action, ref, "add", 1)
+                yield from client.commit(action)
+                outcomes["committed"] += 1
+            except Exception:
+                outcomes["aborted"] += 1
+                if not action.status.terminated:
+                    yield from client.abort(action)
+            yield Timeout(1.0 + rng.random())
+
+    started_wall = time.perf_counter()
+    started_units = cluster.kernel.now
+    for wid in range(workers):
+        cluster.spawn(nodes[wid % len(nodes)], worker(wid),
+                      name=f"worker{wid}")
+    cluster.run()
+    commute_commits = 0.0
+    for labels, counter in cluster.obs.metrics.series("twopc_fast_path_total"):
+        if dict(labels).get("kind") == "commute":
+            commute_commits += counter.value
+    result = {
+        "committed": outcomes["committed"],
+        "aborted": outcomes["aborted"],
+        "total": sum(_stable_int(cluster, ref) for ref in refs),
+        "commute_commits": commute_commits,
+        "audit_findings": len(cluster.obs.auditor.report()),
+        "wall_seconds": time.perf_counter() - started_wall,
+        "elapsed_units": cluster.kernel.now - started_units,
+    }
+    cluster.close()
+    return result
+
+
+def scenario_realtime_backend(seed: int = 29) -> Dict[str, Any]:
+    """Backend parity and wall-clock cost of the real-time backend.
+
+    Runs two fault-free arms — the sequential fast-path mix and the
+    concurrent commute workload — once on the sim backend and once on
+    :class:`AsyncioBackend`, same seeds.  Gated ``metrics`` carry the
+    backend-independent outcomes (commit counts, stable values, auditor
+    silence) plus explicit 0/1 parity flags; measured wall-clock numbers
+    land under ``info`` for the opt-in ``--gate-wall`` arm of the perf
+    gate.  ``*_realtime_overhead`` is the asyncio arm's wall time divided
+    by the ideal ``sim_elapsed_units * time_scale`` — how much slower
+    than perfectly-scaled virtual time the real loop runs.
+    """
+    logical = ("commits", "a", "b", "committed", "aborted", "total",
+               "commute_commits", "audit_findings")
+
+    def outcomes_of(result: Dict[str, Any]) -> Dict[str, Any]:
+        return {key: result[key] for key in logical if key in result}
+
+    arms = {
+        "fastpath": _realtime_fastpath,
+        "commute": _realtime_commute,
+    }
+    metrics: Dict[str, float] = {}
+    info: Dict[str, Any] = {"time_scale": REALTIME_TIME_SCALE}
+    for arm, build in arms.items():
+        sim = build(None, seed)
+        real = build(AsyncioBackend(time_scale=REALTIME_TIME_SCALE), seed)
+        assert outcomes_of(sim) == outcomes_of(real), (arm, sim, real)
+        assert sim["audit_findings"] == 0, (arm, sim)
+        for key, value in outcomes_of(sim).items():
+            metrics[f"{arm}.{key}"] = value
+        metrics[f"{arm}.parity"] = 1.0
+        ideal = sim["elapsed_units"] * REALTIME_TIME_SCALE
+        done = real["commits" if arm == "fastpath" else "committed"]
+        info[f"sim.{arm}_wall_seconds"] = round(sim["wall_seconds"], 6)
+        info[f"asyncio.{arm}_wall_seconds"] = round(real["wall_seconds"], 6)
+        info[f"asyncio.{arm}_wall_per_commit"] = round(
+            real["wall_seconds"] / max(1, done), 6)
+        info[f"asyncio.{arm}_realtime_overhead"] = round(
+            real["wall_seconds"] / ideal, 4) if ideal > 0 else 0.0
+        info[f"{arm}_sim_elapsed_units"] = round(sim["elapsed_units"], 6)
+    return _document(
+        "realtime_backend", seed,
+        {"arms": sorted(arms), "time_scale": REALTIME_TIME_SCALE,
+         "backends": ["sim", "asyncio"]},
+        metrics, info)
+
+
 SCENARIOS: Dict[str, Callable[[], Dict[str, Any]]] = {
     "contention_sweep": scenario_contention_sweep,
     "colour_sweep": scenario_colour_sweep,
@@ -734,6 +910,7 @@ SCENARIOS: Dict[str, Callable[[], Dict[str, Any]]] = {
     "twopc_fastpath": scenario_twopc_fastpath,
     "commute_avoidance": scenario_commute_avoidance,
     "soak_smoke": scenario_soak_smoke,
+    "realtime_backend": scenario_realtime_backend,
 }
 
 

@@ -1,0 +1,338 @@
+"""The real-time execution backend: the kernel surface on asyncio.
+
+:class:`AsyncioKernel` implements the same scheduler surface as the
+simulation :class:`~repro.sim.kernel.Kernel` — ``now`` / ``event`` /
+``spawn`` / ``schedule`` / ``timeout_event`` / ``every`` / ``run`` /
+``run_until_settled`` — on a real :mod:`asyncio` event loop with a
+monotonic wall clock.  The protocol stack (cluster client, servers, RPC
+transport, network fault injection, observability timers) runs on it
+*unchanged*: generator processes, one-shot events, periodic daemon timers
+and the fan-in combinators are the very classes the sim kernel uses,
+scheduled here with ``loop.call_later`` instead of a virtual-time heap.
+
+Time units and ``time_scale``
+-----------------------------
+
+All delays, timeouts and clock reads throughout the repo are written in
+abstract *time units* (the sim kernel's ticks).  ``AsyncioKernel`` maps
+one unit to ``time_scale`` wall seconds off ``time.monotonic()``:
+``now`` is elapsed wall time divided by ``time_scale``, and a
+``Timeout(2.0)`` sleeps ``2.0 * time_scale`` real seconds on the loop.
+Protocol-level timeout arithmetic (RPC retransmit intervals, lock-wait
+bounds, network delay draws) therefore keeps its exact relative shape
+while executing against real concurrency; shrinking ``time_scale`` makes
+experiments faster but raises the scheduling jitter *in units*.
+
+What is, and is not, deterministic here
+---------------------------------------
+
+Seeded RNG streams (network delays, drop/duplicate fates) produce the
+same draw *sequences* as on the sim backend.  Scheduling is real:
+callbacks due at indistinguishable wall instants run in unspecified
+order, so which message receives the Nth fault draw can differ between
+runs whenever concurrent senders race.  Fault-free workloads with a
+deterministic logical structure still produce identical commit/abort
+outcomes (the parity suite gates exactly that); under faults only
+statistical invariants — conservation, auditor silence — are stable.
+
+Drain semantics match the sim kernel: *daemon* entries (periodic timers)
+never keep the backend alive, and ``run()`` returns once no non-daemon
+callback remains scheduled.  All forward progress flows through tracked
+posts, so the drain check is exact, not heuristic.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import time
+from typing import Any, Callable, Coroutine, Optional
+
+from repro.backend.api import ExecutionBackend
+from repro.errors import SimulationError
+from repro.sim.kernel import (
+    PeriodicTimer,
+    Process,
+    ProcessBody,
+    ProcessKilled,
+    SimEvent,
+)
+
+#: default wall seconds per time unit — 5 ms keeps sub-second experiments
+#: with default network delays (0.5–2.0 units per hop) while leaving
+#: millisecond-scale host jitter small relative to one unit
+DEFAULT_TIME_SCALE = 0.005
+
+
+class AsyncioKernel:
+    """The kernel surface on a real asyncio event loop (see module docs).
+
+    Construction is cheap and does not start the loop; the loop runs only
+    inside :meth:`run` / :meth:`run_until_settled`.  The virtual clock is
+    anchored at construction time and advances with ``time.monotonic()``
+    whether or not the loop is running — real time is real, so the gaps
+    between ``run()`` calls are visible in ``now`` (unlike the sim
+    kernel, which freezes between runs and fast-forwards past idle gaps).
+
+    Call :meth:`close` (or use the owning backend as a context manager)
+    when done: the event loop holds file descriptors.
+    """
+
+    def __init__(self, time_scale: float = DEFAULT_TIME_SCALE,
+                 loop: Optional[asyncio.AbstractEventLoop] = None):
+        """Create a kernel mapping one time unit to ``time_scale`` seconds.
+
+        ``loop`` injects an existing event loop (tests, embedding into a
+        larger asyncio application); by default a private loop is created
+        and owned — closed by :meth:`close` — without touching asyncio's
+        global event-loop policy.
+        """
+        if time_scale <= 0:
+            raise SimulationError(
+                f"time_scale must be positive, got {time_scale}")
+        self.time_scale = time_scale
+        self._loop = loop if loop is not None else asyncio.new_event_loop()
+        self._owns_loop = loop is None
+        self._origin = time.monotonic()
+        #: non-daemon callbacks scheduled but not yet run; exact because
+        #: every continuation is posted before its creator returns
+        self._pending = 0
+        self._running = False
+        self._event_names = itertools.count(1)
+        #: run statistics, same keys as the sim kernel's (exported by
+        #: cluster observability dumps)
+        self.stats: dict = {"callbacks_run": 0, "processes_spawned": 0,
+                            "events_created": 0}
+
+    @property
+    def loop(self) -> asyncio.AbstractEventLoop:
+        """The underlying asyncio event loop (for native-task bridging)."""
+        return self._loop
+
+    @property
+    def now(self) -> float:
+        """Monotonic wall time since construction, in time units."""
+        return (time.monotonic() - self._origin) / self.time_scale
+
+    # -- construction -------------------------------------------------------
+
+    def event(self, name: str = "") -> SimEvent:
+        """Create a fresh pending event scheduled on this loop."""
+        self.stats["events_created"] += 1
+        return SimEvent(self, name=name or f"ev{next(self._event_names)}")
+
+    def spawn(self, body: ProcessBody, name: str = "") -> Process:
+        """Start a generator as a process at the current instant."""
+        if not hasattr(body, "send"):
+            raise SimulationError(
+                "spawn() takes a generator; did you forget to call the function?"
+            )
+        process = Process(self, body, name=name)
+        self.stats["processes_spawned"] += 1
+        self._post(process._step)
+        return process
+
+    def schedule(self, delay: float, fn: Callable[..., None], *args: Any) -> None:
+        """Run a plain callback after ``delay`` time units of wall time."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        self._post_at(self.now + delay, fn, *args)
+
+    def timeout_event(self, delay: float, value: Any = None) -> SimEvent:
+        """An event that triggers by itself after ``delay`` units."""
+        event = self.event(name=f"timeout({delay})")
+        self.schedule(delay, lambda: event.settled or event.trigger(value))
+        return event
+
+    def every(self, interval: float, fn: Callable[[], None],
+              immediate: bool = False) -> PeriodicTimer:
+        """Run ``fn()`` every ``interval`` units as a daemon timer.
+
+        Same semantics as :meth:`repro.sim.kernel.Kernel.every`, including
+        ``immediate=True`` first-firing-now support; the firings ride
+        ``loop.call_later`` so a probe interval of 10 units wakes the host
+        every ``10 * time_scale`` seconds.
+        """
+        return PeriodicTimer(self, interval, fn, immediate=immediate)
+
+    def run_coroutine(self, coro: Coroutine, name: str = "") -> SimEvent:
+        """Run a native asyncio coroutine as tracked work.
+
+        The bridge to real asyncio tasks: ``coro`` is wrapped in an
+        :class:`asyncio.Task` on this kernel's loop and counts as pending
+        work until it finishes, so ``run()`` will not declare the backend
+        drained while it is alive.  Returns an event that settles with the
+        coroutine's result (failing with its exception; a cancelled task
+        fails the event with :class:`~repro.sim.kernel.ProcessKilled`), so
+        generator processes can ``yield`` it like any other event.
+        """
+        done = self.event(name=name or "coroutine")
+        self._pending += 1
+        task = self._loop.create_task(coro)
+
+        def on_done(finished: "asyncio.Task") -> None:
+            """Translate the task's ending into the event's settlement."""
+            self._pending -= 1
+            try:
+                if finished.cancelled():
+                    done.fail(ProcessKilled(f"coroutine {done.name} cancelled"))
+                elif finished.exception() is not None:
+                    done.fail(finished.exception())
+                else:
+                    done.trigger(finished.result())
+            finally:
+                self._maybe_stop()
+
+        task.add_done_callback(on_done)
+        return done
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Drive the loop until no non-daemon work remains; returns now.
+
+        With ``until``, the loop additionally stops once the clock passes
+        it (pending work stays scheduled for the next ``run``).  Unlike
+        the sim kernel the clock is never fast-forwarded: draining early
+        returns early, at whatever ``now`` the wall clock reads.
+        """
+        if self._pending > 0:
+            stopper = None
+            if until is not None:
+                wall_delay = max(0.0, (until - self.now) * self.time_scale)
+                stopper = self._loop.call_later(wall_delay, self._loop.stop)
+            try:
+                self._run_loop()
+            finally:
+                if stopper is not None:
+                    stopper.cancel()
+        return self.now
+
+    def run_until_settled(self, event: SimEvent, limit: float = 1e12) -> Any:
+        """Drive the loop until ``event`` settles; raise if drained first.
+
+        ``limit`` bounds the wait in time units (a watchdog on the wall
+        clock); exceeding it raises :class:`SimulationError`, as does the
+        backend draining — no non-daemon work scheduled — while the event
+        is still pending.
+        """
+
+        def stop_on_settle(_settled: SimEvent) -> None:
+            """Break out of the loop the moment the event settles."""
+            if self._running:
+                self._loop.stop()
+
+        if not event.settled:
+            event.on_settle(stop_on_settle)
+        wall_deadline = (
+            self._loop.time() + max(0.0, limit - self.now) * self.time_scale)
+        while not event.settled:
+            if self._pending == 0:
+                raise SimulationError(
+                    f"backend drained before {event!r} settled")
+            if self.now > limit:
+                raise SimulationError(
+                    f"exceeded time limit waiting for {event!r}")
+            watchdog = self._loop.call_at(wall_deadline, self._loop.stop)
+            try:
+                self._run_loop()
+            finally:
+                watchdog.cancel()
+        if event.failed:
+            raise event.value
+        return event.value
+
+    def close(self) -> None:
+        """Close the owned event loop and its file descriptors.  Idempotent.
+
+        An injected loop (``loop=`` at construction) is left open — its
+        owner closes it.
+        """
+        if self._owns_loop and not self._loop.is_closed():
+            self._loop.close()
+
+    # -- internals -------------------------------------------------------------
+
+    def _run_loop(self) -> None:
+        if self._running:
+            raise SimulationError("asyncio backend loop already running")
+        self._running = True
+        try:
+            self._loop.run_forever()
+        finally:
+            self._running = False
+
+    def _maybe_stop(self) -> None:
+        # drain check: exact, because every continuation is a tracked post
+        if self._running and self._pending == 0:
+            self._loop.stop()
+
+    def _post(self, fn: Callable[..., None], *args: Any) -> None:
+        self._post_at(self.now, fn, *args)
+
+    def _post_at(self, when: float, fn: Callable[..., None], *args: Any,
+                 daemon: bool = False) -> None:
+        if not daemon:
+            self._pending += 1
+
+        def entry() -> None:
+            """Run the callback, keep stats, and stop the loop on drain."""
+            if not daemon:
+                self._pending -= 1
+            self.stats["callbacks_run"] += 1
+            try:
+                fn(*args)
+            finally:
+                self._maybe_stop()
+
+        wall_delay = (when - self.now) * self.time_scale
+        if wall_delay <= 0:
+            self._loop.call_soon(entry)
+        else:
+            self._loop.call_later(wall_delay, entry)
+
+
+class AsyncioBackend(ExecutionBackend):
+    """Real-time execution on asyncio with a monotonic scaled clock.
+
+    Capabilities: ``wall_clock`` (``now`` tracks ``time.monotonic()``),
+    not ``deterministic`` (seeds pin RNG draw sequences but scheduling
+    order is real and jittery).  Use it to answer wall-clock questions —
+    throughput and latency in seconds, behaviour under genuinely
+    concurrent interleavings — and keep the sim backend for chaos
+    debugging and replayable regressions; ``docs/BACKENDS.md`` has the
+    full decision guide.
+
+    Close the backend when done (it owns an event loop)::
+
+        with AsyncioBackend(time_scale=0.002) as backend:
+            cluster = Cluster(seed=7, backend=backend)
+            ...
+    """
+
+    name = "asyncio"
+    deterministic = False
+    wall_clock = True
+
+    def __init__(self, time_scale: float = DEFAULT_TIME_SCALE,
+                 loop: Optional[asyncio.AbstractEventLoop] = None):
+        """Build the backend around a fresh :class:`AsyncioKernel`."""
+        self._kernel = AsyncioKernel(time_scale=time_scale, loop=loop)
+
+    @property
+    def kernel(self) -> AsyncioKernel:
+        """The asyncio-loop scheduler implementing the kernel surface."""
+        return self._kernel
+
+    @property
+    def time_scale(self) -> float:
+        """Wall seconds per time unit."""
+        return self._kernel.time_scale
+
+    def run_coroutine(self, coro: Coroutine, name: str = "") -> SimEvent:
+        """Bridge a native coroutine into the kernel (see the kernel docs)."""
+        return self._kernel.run_coroutine(coro, name=name)
+
+    def close(self) -> None:
+        """Close the owned event loop.  Idempotent."""
+        self._kernel.close()

@@ -1,0 +1,41 @@
+"""The deterministic simulation backend: the seed repo's kernel, wrapped.
+
+:class:`SimBackend` is a thin adapter over :class:`repro.sim.kernel.Kernel`
+— the discrete-event scheduler every experiment ran on before the backend
+split.  It adds nothing and changes nothing: wrapping an existing kernel
+is free, so pre-backend call sites (``Cluster()`` with no ``backend=``,
+tests that build a bare ``Kernel()``) keep their exact behaviour, replay
+determinism included.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.backend.api import ExecutionBackend
+from repro.sim.kernel import Kernel
+
+
+class SimBackend(ExecutionBackend):
+    """Deterministic single-threaded simulation on virtual time.
+
+    Capabilities: ``deterministic`` (a seed pins scheduling order, fault
+    draws and every outcome — runs replay bit-identically), not
+    ``wall_clock`` (time advances only when queued work runs, so hours of
+    simulated traffic cost milliseconds of host time).  This is the
+    default backend everywhere and the only one chaos tests should use:
+    a reproduced failure is a failure you can debug.
+    """
+
+    name = "sim"
+    deterministic = True
+    wall_clock = False
+
+    def __init__(self, kernel: Optional[Kernel] = None):
+        """Wrap ``kernel`` (a fresh :class:`Kernel` when omitted)."""
+        self._kernel = kernel if kernel is not None else Kernel()
+
+    @property
+    def kernel(self) -> Kernel:
+        """The wrapped discrete-event simulation kernel."""
+        return self._kernel

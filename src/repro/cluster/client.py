@@ -172,9 +172,14 @@ class ClusterClient:
                  action_uids: UidGenerator, colour_allocator,
                  class_registry: Dict[str, type], name: str = "client",
                  observability=None, fast_paths: bool = True,
-                 commute: bool = True):
+                 commute: bool = True, backend=None):
         self.node = node
-        self.kernel = node.kernel
+        #: the execution backend this client schedules on (reaper spawns,
+        #: commit fan-outs, abort timers).  ``None`` keeps the node's own
+        #: kernel — the pre-backend behaviour; a Cluster always passes its
+        #: backend so client and servers share one loop and one clock.
+        self.backend = backend
+        self.kernel = backend.kernel if backend is not None else node.kernel
         self.transport = transport
         self.name = name
         self.obs = observability

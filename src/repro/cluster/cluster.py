@@ -4,15 +4,15 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+from repro.backend import ExecutionBackend, resolve_backend
 from repro.cluster.client import ClusterClient
-from repro.cluster.network import Network, NetworkConfig
+from repro.cluster.network import NetworkConfig
 from repro.cluster.node import Node
 from repro.cluster.server import ObjectServer
 from repro.cluster.transport import RpcTransport
 from repro.colours.colour import ColourAllocator
 from repro.errors import ClusterError
 from repro.obs import Observability, ObservabilityBridge
-from repro.sim.kernel import Kernel
 from repro.stdobjects import (
     Account,
     AppendLog,
@@ -70,8 +70,16 @@ class Cluster:
                  fast_paths: bool = True, commute: bool = True,
                  max_finished_spans: Optional[int] = None,
                  metrics_max_series: Optional[int] = None,
-                 max_audit_events: Optional[int] = None):
-        self.kernel = Kernel()
+                 max_audit_events: Optional[int] = None,
+                 backend: Optional[ExecutionBackend] = None):
+        #: the execution backend every layer schedules on — ``None`` (the
+        #: default) is the deterministic simulation; ``"asyncio"`` or an
+        #: :class:`~repro.backend.aio.AsyncioBackend` instance runs the
+        #: same protocol code on a real event loop with a wall clock.
+        #: ``self.kernel`` stays the scheduler handle the rest of the
+        #: stack is written against, whichever backend provides it.
+        self.backend = resolve_backend(backend)
+        self.kernel = self.backend.kernel
         #: the cluster-wide observability hub, on simulated time.  Every
         #: layer (network, transport, servers, clients, deadlock chasers)
         #: reports into it; see ``metrics_dump()`` and ``obs.span_tree()``.
@@ -85,8 +93,8 @@ class Cluster:
                           max_audit_events=max_audit_events)
         )
         self.rng = SplitRandom(seed)
-        self.network = Network(self.kernel, self.rng, config,
-                               observability=self.obs)
+        self.network = self.backend.make_network(self.rng, config,
+                                                 observability=self.obs)
         self.classes = dict(classes if classes is not None else DEFAULT_CLASSES)
         self.lock_wait_timeout = lock_wait_timeout
         self.rpc_timeout = rpc_timeout
@@ -163,6 +171,7 @@ class Cluster:
             observability=self.obs,
             fast_paths=self.fast_paths,
             commute=self.commute,
+            backend=self.backend,
         )
         # the bridge gives every action a span (and per-colour outcome
         # counters) so the client's RPC spans have a parent to stitch to.
@@ -188,7 +197,8 @@ class Cluster:
 
     def attach_perf(self, interval: float = 5.0, max_points: int = 2048,
                     recorder_capacity: int = 4096, sample_rate: float = 1.0,
-                    seed: int = 0, process_probes: bool = False):
+                    seed: int = 0, process_probes: bool = False,
+                    backend: Optional[ExecutionBackend] = None):
         """Attach the performance observatory (``repro.obs.perf``).
 
         Starts a :class:`~repro.obs.perf.TimeSeriesSampler` on the sim
@@ -198,6 +208,10 @@ class Cluster:
         bus.  Call before ``run()`` — ideally before ``add_node`` so no
         events predate the ring.  Returns ``(sampler, recorder)``; both
         also hang off ``cluster.obs`` and are included in ``obs.save()``.
+
+        The sampler's timer rides the cluster's execution backend (real
+        wall-clock intervals on asyncio, virtual ones on sim); pass
+        ``backend=`` to clock it elsewhere.
         """
         from repro.obs.perf import FlightRecorder, TimeSeriesSampler
 
@@ -212,7 +226,7 @@ class Cluster:
             len(s.prepared) for s in self.servers.values()))
         sampler.add_probe("pending_rpcs", lambda: sum(
             t.pending_count() for t in self.transports.values()))
-        sampler.attach(self.kernel)
+        sampler.attach((backend or self.backend).kernel)
         recorder = FlightRecorder(self.obs, capacity=recorder_capacity,
                                   sample_rate=sample_rate, seed=seed)
         return sampler, recorder
@@ -305,7 +319,18 @@ class Cluster:
             self.obs.metrics.gauge(f"kernel_{key}").set(value)
         for key, value in self.network.stats().items():
             self.obs.metrics.gauge(f"network_{key}_total").set(value)
+        self.obs.metrics.gauge("backend_wall_clock").set(
+            1 if self.backend.wall_clock else 0)
         return self.obs.dump()
+
+    def close(self) -> None:
+        """Release the execution backend's resources (asyncio event loop).
+
+        A no-op on the sim backend; call it — or use the backend as a
+        context manager — whenever the cluster runs on asyncio, which
+        owns real file descriptors.
+        """
+        self.backend.close()
 
     # -- execution -------------------------------------------------------------
 

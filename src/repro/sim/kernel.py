@@ -62,14 +62,17 @@ class SimEvent:
 
     @property
     def triggered(self) -> bool:
+        """True once the event settled successfully."""
         return self._state == SimEvent._TRIGGERED
 
     @property
     def failed(self) -> bool:
+        """True once the event settled with a failure."""
         return self._state == SimEvent._FAILED
 
     @property
     def settled(self) -> bool:
+        """True once the event is no longer pending (either outcome)."""
         return self._state != SimEvent._PENDING
 
     @property
@@ -146,6 +149,7 @@ class Process:
 
     @property
     def error(self) -> Optional[BaseException]:
+        """The failure that ended the process, or None so far/on success."""
         return self._done.value if self._done.failed else None
 
     def join(self) -> SimEvent:
@@ -294,6 +298,7 @@ class PeriodicTimer:
                 self._arm()
 
     def cancel(self) -> None:
+        """Stop the timer; an in-flight daemon post becomes a no-op."""
         self.alive = False
 
 
@@ -448,7 +453,10 @@ def any_of(kernel: Kernel, events: List[SimEvent]) -> SimEvent:
     combined = kernel.event(name="any_of")
 
     def make_callback(index: int) -> Callable[[SimEvent], None]:
+        """Bind ``index`` so the winner can report which branch it was."""
+
         def callback(settled: SimEvent) -> None:
+            """Settle the combined event with the first branch outcome."""
             if combined.settled:
                 return
             if settled.failed:
@@ -481,7 +489,10 @@ def settle_all(kernel: Kernel, events: List[SimEvent]) -> SimEvent:
     outcomes: List[Any] = [None] * len(events)
 
     def make_callback(index: int) -> Callable[[SimEvent], None]:
+        """Bind ``index`` so each branch records its aligned outcome pair."""
+
         def callback(settled: SimEvent) -> None:
+            """Capture one ``(ok, value)`` pair; trigger once all are in."""
             outcomes[index] = (not settled.failed, settled.value)
             remaining["count"] -= 1
             if remaining["count"] == 0:
@@ -507,7 +518,10 @@ def all_of(kernel: Kernel, events: List[SimEvent]) -> SimEvent:
     values: List[Any] = [None] * len(events)
 
     def make_callback(index: int) -> Callable[[SimEvent], None]:
+        """Bind ``index`` so each branch writes its own result slot."""
+
         def callback(settled: SimEvent) -> None:
+            """Record one branch outcome; trigger when all have settled."""
             if combined.settled:
                 return
             if settled.failed:

@@ -27,6 +27,7 @@ class Gate:
         self._waiters: List[SimEvent] = []
 
     def wait(self) -> SimEvent:
+        """Event that triggers at the next :meth:`open` call."""
         event = self.kernel.event(name=f"{self.name}.wait")
         self._waiters.append(event)
         return event
@@ -52,6 +53,7 @@ class Semaphore:
 
     @property
     def available(self) -> int:
+        """Permits currently free (waiters pending means zero)."""
         return self._permits
 
     def acquire(self) -> SimEvent:
@@ -65,6 +67,7 @@ class Semaphore:
         return event
 
     def release(self) -> None:
+        """Return one permit, handing it to the oldest waiter if any."""
         if self._waiters:
             self._waiters.popleft().trigger()
         else:
@@ -94,15 +97,18 @@ class Channel:
         self._getters: Deque[SimEvent] = deque()
 
     def __len__(self) -> int:
+        """Number of items queued and not yet claimed by a getter."""
         return len(self._items)
 
     def put(self, item: Any) -> None:
+        """Enqueue ``item``, waking the oldest waiting getter if any."""
         if self._getters:
             self._getters.popleft().trigger(item)
         else:
             self._items.append(item)
 
     def get(self) -> SimEvent:
+        """Event that triggers with the next item (FIFO among getters)."""
         event = self.kernel.event(name=f"{self.name}.get")
         if self._items:
             event.trigger(self._items.popleft())

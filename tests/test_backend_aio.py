@@ -1,0 +1,467 @@
+"""Asyncio backend: kernel surface semantics on a real event loop.
+
+These tests pin the edge cases the backend contract (docs/BACKENDS.md)
+promises are backend-independent: ``every(immediate=True)`` daemon timer
+semantics, ``settle_all`` fan-out completion, the fault-RNG stream
+independence the sim network guarantees (the PR-2 drop/duplicate
+entanglement bug must not regress on the real-time transport), and the
+drain / watchdog behaviour of ``run`` / ``run_until_settled``.
+
+Wall-clock scales are kept tiny (0.5–2 ms per unit) so the whole module
+runs in a few seconds of host time.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.backend import (
+    AsyncioBackend,
+    AsyncioKernel,
+    BackendError,
+    ExecutionBackend,
+    SimBackend,
+    resolve_backend,
+)
+from repro.cluster.message import Message
+from repro.cluster.network import Network, NetworkConfig
+from repro.errors import SimulationError
+from repro.sim.kernel import Kernel, ProcessKilled, Timeout, settle_all
+from repro.util.rng import SplitRandom
+
+
+def make_kernel(time_scale=0.001):
+    return AsyncioKernel(time_scale=time_scale)
+
+
+# -- clock and construction ---------------------------------------------------
+
+
+def test_clock_advances_with_wall_time():
+    kernel = make_kernel()
+    try:
+        first = kernel.now
+        ticks = []
+        kernel.spawn(_sleeper(2.0, ticks))
+        kernel.run()
+        assert kernel.now >= first + 2.0
+        assert ticks == ["done"]
+    finally:
+        kernel.close()
+
+
+def test_time_scale_must_be_positive():
+    with pytest.raises(SimulationError):
+        AsyncioKernel(time_scale=0.0)
+    with pytest.raises(SimulationError):
+        AsyncioKernel(time_scale=-1.0)
+
+
+def test_spawn_rejects_non_generator():
+    kernel = make_kernel()
+    try:
+        with pytest.raises(SimulationError):
+            kernel.spawn(lambda: None)
+    finally:
+        kernel.close()
+
+
+def _sleeper(duration, log):
+    yield Timeout(duration)
+    log.append("done")
+
+
+# -- run / drain semantics ----------------------------------------------------
+
+
+def test_run_returns_immediately_when_drained():
+    kernel = make_kernel()
+    try:
+        before = kernel.now
+        kernel.run()
+        assert kernel.now - before < 100.0  # no blocking wait happened
+    finally:
+        kernel.close()
+
+
+def test_run_until_stops_clock_and_leaves_work_scheduled():
+    kernel = make_kernel()
+    try:
+        log = []
+        kernel.spawn(_sleeper(50.0, log))
+        kernel.run(until=kernel.now + 5.0)
+        assert log == []
+        kernel.run()  # resumes the pending sleeper to completion
+        assert log == ["done"]
+    finally:
+        kernel.close()
+
+
+def test_run_until_settled_raises_when_drained():
+    kernel = make_kernel()
+    try:
+        event = kernel.event("never")
+        with pytest.raises(SimulationError, match="drained"):
+            kernel.run_until_settled(event)
+    finally:
+        kernel.close()
+
+
+def test_run_until_settled_enforces_time_limit():
+    kernel = make_kernel()
+    try:
+        log = []
+        kernel.spawn(_sleeper(10_000.0, log))
+        event = kernel.event("never")
+        with pytest.raises(SimulationError, match="limit"):
+            kernel.run_until_settled(event, limit=kernel.now + 5.0)
+    finally:
+        kernel.close()
+
+
+def test_run_until_settled_returns_value_and_raises_failure():
+    kernel = make_kernel()
+    try:
+        ok = kernel.event("ok")
+        kernel.schedule(1.0, lambda: ok.trigger("payload"))
+        assert kernel.run_until_settled(ok) == "payload"
+        bad = kernel.event("bad")
+        kernel.schedule(1.0, lambda: bad.fail(RuntimeError("boom")))
+        with pytest.raises(RuntimeError, match="boom"):
+            kernel.run_until_settled(bad)
+    finally:
+        kernel.close()
+
+
+def test_close_is_idempotent_and_injected_loops_survive():
+    kernel = make_kernel()
+    kernel.close()
+    kernel.close()
+    loop = asyncio.new_event_loop()
+    try:
+        injected = AsyncioKernel(time_scale=0.001, loop=loop)
+        injected.close()
+        assert not loop.is_closed()
+    finally:
+        loop.close()
+
+
+# -- processes, kill, timeout_event ------------------------------------------
+
+
+def test_process_kill_runs_finally_blocks():
+    kernel = make_kernel()
+    try:
+        log = []
+
+        def victim():
+            try:
+                yield Timeout(1_000.0)
+            finally:
+                log.append("cleanup")
+
+        process = kernel.spawn(victim())
+        kernel.schedule(2.0, process.kill)
+        kernel.run()
+        assert log == ["cleanup"]
+        assert not process.alive
+    finally:
+        kernel.close()
+
+
+def test_timeout_event_triggers_once():
+    kernel = make_kernel()
+    try:
+        event = kernel.timeout_event(2.0, value="fired")
+        assert kernel.run_until_settled(event) == "fired"
+        assert event.settled and not event.failed
+    finally:
+        kernel.close()
+
+
+def test_join_propagates_result():
+    kernel = make_kernel()
+    try:
+
+        def child():
+            yield Timeout(1.0)
+            return 42
+
+        def parent(out):
+            value = yield kernel.spawn(child())
+            out.append(value)
+
+        results = []
+        kernel.spawn(parent(results))
+        kernel.run()
+        assert results == [42]
+    finally:
+        kernel.close()
+
+
+# -- every(immediate=) daemon timer semantics --------------------------------
+
+
+def test_every_immediate_fires_now_then_periodically():
+    kernel = make_kernel()
+    try:
+        fired = []
+        log = []
+        timer = kernel.every(1.0, lambda: fired.append(kernel.now),
+                             immediate=True)
+        kernel.spawn(_sleeper(4.5, log))
+        kernel.run()
+        timer.cancel()
+        assert log == ["done"]
+        # immediate first firing, then roughly one per unit while alive
+        assert len(fired) >= 3
+        assert fired[0] < 1.0
+    finally:
+        kernel.close()
+
+
+def test_every_without_immediate_waits_one_interval():
+    kernel = make_kernel()
+    try:
+        fired = []
+        log = []
+        start = kernel.now
+        timer = kernel.every(2.0, lambda: fired.append(kernel.now))
+        kernel.spawn(_sleeper(5.0, log))
+        kernel.run()
+        timer.cancel()
+        assert fired and fired[0] >= start + 2.0
+    finally:
+        kernel.close()
+
+
+def test_periodic_timer_alone_never_keeps_backend_alive():
+    """Daemon entries must not count as pending work: a kernel whose only
+    scheduled entry is a periodic timer is drained, exactly as on sim."""
+    kernel = make_kernel()
+    try:
+        fired = []
+        kernel.every(1.0, lambda: fired.append(kernel.now), immediate=True)
+        before = kernel.now
+        kernel.run()
+        assert kernel.now - before < 100.0  # returned without blocking
+    finally:
+        kernel.close()
+
+
+def test_cancelled_timer_stops_firing():
+    kernel = make_kernel()
+    try:
+        fired = []
+        log = []
+        timer = kernel.every(1.0, lambda: fired.append(kernel.now))
+        kernel.schedule(2.5, timer.cancel)
+        kernel.spawn(_sleeper(8.0, log))
+        kernel.run()
+        assert fired and all(t <= 3.5 for t in fired)
+    finally:
+        kernel.close()
+
+
+# -- settle_all fan-out -------------------------------------------------------
+
+
+def test_settle_all_waits_for_every_branch_including_failures():
+    kernel = make_kernel()
+    try:
+
+        def ok(duration, out):
+            yield Timeout(duration)
+            out.append(duration)
+
+        def bad():
+            yield Timeout(1.0)
+            raise RuntimeError("branch failed")
+
+        done = []
+        branches = [kernel.spawn(ok(3.0, done)), kernel.spawn(ok(1.0, done)),
+                    kernel.spawn(bad())]
+
+        def waiter(out):
+            outcomes = yield settle_all(kernel, [b.join() for b in branches])
+            out.append((sorted(done), [ok for ok, _value in outcomes]))
+
+        observed = []
+        kernel.spawn(waiter(observed))
+        kernel.run()
+        # the waiter resumed only after the slowest branch finished, and
+        # the failing branch did not abort the fan-in
+        assert observed == [([1.0, 3.0], [True, True, False])]
+        assert isinstance(branches[2].error, RuntimeError)
+    finally:
+        kernel.close()
+
+
+# -- native asyncio bridge ----------------------------------------------------
+
+
+def test_run_coroutine_result_flows_into_generator_world():
+    backend = AsyncioBackend(time_scale=0.001)
+    try:
+
+        async def native():
+            await asyncio.sleep(0.002)
+            return "from-asyncio"
+
+        results = []
+
+        def consumer():
+            value = yield backend.run_coroutine(native())
+            results.append(value)
+
+        backend.kernel.spawn(consumer())
+        backend.run()
+        assert results == ["from-asyncio"]
+    finally:
+        backend.close()
+
+
+def test_run_coroutine_keeps_backend_alive_and_propagates_errors():
+    backend = AsyncioBackend(time_scale=0.001)
+    try:
+
+        async def native():
+            await asyncio.sleep(0.002)
+            raise ValueError("native failure")
+
+        event = backend.run_coroutine(native())
+        with pytest.raises(ValueError, match="native failure"):
+            backend.kernel.run_until_settled(event)
+    finally:
+        backend.close()
+
+
+def test_run_coroutine_cancellation_fails_event_with_process_killed():
+    backend = AsyncioBackend(time_scale=0.001)
+    try:
+        started = []
+
+        async def native():
+            started.append(True)
+            await asyncio.sleep(60.0)
+
+        event = backend.run_coroutine(native())
+        failures = []
+        event.on_settle(lambda ev: failures.append(ev.value))
+
+        def canceller():
+            yield Timeout(2.0)
+            for task in asyncio.all_tasks(backend.kernel.loop):
+                task.cancel()
+
+        backend.kernel.spawn(canceller())
+        backend.run()
+        assert started == [True]
+        assert len(failures) == 1 and isinstance(failures[0], ProcessKilled)
+    finally:
+        backend.close()
+
+
+# -- fault-RNG stream independence on the real-time transport -----------------
+
+
+def run_fault_pattern_aio(config, seed=7, count=150):
+    """Deliver ``count`` messages on an AsyncioKernel-backed network.
+
+    All sends happen inside one callback, so the per-send fault draws are
+    consumed in index order regardless of loop scheduling; the resulting
+    drop/duplicate fate sets are therefore comparable across knob
+    settings and against the sim backend.
+    """
+    kernel = AsyncioKernel(time_scale=0.0005)
+    try:
+        network = Network(kernel, SplitRandom(seed), config)
+        inbox = []
+        network.attach("b", inbox.append)
+        network.attach("a", lambda m: None)
+
+        def blast():
+            for i in range(count):
+                network.send(Message("a", "b", "ping", {"i": i}))
+
+        kernel.schedule(0.0, blast)
+        kernel.run()
+        seen = {}
+        for m in inbox:
+            seen[m.payload["i"]] = seen.get(m.payload["i"], 0) + 1
+        dropped = {i for i in range(count) if i not in seen}
+        duplicated = {i for i, n in seen.items() if n == 2}
+        return dropped, duplicated
+    finally:
+        kernel.close()
+
+
+def run_fault_pattern_sim(config, seed=7, count=150):
+    kernel = Kernel()
+    network = Network(kernel, SplitRandom(seed), config)
+    inbox = []
+    network.attach("b", inbox.append)
+    network.attach("a", lambda m: None)
+    for i in range(count):
+        network.send(Message("a", "b", "ping", {"i": i}))
+    kernel.run()
+    seen = {}
+    for m in inbox:
+        seen[m.payload["i"]] = seen.get(m.payload["i"], 0) + 1
+    dropped = {i for i in range(count) if i not in seen}
+    duplicated = {i for i, n in seen.items() if n == 2}
+    return dropped, duplicated
+
+
+def test_drop_fates_independent_of_duplicate_knob_on_asyncio():
+    """PR-2 regression guard, real-time edition: toggling duplication must
+    not reshuffle which messages the asyncio-backed network drops."""
+    plain, _ = run_fault_pattern_aio(NetworkConfig(drop_probability=0.3))
+    entangled, _ = run_fault_pattern_aio(
+        NetworkConfig(drop_probability=0.3, duplicate_probability=0.5))
+    assert plain == entangled
+
+
+def test_fault_fates_match_sim_exactly():
+    """Same seed, same knobs, same per-index drop and duplicate fate sets
+    on both backends: the fault RNG streams are backend-independent."""
+    config = NetworkConfig(drop_probability=0.25, duplicate_probability=0.3)
+    sim_dropped, sim_dup = run_fault_pattern_sim(config)
+    aio_dropped, aio_dup = run_fault_pattern_aio(config)
+    assert aio_dropped == sim_dropped
+    assert aio_dup == sim_dup
+
+
+# -- backend resolution and lifecycle ----------------------------------------
+
+
+def test_resolve_backend_specs():
+    default = resolve_backend(None)
+    assert isinstance(default, SimBackend) and default.deterministic
+    assert isinstance(resolve_backend("sim"), SimBackend)
+    for spec in ("asyncio", "aio"):
+        backend = resolve_backend(spec)
+        assert isinstance(backend, AsyncioBackend) and backend.wall_clock
+        backend.close()
+    passthrough = SimBackend()
+    assert resolve_backend(passthrough) is passthrough
+    with pytest.raises(BackendError):
+        resolve_backend("threads")
+    with pytest.raises(BackendError):
+        resolve_backend(42)
+
+
+def test_backend_context_manager_closes_loop():
+    with AsyncioBackend(time_scale=0.001) as backend:
+        assert isinstance(backend, ExecutionBackend)
+        loop = backend.kernel.loop
+        assert not loop.is_closed()
+    assert loop.is_closed()
+
+
+def test_sim_backend_wraps_existing_kernel_unchanged():
+    kernel = Kernel()
+    backend = SimBackend(kernel)
+    assert backend.kernel is kernel
+    assert backend.name == "sim" and not backend.wall_clock
+    backend.close()  # no-op, must not raise
